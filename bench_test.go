@@ -1,0 +1,340 @@
+// Package ping_bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (§5), plus
+// ablation and micro benchmarks. Each experiment benchmark executes the
+// same code path as `pingbench -exp <id>` at a reduced dataset scale so
+// the whole suite runs in minutes; use cmd/pingbench for full-scale runs.
+package ping_bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ping/internal/baseline/s2rdf"
+	"ping/internal/baseline/worq"
+	"ping/internal/bloom"
+	"ping/internal/columnar"
+	"ping/internal/dataflow"
+	"ping/internal/gmark"
+	"ping/internal/harness"
+	"ping/internal/hpart"
+	"ping/internal/ping"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// benchSuite is shared across experiment benchmarks so datasets and
+// layouts are generated once.
+var (
+	suiteOnce sync.Once
+	suite     *harness.Suite
+)
+
+func benchSuite() *harness.Suite {
+	suiteOnce.Do(func() {
+		suite = harness.NewSuite(2, 3, 0.15, 42)
+	})
+	return suite
+}
+
+func runExperiment(b *testing.B, id string, datasets []string) {
+	b.Helper()
+	s := benchSuite()
+	// Warm the dataset cache outside the timed region.
+	if _, err := s.Run(id, datasets); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.Run(id, datasets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Discard.Write([]byte(r.Body))
+	}
+}
+
+// BenchmarkTable1Datasets regenerates Table 1 (dataset & workload
+// characteristics).
+func BenchmarkTable1Datasets(b *testing.B) {
+	runExperiment(b, "table1", []string{"uniprot", "shop", "lubm"})
+}
+
+// BenchmarkFig5Distribution regenerates Fig. 5 (triples per hierarchy
+// level).
+func BenchmarkFig5Distribution(b *testing.B) {
+	runExperiment(b, "fig5", []string{"uniprot", "shop", "social", "lubm", "yago", "dbpedia"})
+}
+
+// BenchmarkFig6PQA regenerates Fig. 6 (progressive runtime / loaded rows /
+// coverage per slice) on the Uniprot and Shop workloads.
+func BenchmarkFig6PQA(b *testing.B) {
+	runExperiment(b, "fig6", []string{"uniprot", "shop"})
+}
+
+// BenchmarkFig7Preprocessing regenerates Fig. 7 (preprocessing time and
+// reduction factor for PING vs S2RDF vs WORQ).
+func BenchmarkFig7Preprocessing(b *testing.B) {
+	runExperiment(b, "fig7", []string{"uniprot", "shop"})
+}
+
+// BenchmarkFig8Q55 regenerates Fig. 8 (the DBpedia Q55 per-slice study).
+func BenchmarkFig8Q55(b *testing.B) {
+	runExperiment(b, "fig8", nil)
+}
+
+// BenchmarkFig9EQA regenerates Fig. 9 (EQA time and triples visited on
+// YAGO and level-targeted Shop100 queries).
+func BenchmarkFig9EQA(b *testing.B) {
+	runExperiment(b, "fig9", nil)
+}
+
+// BenchmarkTable2SymbolLevels regenerates Table 2 (Q55 symbol levels).
+func BenchmarkTable2SymbolLevels(b *testing.B) {
+	runExperiment(b, "table2", nil)
+}
+
+// BenchmarkAblationAll regenerates the ablation report (sub-partition
+// pruning, index pruning, slice ordering).
+func BenchmarkAblationAll(b *testing.B) {
+	runExperiment(b, "ablation", nil)
+}
+
+// BenchmarkExtensions regenerates the §6.2 future-work report
+// (incremental maintenance, bloom pruning, recursive paths, TPF).
+func BenchmarkExtensions(b *testing.B) {
+	runExperiment(b, "extensions", nil)
+}
+
+// BenchmarkScaling regenerates the scale sweep (linear partitioning).
+func BenchmarkScaling(b *testing.B) {
+	runExperiment(b, "scaling", nil)
+}
+
+// --- focused ablation benchmarks (DESIGN.md §5) ---
+
+func shopFixture(b *testing.B) (*gmark.Dataset, *hpart.Layout, *sparql.Query) {
+	b.Helper()
+	data := gmark.Shop().Generate(0.2, 7)
+	lay, err := hpart.Partition(data.Graph, hpart.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sparql.MustParse(`SELECT * WHERE {
+		?u <` + data.Schema.PropertyIRI("likes") + `> ?p .
+		?u <` + data.Schema.PropertyIRI("follows") + `> ?v .
+	}`)
+	return data, lay, q
+}
+
+func benchPQA(b *testing.B, opts ping.Options) {
+	_, lay, q := shopFixture(b)
+	proc := ping.NewProcessor(lay, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.PQA(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBaseline is the reference point for the two ablations.
+func BenchmarkAblationBaseline(b *testing.B) { benchPQA(b, ping.Options{}) }
+
+// BenchmarkAblationNoSubPartitioning loads whole levels instead of
+// per-property files (quantifies §3.6).
+func BenchmarkAblationNoSubPartitioning(b *testing.B) {
+	benchPQA(b, ping.Options{DisableSubPartPruning: true})
+}
+
+// BenchmarkAblationNoIndexPruning ignores SI/OI when slicing (quantifies
+// §3.7).
+func BenchmarkAblationNoIndexPruning(b *testing.B) {
+	benchPQA(b, ping.Options{DisableIndexPruning: true})
+}
+
+// BenchmarkAblationProductSlices runs the literal Algorithm 2 product
+// enumeration instead of level-cumulative slicing.
+func BenchmarkAblationProductSlices(b *testing.B) {
+	benchPQA(b, ping.Options{Strategy: ping.ProductOrder})
+}
+
+// --- micro benchmarks on the substrates ---
+
+func BenchmarkPartitioner(b *testing.B) {
+	data := gmark.Uniprot().Generate(0.2, 3)
+	b.ReportMetric(float64(data.Graph.Len()), "triples")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hpart.Partition(data.Graph, hpart.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionerDistributed(b *testing.B) {
+	data := gmark.Uniprot().Generate(0.2, 3)
+	ctx := dataflow.NewContext(4)
+	b.ReportMetric(float64(data.Graph.Len()), "triples")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hpart.PartitionDistributed(data.Graph, ctx, hpart.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalMaintenance(b *testing.B) {
+	data := gmark.Uniprot().Generate(0.2, 3)
+	lay, err := hpart.Partition(data.Graph, hpart.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hpart.NewMaintainer(lay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	occursIn := data.Graph.Dict.EncodeIRI(data.Schema.PropertyIRI("occursIn"))
+	hasKeyword := data.Graph.Dict.EncodeIRI(data.Schema.PropertyIRI("hasKeyword"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := data.Graph.Dict.EncodeIRI(fmt.Sprintf("http://bench.example.org/s%d", i))
+		o := data.Graph.Dict.EncodeIRI(fmt.Sprintf("http://bench.example.org/o%d", i%32))
+		err := m.AddTriples([]rdf.Triple{
+			{S: s, P: occursIn, O: o},
+			{S: s, P: hasKeyword, O: o},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEQA(b *testing.B) {
+	_, lay, q := shopFixture(b)
+	proc := ping.NewProcessor(lay, ping.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := proc.EQA(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkS2RDFQuery(b *testing.B) {
+	data, _, q := shopFixture(b)
+	st, err := s2rdf.Preprocess(data.Graph, s2rdf.Options{SelectivityThreshold: 0.25})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWORQQuery(b *testing.B) {
+	data, _, q := shopFixture(b)
+	st, err := worq.Preprocess(data.Graph, worq.Options{Workload: []*sparql.Query{q}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnarEncodeDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	col := make([]uint32, 100_000)
+	for i := range col {
+		col[i] = uint32(rng.Intn(1 << 20))
+	}
+	b.SetBytes(int64(len(col) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if _, err := columnar.WriteColumns(&buf, [][]uint32{col}, columnar.Plain); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := columnar.DecodeColumns(buf.data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type writeCounter struct{ data []byte }
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+func BenchmarkBloomAddContains(b *testing.B) {
+	f := bloom.NewWithEstimates(1_000_000, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+		if !f.Contains(uint64(i)) {
+			b.Fatal("false negative")
+		}
+	}
+}
+
+func BenchmarkDataflowJoin(b *testing.B) {
+	ctx := dataflow.NewContext(2)
+	n := 50_000
+	left := make([]dataflow.Pair[uint32, uint32], n)
+	right := make([]dataflow.Pair[uint32, uint32], n)
+	for i := 0; i < n; i++ {
+		left[i] = dataflow.Pair[uint32, uint32]{Key: uint32(i % 1000), Value: uint32(i)}
+		right[i] = dataflow.Pair[uint32, uint32]{Key: uint32(i % 2000), Value: uint32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := dataflow.Parallelize(ctx, left, 4)
+		r := dataflow.Parallelize(ctx, right, 4)
+		j := dataflow.JoinByKey(l, r, 4, func(k uint32) uint64 { return uint64(k) })
+		if j.Count() == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+func BenchmarkNTriplesParse(b *testing.B) {
+	data := gmark.Uniprot().Generate(0.1, 5)
+	var buf writeCounter
+	if _, err := rdf.WriteNTriples(&buf, data.Graph); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf.data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdf.ParseNTriples(readerOf(buf.data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func readerOf(data []byte) *sliceReader { return &sliceReader{data: data} }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}

@@ -1,0 +1,76 @@
+// Command pingbench runs the paper's evaluation experiments and prints
+// paper-style tables and series.
+//
+// Usage:
+//
+//	pingbench -exp fig6 -datasets uniprot,shop
+//	pingbench -exp all -md -out EXPERIMENTS.md
+//
+// Experiments: table1, fig5, fig6, fig7, fig8, fig9, table2, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ping/internal/harness"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(harness.ExperimentIDs, ", ")+" or all)")
+		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+		workers   = flag.Int("workers", 4, "dataflow workers (simulated cluster cores)")
+		perBucket = flag.Int("queries", 5, "queries per star/chain/complex bucket")
+		scale     = flag.Float64("scale", 1, "dataset scale multiplier")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		md        = flag.Bool("md", false, "render as EXPERIMENTS.md markdown")
+		out       = flag.String("out", "", "write output to a file instead of stdout")
+	)
+	flag.Parse()
+
+	suite := harness.NewSuite(*workers, *perBucket, *scale, *seed)
+	var names []string
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+
+	var reports []*harness.Report
+	var err error
+	if *exp == "all" {
+		reports, err = suite.RunAll(names)
+	} else {
+		var r *harness.Report
+		r, err = suite.Run(*exp, names)
+		if r != nil {
+			reports = append(reports, r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var text string
+	if *md {
+		text = harness.Markdown(suite.Describe(), reports)
+	} else {
+		var b strings.Builder
+		for _, r := range reports {
+			b.WriteString(r.String())
+			b.WriteString("\n")
+		}
+		text = b.String()
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pingbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
+	}
+	fmt.Print(text)
+}

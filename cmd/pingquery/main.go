@@ -1,0 +1,166 @@
+// Command pingquery answers a SPARQL BGP query over a store produced by
+// pingload, either progressively (default) — printing per-slice progress
+// the way PING's PQA delivers it — or exactly in one shot with -exact.
+//
+// Usage:
+//
+//	pingquery -store ./uniprot-store -query 'SELECT * WHERE { ?x <...p> ?y }'
+//	pingquery -store ./uniprot-store -file q.rq -exact
+//	pingquery -store ./uniprot-store -file q.rq -strategy largest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ping/internal/dataflow"
+	"ping/internal/dfs"
+	"ping/internal/engine"
+	"ping/internal/hpart"
+	"ping/internal/ping"
+	"ping/internal/sparql"
+)
+
+func main() {
+	var (
+		store    = flag.String("store", "", "store directory written by pingload (required)")
+		queryStr = flag.String("query", "", "SPARQL query text")
+		file     = flag.String("file", "", "file containing the SPARQL query")
+		exact    = flag.Bool("exact", false, "exact query answering (one shot) instead of progressive")
+		strategy = flag.String("strategy", "level", "slice order: level, product, largest, smallest")
+		workers  = flag.Int("workers", 4, "dataflow workers")
+		maxRows  = flag.Int("rows", 20, "print at most this many result rows (0 = all)")
+		useBloom = flag.Bool("bloom", false, "use sub-partition Bloom filters for level pruning (store must be built with -blooms)")
+		explain  = flag.Bool("explain", false, "print the per-pattern slice plan (which sub-partitions each pattern touches) and exit")
+	)
+	flag.Parse()
+	if *store == "" || (*queryStr == "" && *file == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text := *queryStr
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+
+	fs, err := dfs.OpenOnDisk(*store)
+	if err != nil {
+		fatal(err)
+	}
+	lay, err := hpart.Load(fs, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := ping.Options{Context: dataflow.NewContext(*workers), UseBloomPruning: *useBloom}
+	switch *strategy {
+	case "level":
+		opts.Strategy = ping.LevelCumulative
+	case "product":
+		opts.Strategy = ping.ProductOrder
+	case "largest":
+		opts.Strategy = ping.LargestFirst
+	case "smallest":
+		opts.Strategy = ping.SmallestFirst
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	proc := ping.NewProcessor(lay, opts)
+
+	fmt.Printf("query (%s, %d patterns) over %d levels:\n%s\n\n",
+		sparql.Classify(q), len(q.Patterns)+len(q.Paths), lay.NumLevels, q)
+
+	if *explain {
+		printExplain(proc, lay, q)
+		return
+	}
+
+	if *exact {
+		start := time.Now()
+		rel, stats, err := proc.EQA(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("EQA: %d answers in %v (%d rows loaded, %d joins)\n\n",
+			rel.Card(), time.Since(start), stats.InputRows, stats.Joins)
+		printRelation(lay, rel, *maxRows)
+		return
+	}
+
+	err = proc.PQASteps(q, func(st ping.StepResult) bool {
+		fmt.Printf("slice %d (levels up to %d): +%d sub-partitions, %d rows loaded, %d answers (+%d) in %v\n",
+			st.Step, st.MaxLevel, len(st.NewSubParts), st.RowsLoadedCum,
+			st.Answers.Card(), st.NewAnswers, st.ElapsedCum)
+		if st.NewAnswers > 0 {
+			printRelation(lay, st.Answers, *maxRows)
+		}
+		return true
+	})
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// printExplain shows the slice plan: per pattern, the candidate
+// sub-partitions (HL(t) of Algorithm 2) with their sizes, plus whether the
+// query is safe at all.
+func printExplain(proc *ping.Processor, lay *hpart.Layout, q *sparql.Query) {
+	fmt.Printf("safe: %v\n\n", proc.Safe(q))
+	show := func(label string, keys []hpart.SubPartKey) {
+		fmt.Printf("%s\n", label)
+		if len(keys) == 0 {
+			fmt.Println("  (no candidate sub-partitions: pattern cannot match)")
+			return
+		}
+		var rows int
+		for _, k := range keys {
+			rows += lay.SubPartRows[k]
+		}
+		fmt.Printf("  %d sub-partition(s), %d rows total\n", len(keys), rows)
+		for _, k := range keys {
+			prop := lay.Dict.TermString(k.Prop)
+			fmt.Printf("    L%-2d %-40s %6d rows\n", k.Level, prop, lay.SubPartRows[k])
+		}
+	}
+	for i, pat := range q.Patterns {
+		show(fmt.Sprintf("pattern %d: %s", i+1, pat), proc.PatternSlices(pat))
+	}
+	for i, pat := range q.Paths {
+		show(fmt.Sprintf("path %d: %s", i+1, pat), proc.PathPatternSlices(pat))
+	}
+}
+
+func printRelation(lay *hpart.Layout, rel *engine.Relation, maxRows int) {
+	fmt.Printf("  ?%s\n", strings.Join(rel.Vars, "\t?"))
+	n := rel.Card()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	for _, row := range rel.Rows[:n] {
+		parts := make([]string, len(row))
+		for i, id := range row {
+			parts[i] = lay.Dict.TermString(id)
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, "\t"))
+	}
+	if n < rel.Card() {
+		fmt.Printf("  ... (%d more)\n", rel.Card()-n)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pingquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command tpfserver serves an N-Triples file through the Triple Pattern
+// Fragments interface (the §2.4 restricted-server family): GET
+// /fragment?s=&p=&o=&page=N returns one JSON page of matching triples.
+// The server never joins — that burden falls on a smart client, which is
+// exactly the architecture the paper contrasts PING against.
+//
+// Usage:
+//
+//	tpfserver -in uniprot.nt -addr :8080 -page 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"ping/internal/baseline/tpf"
+	"ping/internal/rdf"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input N-Triples file (required)")
+		addr = flag.String("addr", ":8080", "listen address")
+		page = flag.Int("page", tpf.PageSize, "fragment page size")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := rdf.ParseFile(f, rdf.DetectFormat(*in))
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	g.Dedup()
+	srv := tpf.NewServer(g, *page)
+	fmt.Printf("serving %d triples on %s (page size %d)\n", g.Len(), *addr, *page)
+	fmt.Printf("try: curl '%s/fragment?p=%%3C...%%3E'\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tpfserver: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module ping
+
+go 1.22

@@ -1,0 +1,47 @@
+package s2rdf
+
+import (
+	"testing"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+func TestPreprocessEmptyGraph(t *testing.T) {
+	st, err := Preprocess(rdf.NewGraph(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StoredTableRows() != 0 || st.ExtVPTables() != 0 {
+		t.Errorf("empty graph stored %d rows / %d tables", st.StoredTableRows(), st.ExtVPTables())
+	}
+	rel, _, err := st.Query(sparql.MustParse(`SELECT * WHERE { ?s <p> ?o }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 0 {
+		t.Errorf("query over empty store returned %d rows", rel.Card())
+	}
+}
+
+func TestStoredTableRowsAccounting(t *testing.T) {
+	g := sparseGraph(3, 400)
+	st, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored rows = base VP rows (== triples) plus ExtVP duplicates.
+	if st.StoredTableRows() < int64(g.Len()) {
+		t.Errorf("StoredTableRows %d < triple count %d", st.StoredTableRows(), g.Len())
+	}
+	if st.ExtVPTables() == 0 {
+		t.Error("no ExtVP tables stored on a sparse graph")
+	}
+	var ext int64
+	for _, n := range st.extRows {
+		ext += int64(n)
+	}
+	if st.StoredTableRows() != int64(g.Len())+ext {
+		t.Errorf("StoredTableRows %d != triples %d + ext %d", st.StoredTableRows(), g.Len(), ext)
+	}
+}

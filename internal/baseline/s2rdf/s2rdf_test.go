@@ -1,0 +1,173 @@
+package s2rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+func socialGraph(seed int64, n int) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	props := []string{"knows", "likes", "follows", "posted"}
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(30)))
+		p := rdf.NewIRI(props[rng.Intn(len(props))])
+		o := rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(30)))
+		g.Add(s, p, o)
+	}
+	g.Dedup()
+	return g
+}
+
+// sparseGraph spreads triples over many nodes so that semi-join
+// reductions have something to prune.
+func sparseGraph(seed int64, n int) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	props := []string{"knows", "likes", "follows", "posted"}
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(400)))
+		p := rdf.NewIRI(props[rng.Intn(len(props))])
+		o := rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(400)))
+		g.Add(s, p, o)
+	}
+	g.Dedup()
+	return g
+}
+
+var queries = []string{
+	`SELECT * WHERE { ?a <knows> ?b . ?b <likes> ?c }`,
+	`SELECT * WHERE { ?a <knows> ?b . ?a <follows> ?c }`,
+	`SELECT * WHERE { ?a <knows> ?b . ?c <likes> ?b }`,
+	`SELECT * WHERE { ?a <posted> ?b }`,
+	`SELECT * WHERE { <u3> ?p ?o }`,
+	`SELECT DISTINCT ?a WHERE { ?a <knows> ?b . ?b <knows> ?c . ?c <likes> ?d }`,
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := socialGraph(seed, 300)
+		st, err := Preprocess(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qs := range queries {
+			q := sparql.MustParse(qs)
+			rel, stats, err := st.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, qs, err)
+			}
+			want := engine.Naive(g, q)
+			if rel.Card() != want.Card() {
+				t.Errorf("seed %d %q: %d rows, oracle %d", seed, qs, rel.Card(), want.Card())
+			}
+			if rel.Card() > 0 && stats.InputRows == 0 {
+				t.Errorf("seed %d %q: zero input rows", seed, qs)
+			}
+		}
+	}
+}
+
+func TestExtVPReducesDataAccess(t *testing.T) {
+	// A join query must load fewer rows with ExtVP than the plain VP
+	// extents (that is S2RDF's whole point). Use a sparse graph so the
+	// semi-joins actually reduce.
+	g := sparseGraph(7, 500)
+	st, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?a <knows> ?b . ?b <likes> ?c }`)
+	_, stats, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knowsID := g.Dict.LookupIRI("knows")
+	likesID := g.Dict.LookupIRI("likes")
+	full := int64(st.vpRows[knowsID] + st.vpRows[likesID])
+	if stats.InputRows >= full {
+		t.Errorf("ExtVP loaded %d rows, plain VP would load %d", stats.InputRows, full)
+	}
+}
+
+func TestExtVPStorageOverhead(t *testing.T) {
+	// ExtVP duplicates data: stored bytes must exceed plain VP bytes.
+	g := socialGraph(9, 500)
+	withExt, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold ~0 disables ExtVP storage (nothing is selective enough).
+	vpOnly, err := Preprocess(g, Options{SelectivityThreshold: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withExt.StoredBytes() <= vpOnly.StoredBytes() {
+		t.Errorf("ExtVP bytes %d not above VP-only bytes %d",
+			withExt.StoredBytes(), vpOnly.StoredBytes())
+	}
+	if len(vpOnly.extRows) != 0 {
+		t.Errorf("threshold ~0 still stored %d ExtVP tables", len(vpOnly.extRows))
+	}
+}
+
+func TestThresholdFallbackStillCorrect(t *testing.T) {
+	g := socialGraph(11, 300)
+	st, err := Preprocess(g, Options{SelectivityThreshold: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(qs)
+		rel, _, err := st.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := engine.Naive(g, q); rel.Card() != want.Card() {
+			t.Errorf("%q: %d rows, oracle %d", qs, rel.Card(), want.Card())
+		}
+	}
+}
+
+func TestUnknownSymbols(t *testing.T) {
+	g := socialGraph(13, 100)
+	st, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _, err := st.Query(sparql.MustParse(`SELECT * WHERE { ?a <nope> ?b }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 0 {
+		t.Errorf("unknown predicate matched %d rows", rel.Card())
+	}
+	if _, _, err := st.Query(&sparql.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	g := socialGraph(15, 200)
+	st, err := Preprocess(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != "S2RDF" {
+		t.Errorf("Name = %q", st.Name())
+	}
+	if st.PreprocessTime() <= 0 || st.StoredBytes() <= 0 {
+		t.Errorf("metadata: time=%v bytes=%d", st.PreprocessTime(), st.StoredBytes())
+	}
+}
+
+func TestJoinPosString(t *testing.T) {
+	if SS.String() != "SS" || OS.String() != "OS" || SO.String() != "SO" {
+		t.Error("JoinPos.String mismatch")
+	}
+}

@@ -1,0 +1,173 @@
+package tpf
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// HTTP transport for the Triple Pattern Fragments interface, so the
+// restricted server can actually be deployed (the reference TPF design is
+// a Web API). The fragment endpoint is
+//
+//	GET /fragment?s=<term>&p=<term>&o=<term>&page=N
+//
+// where each term parameter is an N-Triples-encoded term, omitted for a
+// variable. Responses are JSON documents carrying the page's triples (in
+// N-Triples term syntax), the total count, and the next-page flag — the
+// hypermedia controls of the original interface.
+
+// fragmentDoc is the wire format of one fragment page.
+type fragmentDoc struct {
+	Triples    [][3]string `json:"triples"`
+	TotalCount int         `json:"totalCount"`
+	HasNext    bool        `json:"hasNext"`
+	Page       int         `json:"page"`
+}
+
+// Handler returns an http.Handler serving the server's fragments.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fragment", func(w http.ResponseWriter, r *http.Request) {
+		pat, err := patternFromQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		page := 0
+		if p := r.URL.Query().Get("page"); p != "" {
+			page, err = strconv.Atoi(p)
+			if err != nil || page < 0 {
+				http.Error(w, "bad page", http.StatusBadRequest)
+				return
+			}
+		}
+		frag := s.Request(pat, page)
+		doc := fragmentDoc{
+			TotalCount: frag.TotalCount,
+			HasNext:    frag.HasNext,
+			Page:       page,
+		}
+		for _, t := range frag.Triples {
+			doc.Triples = append(doc.Triples, [3]string{
+				s.dict.TermString(t.S), s.dict.TermString(t.P), s.dict.TermString(t.O),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	return mux
+}
+
+// patternFromQuery decodes the s/p/o query parameters into a pattern.
+func patternFromQuery(r *http.Request) (sparql.TriplePattern, error) {
+	parse := func(name, varName string) (rdf.Term, error) {
+		raw := r.URL.Query().Get(name)
+		if raw == "" {
+			return rdf.NewVar(varName), nil
+		}
+		term, rest, err := rdf.ParseTermString(raw)
+		if err != nil || rest != "" {
+			return rdf.Term{}, fmt.Errorf("bad %s term %q", name, raw)
+		}
+		return term, nil
+	}
+	s, err := parse("s", "s")
+	if err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	p, err := parse("p", "p")
+	if err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	o, err := parse("o", "o")
+	if err != nil {
+		return sparql.TriplePattern{}, err
+	}
+	return sparql.TriplePattern{S: s, P: p, O: o}, nil
+}
+
+// httpSource fetches fragments from a remote endpoint, interning the wire
+// terms into the client's dictionary.
+type httpSource struct {
+	base string
+	http *http.Client
+	dict *rdf.Dict
+}
+
+// NewHTTPClient returns a smart client that evaluates queries against a
+// fragment endpoint over HTTP (e.g. an httptest.Server wrapping
+// Server.Handler()). The client owns a fresh dictionary: results are
+// bindings over it.
+func NewHTTPClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	dict := rdf.NewDict()
+	return &Client{src: httpSource{base: baseURL, http: hc, dict: dict}, dict: dict}
+}
+
+func (s httpSource) request(pat sparql.TriplePattern, page int) (Fragment, error) {
+	u := fmt.Sprintf("%s/fragment?page=%d", s.base, page)
+	add := func(name string, t rdf.Term) {
+		if t.IsConcrete() {
+			u += "&" + name + "=" + urlEscape(t.String())
+		}
+	}
+	add("s", pat.S)
+	add("p", pat.P)
+	add("o", pat.O)
+	resp, err := s.http.Get(u)
+	if err != nil {
+		return Fragment{}, fmt.Errorf("tpf: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Fragment{}, fmt.Errorf("tpf: server returned %s", resp.Status)
+	}
+	var doc fragmentDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return Fragment{}, fmt.Errorf("tpf: decode: %w", err)
+	}
+	frag := Fragment{TotalCount: doc.TotalCount, HasNext: doc.HasNext}
+	for _, row := range doc.Triples {
+		var t rdf.Triple
+		for i, raw := range row {
+			term, rest, err := rdf.ParseTermString(raw)
+			if err != nil || rest != "" {
+				return Fragment{}, fmt.Errorf("tpf: bad wire term %q", raw)
+			}
+			id := s.dict.Encode(term)
+			switch i {
+			case 0:
+				t.S = id
+			case 1:
+				t.P = id
+			case 2:
+				t.O = id
+			}
+		}
+		frag.Triples = append(frag.Triples, t)
+	}
+	return frag, nil
+}
+
+// urlEscape percent-encodes a term for use in a query parameter.
+func urlEscape(s string) string {
+	const hex = "0123456789ABCDEF"
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' || c == '~' {
+			out = append(out, c)
+		} else {
+			out = append(out, '%', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return string(out)
+}

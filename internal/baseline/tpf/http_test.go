@@ -1,0 +1,123 @@
+package tpf
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+func TestHTTPFragmentEndpoint(t *testing.T) {
+	g := socialGraph(2, 300)
+	srv := NewServer(g, 50)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/fragment?p=" + urlEscape("<knows>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var doc fragmentDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TotalCount == 0 || len(doc.Triples) == 0 {
+		t.Fatalf("empty fragment: %+v", doc)
+	}
+	if len(doc.Triples) > 50 {
+		t.Errorf("page exceeded size: %d", len(doc.Triples))
+	}
+	for _, row := range doc.Triples {
+		if row[1] != "<knows>" {
+			t.Fatalf("fragment leaked wrong predicate %q", row[1])
+		}
+	}
+}
+
+func TestHTTPFragmentBadRequests(t *testing.T) {
+	g := socialGraph(2, 50)
+	ts := httptest.NewServer(NewServer(g, 50).Handler())
+	defer ts.Close()
+	for _, u := range []string{
+		"/fragment?page=-1",
+		"/fragment?page=abc",
+		"/fragment?s=%3Cunterminated",
+	} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", u, resp.Status)
+		}
+	}
+}
+
+func TestHTTPClientMatchesOracle(t *testing.T) {
+	g := socialGraph(3, 400)
+	srv := NewServer(g, 100)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := NewHTTPClient(ts.URL, ts.Client())
+	queries := []string{
+		`SELECT * WHERE { ?a <knows> ?b }`,
+		`SELECT * WHERE { ?a <knows> ?b . ?b <likes> ?c }`,
+		`SELECT DISTINCT ?a WHERE { ?a <knows> ?b . ?a <follows> ?c }`,
+		`SELECT * WHERE { <u3> <knows> ?b }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(qs)
+		rel, stats, err := client.Query(q)
+		if err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		want := engine.Naive(g, q)
+		if rel.Card() != want.Card() {
+			t.Errorf("%q: HTTP client %d rows, oracle %d", qs, rel.Card(), want.Card())
+		}
+		if stats.Joins <= 0 || (rel.Card() > 0 && stats.InputRows == 0) {
+			t.Errorf("%q: stats = %+v", qs, stats)
+		}
+	}
+	// Client counters must track the server's.
+	if client.Requests() != srv.Requests() {
+		t.Errorf("client saw %d requests, server served %d", client.Requests(), srv.Requests())
+	}
+}
+
+func TestHTTPClientLiteralTerms(t *testing.T) {
+	// Literals with spaces/quotes must survive the wire format.
+	g := socialGraph(4, 50)
+	g.Add(
+		g.Dict.Term(g.Triples[0].S),
+		rdfIRI("name"),
+		rdfLit(`Alice "The Great" O'Brien`),
+	)
+	g.Dedup()
+	srv := NewServer(g, 50)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := NewHTTPClient(ts.URL, ts.Client())
+	q := sparql.MustParse(`SELECT * WHERE { ?s <name> ?n }`)
+	rel, _, err := client.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Fatalf("literal round trip lost the row: %d", rel.Card())
+	}
+}
+
+// small term helpers for the literal test.
+func rdfIRI(v string) rdf.Term { return rdf.NewIRI(v) }
+func rdfLit(v string) rdf.Term { return rdf.NewLiteral(v) }

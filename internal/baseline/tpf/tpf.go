@@ -1,0 +1,372 @@
+// Package tpf implements a Triple Pattern Fragments server and its smart
+// client (Verborgh et al., JWS'16) — the "restricted SPARQL server"
+// family the paper discusses in §2.4 and proposes comparing against in
+// §6.2. The server answers only *single triple pattern* requests,
+// paginated, so it always terminates and stays responsive; all joins run
+// in the client, which issues one request per page and — for nested-loop
+// joins — one request per candidate binding. The experiment harness
+// contrasts this with PING: PING needs no smart client and ships no
+// intermediate results, which is exactly the advantage the paper claims.
+package tpf
+
+import (
+	"fmt"
+
+	"time"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// PageSize is the default fragment page size (the reference TPF server
+// uses 100).
+const PageSize = 100
+
+// Server exposes a graph through the Triple Pattern Fragments interface.
+type Server struct {
+	dict    *rdf.Dict
+	triples []rdf.Triple
+	byP     map[rdf.ID][]int // triple indexes per predicate
+	byS     map[rdf.ID][]int
+	byO     map[rdf.ID][]int
+
+	pageSize int
+	// Latency is added to every request, modelling the HTTP round trip
+	// that makes request counts matter (0 in unit tests).
+	Latency time.Duration
+
+	requests       int64
+	triplesShipped int64
+}
+
+// NewServer indexes the graph for fragment lookups.
+func NewServer(g *rdf.Graph, pageSize int) *Server {
+	if pageSize <= 0 {
+		pageSize = PageSize
+	}
+	s := &Server{
+		dict:     g.Dict,
+		triples:  g.Triples,
+		byP:      make(map[rdf.ID][]int),
+		byS:      make(map[rdf.ID][]int),
+		byO:      make(map[rdf.ID][]int),
+		pageSize: pageSize,
+	}
+	for i, t := range g.Triples {
+		s.byP[t.P] = append(s.byP[t.P], i)
+		s.byS[t.S] = append(s.byS[t.S], i)
+		s.byO[t.O] = append(s.byO[t.O], i)
+	}
+	return s
+}
+
+// Fragment is one page of a triple-pattern fragment plus its metadata.
+type Fragment struct {
+	// Triples is the page content.
+	Triples []rdf.Triple
+	// TotalCount estimates the full fragment size (exact here).
+	TotalCount int
+	// HasNext reports whether another page exists.
+	HasNext bool
+}
+
+// Request answers a single triple-pattern request: concrete terms fix a
+// position, variables match anything. Pages are 0-based.
+func (s *Server) Request(pat sparql.TriplePattern, page int) Fragment {
+	s.requests++
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	matches := s.match(pat)
+	total := len(matches)
+	lo := page * s.pageSize
+	hi := lo + s.pageSize
+	if lo > total {
+		lo = total
+	}
+	if hi > total {
+		hi = total
+	}
+	out := make([]rdf.Triple, 0, hi-lo)
+	for _, idx := range matches[lo:hi] {
+		out = append(out, s.triples[idx])
+	}
+	s.triplesShipped += int64(len(out))
+	return Fragment{Triples: out, TotalCount: total, HasNext: hi < total}
+}
+
+// match returns the candidate triple indexes for a pattern, using the
+// most selective single index then filtering.
+func (s *Server) match(pat sparql.TriplePattern) []int {
+	var candidates []int
+	restricted := false
+	consider := func(idx []int, ok bool) {
+		if !ok {
+			return
+		}
+		if !restricted || len(idx) < len(candidates) {
+			candidates = idx
+			restricted = true
+		}
+	}
+	if pat.S.IsConcrete() {
+		id := s.dict.Lookup(pat.S)
+		if id == rdf.NoID {
+			return nil
+		}
+		consider(s.byS[id], true)
+	}
+	if pat.P.IsConcrete() {
+		id := s.dict.Lookup(pat.P)
+		if id == rdf.NoID {
+			return nil
+		}
+		consider(s.byP[id], true)
+	}
+	if pat.O.IsConcrete() {
+		id := s.dict.Lookup(pat.O)
+		if id == rdf.NoID {
+			return nil
+		}
+		consider(s.byO[id], true)
+	}
+	if !restricted {
+		candidates = make([]int, len(s.triples))
+		for i := range candidates {
+			candidates[i] = i
+		}
+		return candidates
+	}
+	out := candidates[:0:0]
+	for _, i := range candidates {
+		if s.matches(pat, s.triples[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (s *Server) matches(pat sparql.TriplePattern, t rdf.Triple) bool {
+	check := func(term rdf.Term, id rdf.ID) bool {
+		return term.IsVar() || s.dict.Lookup(term) == id
+	}
+	return check(pat.S, t.S) && check(pat.P, t.P) && check(pat.O, t.O)
+}
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() int64 { return s.requests }
+
+// TriplesShipped returns the total triples sent to clients.
+func (s *Server) TriplesShipped() int64 { return s.triplesShipped }
+
+// ResetMetrics zeroes the counters.
+func (s *Server) ResetMetrics() {
+	s.requests = 0
+	s.triplesShipped = 0
+}
+
+// fragmentSource abstracts where fragments come from: the in-process
+// server directly, or a fragment endpoint over HTTP.
+type fragmentSource interface {
+	// request fetches one page of the fragment for a pattern whose terms
+	// are expressed over the client's dictionary.
+	request(pat sparql.TriplePattern, page int) (Fragment, error)
+}
+
+// serverSource serves fragments straight from an in-process Server.
+type serverSource struct {
+	server *Server
+}
+
+func (s serverSource) request(pat sparql.TriplePattern, page int) (Fragment, error) {
+	return s.server.Request(pat, page), nil
+}
+
+// Client is the smart TPF client: it evaluates BGPs with the reference
+// nested-loop strategy — fetch the smallest fragment completely, then for
+// each solution substitute its bindings into the remaining patterns and
+// recurse, asking the source one (count) request per candidate pattern at
+// every step. The same client drives both the in-process server and the
+// HTTP endpoint (see NewHTTPClient).
+type Client struct {
+	src  fragmentSource
+	dict *rdf.Dict
+
+	requests       int64
+	triplesFetched int64
+}
+
+// NewClient connects a client to an in-process server.
+func NewClient(server *Server) *Client {
+	return &Client{src: serverSource{server}, dict: server.dict}
+}
+
+// Requests returns the number of fragment requests this client issued.
+func (c *Client) Requests() int64 { return c.requests }
+
+// TriplesFetched returns the triples this client received.
+func (c *Client) TriplesFetched() int64 { return c.triplesFetched }
+
+func (c *Client) fetch(pat sparql.TriplePattern, page int) (Fragment, error) {
+	frag, err := c.src.request(pat, page)
+	if err != nil {
+		return frag, err
+	}
+	c.requests++
+	c.triplesFetched += int64(len(frag.Triples))
+	return frag, nil
+}
+
+// Query evaluates a BGP query and returns the bindings plus evaluation
+// stats: InputRows counts the triples shipped to the client and Joins is
+// repurposed as the request count.
+func (c *Client) Query(q *sparql.Query) (*engine.Relation, *engine.Stats, error) {
+	if len(q.Paths) > 0 {
+		return nil, nil, fmt.Errorf("tpf: property paths are not supported by the TPF client")
+	}
+	if len(q.Patterns) == 0 {
+		return nil, nil, fmt.Errorf("tpf: query has no patterns")
+	}
+	req0, shipped0 := c.requests, c.triplesFetched
+
+	binding := make(map[string]rdf.ID)
+	var results []map[string]rdf.ID
+	if err := c.solve(q.Patterns, binding, &results); err != nil {
+		return nil, nil, err
+	}
+
+	// Project, filter, and deduplicate like the reference client.
+	proj := q.Projection()
+	rel := &engine.Relation{Vars: proj}
+	for _, b := range results {
+		if !evalFilters(q.Filters, b, c.dict) {
+			continue
+		}
+		row := make([]rdf.ID, len(proj))
+		for i, v := range proj {
+			row[i] = b[v]
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	if q.Distinct {
+		rel = rel.Distinct()
+	}
+	rel = rel.Limit(q.Limit)
+
+	stats := &engine.Stats{
+		InputRows:  c.triplesFetched - shipped0,
+		OutputRows: int64(rel.Card()),
+	}
+	stats.Joins = int(c.requests - req0)
+	return rel, stats, nil
+}
+
+// solve implements the nested-loop strategy.
+func (c *Client) solve(patterns []sparql.TriplePattern, binding map[string]rdf.ID, results *[]map[string]rdf.ID) error {
+	if len(patterns) == 0 {
+		snapshot := make(map[string]rdf.ID, len(binding))
+		for k, v := range binding {
+			snapshot[k] = v
+		}
+		*results = append(*results, snapshot)
+		return nil
+	}
+	// Ask the source for each pattern's count (one page-0 request each)
+	// and pick the smallest — the reference client's heuristic.
+	type cand struct {
+		i     int
+		first Fragment
+		bound sparql.TriplePattern
+	}
+	best := cand{i: -1}
+	for i, pat := range patterns {
+		bound := c.substitute(pat, binding)
+		frag, err := c.fetch(bound, 0)
+		if err != nil {
+			return err
+		}
+		if best.i < 0 || frag.TotalCount < best.first.TotalCount {
+			best = cand{i: i, first: frag, bound: bound}
+		}
+		if frag.TotalCount == 0 {
+			return nil // some pattern has no matches under this binding
+		}
+	}
+	rest := make([]sparql.TriplePattern, 0, len(patterns)-1)
+	rest = append(rest, patterns[:best.i]...)
+	rest = append(rest, patterns[best.i+1:]...)
+
+	frag := best.first
+	page := 0
+	for {
+		for _, t := range frag.Triples {
+			var bound []string
+			ok := true
+			unify := func(term rdf.Term, val rdf.ID) {
+				if !ok || !term.IsVar() {
+					return
+				}
+				if cur, has := binding[term.Value]; has {
+					if cur != val {
+						ok = false
+					}
+					return
+				}
+				binding[term.Value] = val
+				bound = append(bound, term.Value)
+			}
+			unify(best.bound.S, t.S)
+			unify(best.bound.P, t.P)
+			unify(best.bound.O, t.O)
+			if ok {
+				if err := c.solve(rest, binding, results); err != nil {
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+		if !frag.HasNext {
+			return nil
+		}
+		page++
+		var err error
+		frag, err = c.fetch(best.bound, page)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// substitute replaces bound variables in a pattern with their values.
+func (c *Client) substitute(pat sparql.TriplePattern, binding map[string]rdf.ID) sparql.TriplePattern {
+	sub := func(t rdf.Term) rdf.Term {
+		if t.IsVar() {
+			if id, ok := binding[t.Value]; ok {
+				return c.dict.Term(id)
+			}
+		}
+		return t
+	}
+	return sparql.TriplePattern{S: sub(pat.S), P: sub(pat.P), O: sub(pat.O)}
+}
+
+func evalFilters(filters []sparql.Expr, b map[string]rdf.ID, dict *rdf.Dict) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	lookup := func(name string) (rdf.Term, bool) {
+		if id, ok := b[name]; ok {
+			return dict.Term(id), true
+		}
+		return rdf.Term{}, false
+	}
+	for _, f := range filters {
+		if !f.Eval(lookup) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package tpf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+func socialGraph(seed int64, n int) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	props := []string{"knows", "likes", "follows"}
+	for i := 0; i < n; i++ {
+		g.Add(
+			rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(80))),
+			rdf.NewIRI(props[rng.Intn(len(props))]),
+			rdf.NewIRI(fmt.Sprintf("u%d", rng.Intn(80))),
+		)
+	}
+	g.Dedup()
+	return g
+}
+
+func TestServerPagination(t *testing.T) {
+	g := socialGraph(1, 500)
+	srv := NewServer(g, 50)
+	pat := sparql.TriplePattern{S: rdf.NewVar("s"), P: rdf.NewIRI("knows"), O: rdf.NewVar("o")}
+	frag := srv.Request(pat, 0)
+	if frag.TotalCount == 0 {
+		t.Fatal("no knows triples")
+	}
+	if len(frag.Triples) > 50 {
+		t.Errorf("page has %d triples, limit 50", len(frag.Triples))
+	}
+	// Walk all pages; total must match TotalCount with no duplicates.
+	seen := make(map[rdf.Triple]bool)
+	page := 0
+	f := frag
+	for {
+		for _, tr := range f.Triples {
+			if seen[tr] {
+				t.Fatalf("duplicate triple across pages: %v", tr)
+			}
+			seen[tr] = true
+		}
+		if !f.HasNext {
+			break
+		}
+		page++
+		f = srv.Request(pat, page)
+	}
+	if len(seen) != frag.TotalCount {
+		t.Errorf("paged %d triples, TotalCount %d", len(seen), frag.TotalCount)
+	}
+}
+
+func TestServerConstantPatterns(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("a"), iri("p"), iri("b"))
+	g.Add(iri("a"), iri("q"), iri("c"))
+	g.Add(iri("b"), iri("p"), iri("c"))
+	srv := NewServer(g, 10)
+	cases := []struct {
+		pat  sparql.TriplePattern
+		want int
+	}{
+		{sparql.TriplePattern{S: iri("a"), P: rdf.NewVar("p"), O: rdf.NewVar("o")}, 2},
+		{sparql.TriplePattern{S: rdf.NewVar("s"), P: iri("p"), O: rdf.NewVar("o")}, 2},
+		{sparql.TriplePattern{S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: iri("c")}, 2},
+		{sparql.TriplePattern{S: iri("a"), P: iri("p"), O: iri("b")}, 1},
+		{sparql.TriplePattern{S: iri("zz"), P: iri("p"), O: rdf.NewVar("o")}, 0},
+		{sparql.TriplePattern{S: rdf.NewVar("s"), P: rdf.NewVar("p"), O: rdf.NewVar("o")}, 3},
+	}
+	for _, c := range cases {
+		if got := srv.Request(c.pat, 0).TotalCount; got != c.want {
+			t.Errorf("Request(%v) count = %d, want %d", c.pat, got, c.want)
+		}
+	}
+}
+
+func TestClientMatchesOracle(t *testing.T) {
+	queries := []string{
+		`SELECT * WHERE { ?a <knows> ?b }`,
+		`SELECT * WHERE { ?a <knows> ?b . ?b <likes> ?c }`,
+		`SELECT * WHERE { ?a <knows> ?b . ?a <follows> ?c }`,
+		`SELECT DISTINCT ?a WHERE { ?a <knows> ?b . ?b <knows> ?c }`,
+		`SELECT * WHERE { <u3> <knows> ?b . ?b <likes> ?c }`,
+		`SELECT * WHERE { ?a <knows> <u5> }`,
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		g := socialGraph(seed, 400)
+		client := NewClient(NewServer(g, 100))
+		for _, qs := range queries {
+			q := sparql.MustParse(qs)
+			rel, stats, err := client.Query(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, qs, err)
+			}
+			want := engine.Naive(g, q)
+			if rel.Card() != want.Card() {
+				t.Errorf("seed %d %q: client %d rows, oracle %d", seed, qs, rel.Card(), want.Card())
+			}
+			if stats.Joins <= 0 {
+				t.Errorf("seed %d %q: no requests recorded", seed, qs)
+			}
+		}
+	}
+}
+
+func TestClientRequestExplosion(t *testing.T) {
+	// The defining TPF cost: a join makes one request per candidate
+	// binding, so requests scale with intermediate results.
+	g := socialGraph(5, 600)
+	srv := NewServer(g, 100)
+	client := NewClient(srv)
+	q := sparql.MustParse(`SELECT * WHERE { ?a <knows> ?b . ?b <likes> ?c }`)
+	srv.ResetMetrics()
+	_, stats, err := client.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knowsCount := srv.Request(sparql.TriplePattern{
+		S: rdf.NewVar("s"), P: rdf.NewIRI("knows"), O: rdf.NewVar("o"),
+	}, 0).TotalCount
+	if int64(knowsCount) > stats.InputRows {
+		t.Errorf("client shipped %d triples < knows extent %d", stats.InputRows, knowsCount)
+	}
+	if stats.Joins < knowsCount {
+		t.Errorf("requests = %d, want at least one per binding (%d)", stats.Joins, knowsCount)
+	}
+}
+
+func TestClientFiltersAndLimit(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	for i := 0; i < 10; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i)), iri("v"),
+			rdf.NewTypedLiteral(fmt.Sprintf("%d", i), "http://www.w3.org/2001/XMLSchema#integer"))
+	}
+	client := NewClient(NewServer(g, 100))
+	q := sparql.MustParse(`SELECT * WHERE { ?s <v> ?x . FILTER (?x >= 7) }`)
+	rel, _, err := client.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 3 {
+		t.Errorf("filtered rows = %d, want 3", rel.Card())
+	}
+	q2 := sparql.MustParse(`SELECT * WHERE { ?s <v> ?x } LIMIT 4`)
+	rel2, _, err := client.Query(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Card() != 4 {
+		t.Errorf("limited rows = %d, want 4", rel2.Card())
+	}
+}
+
+func TestClientRejectsUnsupported(t *testing.T) {
+	g := socialGraph(1, 50)
+	client := NewClient(NewServer(g, 100))
+	if _, _, err := client.Query(sparql.MustParse(`SELECT * WHERE { ?a <knows>+ ?b }`)); err == nil {
+		t.Error("path query accepted")
+	}
+	if _, _, err := client.Query(&sparql.Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package bloom
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	err := quick.Check(func(keys []uint64) bool {
+		f := NewWithEstimates(uint64(len(keys)+1), 0.05)
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, fp = 5000, 0.01
+	f := NewWithEstimates(n, fp)
+	rng := rand.New(rand.NewSource(2))
+	inserted := make(map[uint64]bool, n)
+	for len(inserted) < n {
+		k := rng.Uint64()
+		if !inserted[k] {
+			inserted[k] = true
+			f.Add(k)
+		}
+	}
+	falsePos, probes := 0, 0
+	for probes < 20000 {
+		k := rng.Uint64()
+		if inserted[k] {
+			continue
+		}
+		probes++
+		if f.Contains(k) {
+			falsePos++
+		}
+	}
+	rate := float64(falsePos) / float64(probes)
+	if rate > fp*5 {
+		t.Errorf("observed FP rate %.4f far above target %.4f", rate, fp)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est > fp*3 {
+		t.Errorf("estimated FP rate %.4f far above target %.4f", est, fp)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := NewWithEstimates(100, 0.01)
+	hits := 0
+	for k := uint64(0); k < 1000; k++ {
+		if f.Contains(k) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("empty filter claimed %d members", hits)
+	}
+	if f.EstimatedFalsePositiveRate() != 0 {
+		t.Error("empty filter has nonzero estimated FP rate")
+	}
+}
+
+func TestParameterClamping(t *testing.T) {
+	for _, f := range []*Filter{
+		New(0, 0),
+		NewWithEstimates(0, 0),
+		NewWithEstimates(10, 2.0),
+	} {
+		f.Add(42)
+		if !f.Contains(42) {
+			t.Error("clamped filter lost a key")
+		}
+		if f.Bits() == 0 || f.K() == 0 {
+			t.Errorf("degenerate parameters: m=%d k=%d", f.Bits(), f.K())
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	f := NewWithEstimates(500, 0.02)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	var buf bytes.Buffer
+	n, err := f.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Errorf("parameters changed: %d/%d/%d vs %d/%d/%d",
+			g.Bits(), g.K(), g.Count(), f.Bits(), f.K(), f.Count())
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("deserialized filter lost key %d", k)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("XXXX0000000000000000"),
+		[]byte("BLM1\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // m=0
+	}
+	for i, in := range cases {
+		if _, err := Read(bytes.NewReader(in)); err == nil {
+			t.Errorf("case %d: Read succeeded on corrupt input", i)
+		}
+	}
+	// Truncated bit array.
+	f := New(1024, 3)
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("Read succeeded on truncated input")
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	f := New(1024, 4)
+	if f.FillRatio() != 0 {
+		t.Error("fresh filter has nonzero fill")
+	}
+	for i := uint64(0); i < 200; i++ {
+		f.Add(i)
+	}
+	r := f.FillRatio()
+	if r <= 0 || r >= 1 {
+		t.Errorf("fill ratio %.3f out of (0,1)", r)
+	}
+	if f.SizeBytes() != 1024/8 {
+		t.Errorf("SizeBytes = %d", f.SizeBytes())
+	}
+}

@@ -1,0 +1,161 @@
+package columnar
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, cols [][]uint32, enc Encoding) [][]uint32 {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := WriteColumns(&buf, cols, enc)
+	if err != nil {
+		t.Fatalf("write(%v): %v", enc, err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteColumns reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadColumns(&buf)
+	if err != nil {
+		t.Fatalf("read(%v): %v", enc, err)
+	}
+	return got
+}
+
+func TestRoundTripAllEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sorted := make([]uint32, 1000)
+	random := make([]uint32, 1000)
+	lowCard := make([]uint32, 1000)
+	for i := range sorted {
+		sorted[i] = uint32(i * 3)
+		random[i] = rng.Uint32()
+		lowCard[i] = uint32(rng.Intn(5))
+	}
+	cols := [][]uint32{sorted, random, lowCard, {}, {42}}
+	for _, enc := range []Encoding{Plain, Delta, DictRLE, Auto} {
+		got := roundTrip(t, cols, enc)
+		if len(got) != len(cols) {
+			t.Fatalf("%v: got %d columns, want %d", enc, len(got), len(cols))
+		}
+		for i := range cols {
+			if len(got[i]) != len(cols[i]) {
+				t.Fatalf("%v: col %d length %d != %d", enc, i, len(got[i]), len(cols[i]))
+			}
+			if len(cols[i]) > 0 && !reflect.DeepEqual(got[i], cols[i]) {
+				t.Fatalf("%v: col %d differs", enc, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, enc := range []Encoding{Plain, Delta, DictRLE, Auto} {
+		enc := enc
+		err := quick.Check(func(a, b []uint32) bool {
+			got := roundTrip(t, [][]uint32{a, b}, enc)
+			return len(got) == 2 &&
+				(len(a) == 0 || reflect.DeepEqual(got[0], a)) &&
+				(len(b) == 0 || reflect.DeepEqual(got[1], b))
+		}, &quick.Config{MaxCount: 100})
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+	}
+}
+
+func TestAutoPicksSmallest(t *testing.T) {
+	lowCard := make([]uint32, 10000)
+	for i := range lowCard {
+		lowCard[i] = uint32(i / 2500) // 4 long runs
+	}
+	var plainBuf, autoBuf bytes.Buffer
+	if _, err := WriteColumns(&plainBuf, [][]uint32{lowCard}, Plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteColumns(&autoBuf, [][]uint32{lowCard}, Auto); err != nil {
+		t.Fatal(err)
+	}
+	if autoBuf.Len() >= plainBuf.Len() {
+		t.Errorf("Auto (%d bytes) not smaller than Plain (%d bytes) on RLE-friendly data",
+			autoBuf.Len(), plainBuf.Len())
+	}
+}
+
+func TestEncodedSizeMatchesWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cols := [][]uint32{make([]uint32, 500), make([]uint32, 300)}
+	for _, c := range cols {
+		for i := range c {
+			c[i] = uint32(rng.Intn(1000))
+		}
+	}
+	for _, enc := range []Encoding{Plain, Delta, DictRLE, Auto} {
+		var buf bytes.Buffer
+		if _, err := WriteColumns(&buf, cols, enc); err != nil {
+			t.Fatal(err)
+		}
+		if got := EncodedSize(cols, enc); got != int64(buf.Len()) {
+			t.Errorf("%v: EncodedSize = %d, wrote %d", enc, got, buf.Len())
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteColumns(&buf, [][]uint32{{1, 2, 3, 4, 5, 1000, 2000}}, Plain); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, mutate := range []struct {
+		name string
+		f    func([]byte) []byte
+	}{
+		{"magic", func(b []byte) []byte { c := clone(b); c[0] ^= 0xff; return c }},
+		{"version", func(b []byte) []byte { c := clone(b); c[4] = 99; return c }},
+		{"payload-bitflip", func(b []byte) []byte { c := clone(b); c[len(c)-1] ^= 0x01; return c }},
+		{"truncated", func(b []byte) []byte { return clone(b)[:len(b)-3] }},
+		{"trailing", func(b []byte) []byte { return append(clone(b), 0xAB) }},
+		{"empty", func(b []byte) []byte { return nil }},
+	} {
+		if _, err := ReadColumns(bytes.NewReader(mutate.f(data))); err == nil {
+			t.Errorf("%s corruption not detected", mutate.name)
+		}
+	}
+}
+
+func clone(b []byte) []byte {
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	for e, want := range map[Encoding]string{Plain: "plain", Delta: "delta", DictRLE: "dict-rle", Auto: "auto"} {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if !strings.Contains(Encoding(7).String(), "7") {
+		t.Error("unknown encoding rendering")
+	}
+}
+
+func TestZeroColumns(t *testing.T) {
+	got := roundTrip(t, nil, Auto)
+	if len(got) != 0 {
+		t.Errorf("zero-column file read back %d columns", len(got))
+	}
+}

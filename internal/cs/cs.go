@@ -1,0 +1,287 @@
+// Package cs implements characteristic sets (Neumann & Moerkotte, ICDE'11)
+// and the CS hierarchy that PING mines from them (§3.3–3.4 of the paper).
+//
+// The characteristic set of a subject is the set of its outgoing
+// properties. Strict set inclusion between characteristic sets induces a
+// partial order; the *level* of a CS is the length of the longest
+// inclusion chain below it that is present in the dataset (Example 3:
+// CS₁ ⊂ CS₂ ⊂ CS₃ puts them at levels 1, 2, 3, and a CS with no subset
+// present sits at level 1). Levels define the hierarchical partitioning
+// of package hpart.
+package cs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ping/internal/rdf"
+)
+
+// Set is an immutable characteristic set: a strictly-increasing slice of
+// property IDs. Construct with NewSet, which sorts and deduplicates.
+type Set struct {
+	props []rdf.ID
+}
+
+// NewSet builds a Set from property IDs in any order, with duplicates.
+func NewSet(props []rdf.ID) Set {
+	ps := append([]rdf.ID(nil), props...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return Set{props: out}
+}
+
+// Len returns the number of properties.
+func (s Set) Len() int { return len(s.props) }
+
+// Props returns the sorted property IDs. The caller must not mutate the
+// returned slice.
+func (s Set) Props() []rdf.ID { return s.props }
+
+// Contains reports whether the property belongs to the set.
+func (s Set) Contains(p rdf.ID) bool {
+	i := sort.Search(len(s.props), func(i int) bool { return s.props[i] >= p })
+	return i < len(s.props) && s.props[i] == p
+}
+
+// Key returns a canonical key for map hashing: the sorted property IDs in
+// fixed-width little-endian binary. Binary keys hash several times faster
+// than formatted strings, which matters because the partitioner keys every
+// subject's CS during level assignment.
+func (s Set) Key() string {
+	buf := make([]byte, 4*len(s.props))
+	for i, p := range s.props {
+		binary.LittleEndian.PutUint32(buf[i*4:], p)
+	}
+	return string(buf)
+}
+
+// String renders the set readably for diagnostics.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.props {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Equal reports element-wise equality.
+func (s Set) Equal(t Set) bool {
+	if len(s.props) != len(t.props) {
+		return false
+	}
+	for i := range s.props {
+		if s.props[i] != t.props[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t via a linear merge over the sorted slices.
+func (s Set) SubsetOf(t Set) bool {
+	if len(s.props) > len(t.props) {
+		return false
+	}
+	j := 0
+	for _, p := range s.props {
+		for j < len(t.props) && t.props[j] < p {
+			j++
+		}
+		if j >= len(t.props) || t.props[j] != p {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// ProperSubsetOf reports s ⊂ t (Def. 3.2, CS subsumption).
+func (s Set) ProperSubsetOf(t Set) bool {
+	return len(s.props) < len(t.props) && s.SubsetOf(t)
+}
+
+// Extract computes the characteristic set of every subject in the graph
+// (Def. 3.1) in a single pass over the triples. Graphs that are SPO-sorted
+// (the normal form produced by Graph.Dedup) take a linear grouping path
+// with no intermediate per-subject buffers.
+func Extract(g *rdf.Graph) map[rdf.ID]Set {
+	if sorted(g.Triples) {
+		return extractSorted(g.Triples)
+	}
+	bysub := make(map[rdf.ID][]rdf.ID)
+	for _, t := range g.Triples {
+		bysub[t.S] = append(bysub[t.S], t.P)
+	}
+	out := make(map[rdf.ID]Set, len(bysub))
+	for s, props := range bysub {
+		out[s] = NewSet(props)
+	}
+	return out
+}
+
+func sorted(ts []rdf.Triple) bool {
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// extractSorted groups SPO-sorted triples by subject: each run's
+// properties are already sorted, so the Set is built by in-place
+// deduplication with no extra sort.
+func extractSorted(ts []rdf.Triple) map[rdf.ID]Set {
+	out := make(map[rdf.ID]Set)
+	for i := 0; i < len(ts); {
+		s := ts[i].S
+		j := i
+		props := make([]rdf.ID, 0, 8)
+		for ; j < len(ts) && ts[j].S == s; j++ {
+			if n := len(props); n == 0 || props[n-1] != ts[j].P {
+				props = append(props, ts[j].P)
+			}
+		}
+		out[s] = Set{props: props}
+		i = j
+	}
+	return out
+}
+
+// Hierarchy is the CS lattice of Def. 3.3 restricted to the characteristic
+// sets actually present in a dataset, with the level of each node.
+type Hierarchy struct {
+	// Sets holds the distinct characteristic sets; the slice index is the
+	// node's CS id within the hierarchy.
+	Sets []Set
+	// Levels[i] is the 1-based level of Sets[i].
+	Levels []int
+	// Parents[i] lists the immediate subsumers of Sets[i] (edges of the
+	// lattice pointing toward coarser sets).
+	Parents [][]int
+
+	byKey    map[string]int
+	maxLevel int
+}
+
+// Build constructs the hierarchy from the distinct characteristic sets of
+// the given subject→CS assignment (the output of Extract).
+func Build(csBySubject map[rdf.ID]Set) *Hierarchy {
+	byKey := make(map[string]int)
+	var sets []Set
+	for _, s := range csBySubject {
+		key := s.Key()
+		if _, ok := byKey[key]; !ok {
+			byKey[key] = len(sets)
+			sets = append(sets, s)
+		}
+	}
+	return BuildFromSets(sets)
+}
+
+// BuildFromSets constructs the hierarchy from an explicit list of distinct
+// characteristic sets.
+func BuildFromSets(sets []Set) *Hierarchy {
+	h := &Hierarchy{
+		Sets:    append([]Set(nil), sets...),
+		byKey:   make(map[string]int, len(sets)),
+		Levels:  make([]int, len(sets)),
+		Parents: make([][]int, len(sets)),
+	}
+	// Order nodes by set size so every strict subset precedes its
+	// supersets; levels then resolve in one pass.
+	order := make([]int, len(h.Sets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := h.Sets[order[a]], h.Sets[order[b]]
+		if sa.Len() != sb.Len() {
+			return sa.Len() < sb.Len()
+		}
+		return sa.Key() < sb.Key()
+	})
+	for _, i := range order {
+		h.byKey[h.Sets[i].Key()] = i
+	}
+	for oi, i := range order {
+		level := 1
+		var subsumed []int // strictly-contained nodes
+		for _, j := range order[:oi] {
+			if h.Sets[j].ProperSubsetOf(h.Sets[i]) {
+				subsumed = append(subsumed, j)
+				if h.Levels[j]+1 > level {
+					level = h.Levels[j] + 1
+				}
+			}
+		}
+		h.Levels[i] = level
+		if level > h.maxLevel {
+			h.maxLevel = level
+		}
+		// Immediate parents: subsumed nodes not contained in another
+		// subsumed node.
+		for _, p := range subsumed {
+			immediate := true
+			for _, q := range subsumed {
+				if p != q && h.Sets[p].ProperSubsetOf(h.Sets[q]) {
+					immediate = false
+					break
+				}
+			}
+			if immediate {
+				h.Parents[i] = append(h.Parents[i], p)
+			}
+		}
+	}
+	return h
+}
+
+// NodeOf returns the hierarchy node index for a characteristic set, or -1
+// if the set does not occur in the dataset.
+func (h *Hierarchy) NodeOf(s Set) int {
+	if i, ok := h.byKey[s.Key()]; ok {
+		return i
+	}
+	return -1
+}
+
+// LevelOf returns the 1-based level for a characteristic set, or 0 if the
+// set does not occur.
+func (h *Hierarchy) LevelOf(s Set) int {
+	if i := h.NodeOf(s); i >= 0 {
+		return h.Levels[i]
+	}
+	return 0
+}
+
+// MaxLevel returns the number of levels (the hierarchy depth).
+func (h *Hierarchy) MaxLevel() int { return h.maxLevel }
+
+// NumSets returns the number of distinct characteristic sets.
+func (h *Hierarchy) NumSets() int { return len(h.Sets) }
+
+// SetsAtLevel returns the node indices at a given level, ascending.
+func (h *Hierarchy) SetsAtLevel(level int) []int {
+	var out []int
+	for i, l := range h.Levels {
+		if l == level {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

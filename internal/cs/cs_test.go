@@ -1,0 +1,256 @@
+package cs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ping/internal/rdf"
+)
+
+func mkSet(ps ...rdf.ID) Set { return NewSet(ps) }
+
+func TestNewSetSortsAndDedups(t *testing.T) {
+	s := NewSet([]rdf.ID{5, 1, 3, 1, 5})
+	want := []rdf.ID{1, 3, 5}
+	got := s.Props()
+	if len(got) != len(want) {
+		t.Fatalf("Props = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Props = %v, want %v", got, want)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := mkSet(2, 4, 6)
+	for _, p := range []rdf.ID{2, 4, 6} {
+		if !s.Contains(p) {
+			t.Errorf("Contains(%d) = false", p)
+		}
+	}
+	for _, p := range []rdf.ID{1, 3, 5, 7} {
+		if s.Contains(p) {
+			t.Errorf("Contains(%d) = true", p)
+		}
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := mkSet(1, 2)
+	b := mkSet(1, 2, 3)
+	c := mkSet(1, 4)
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Error("a ⊂ b not detected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a claimed")
+	}
+	if a.SubsetOf(c) || c.SubsetOf(a) {
+		t.Error("incomparable sets claimed comparable")
+	}
+	if !a.SubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Error("reflexivity: SubsetOf(self) must hold, ProperSubsetOf(self) must not")
+	}
+	if !a.Equal(mkSet(2, 1)) || a.Equal(b) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestSubsetQuickAgainstMapSemantics(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint8) bool {
+		toIDs := func(v []uint8) []rdf.ID {
+			out := make([]rdf.ID, len(v))
+			for i, x := range v {
+				out[i] = rdf.ID(x % 16)
+			}
+			return out
+		}
+		a, b := NewSet(toIDs(xs)), NewSet(toIDs(ys))
+		inB := make(map[rdf.ID]bool)
+		for _, p := range b.Props() {
+			inB[p] = true
+		}
+		want := true
+		for _, p := range a.Props() {
+			if !inB[p] {
+				want = false
+			}
+		}
+		return a.SubsetOf(b) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractRunningExample(t *testing.T) {
+	// Example 2 from the paper: three proteins with nested CSs.
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("P26474"), iri("occursIn"), iri("Organism7"))
+	g.Add(iri("P26474"), iri("hasKeyword"), iri("Keyword546"))
+	g.Add(iri("P43426"), iri("occursIn"), iri("Organism584"))
+	g.Add(iri("P43426"), iri("hasKeyword"), iri("Keyword125"))
+	g.Add(iri("P43426"), iri("reference"), iri("Article972"))
+	g.Add(iri("P38952"), iri("occursIn"), iri("Organism676"))
+	g.Add(iri("P38952"), iri("hasKeyword"), iri("Keyword789"))
+	g.Add(iri("P38952"), iri("reference"), iri("Article892"))
+	g.Add(iri("P38952"), iri("interacts"), iri("P43426"))
+
+	csMap := Extract(g)
+	if len(csMap) != 3 {
+		t.Fatalf("Extract found %d subjects, want 3", len(csMap))
+	}
+	p1 := csMap[g.Dict.LookupIRI("P26474")]
+	p2 := csMap[g.Dict.LookupIRI("P43426")]
+	p3 := csMap[g.Dict.LookupIRI("P38952")]
+	if p1.Len() != 2 || p2.Len() != 3 || p3.Len() != 4 {
+		t.Fatalf("CS sizes = %d/%d/%d, want 2/3/4", p1.Len(), p2.Len(), p3.Len())
+	}
+	if !p1.ProperSubsetOf(p2) || !p2.ProperSubsetOf(p3) {
+		t.Error("expected CS(P26474) ⊂ CS(P43426) ⊂ CS(P38952)")
+	}
+
+	h := Build(csMap)
+	if h.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d, want 3 (Example 3)", h.MaxLevel())
+	}
+	if got := h.LevelOf(p1); got != 1 {
+		t.Errorf("level(p1) = %d, want 1", got)
+	}
+	if got := h.LevelOf(p2); got != 2 {
+		t.Errorf("level(p2) = %d, want 2", got)
+	}
+	if got := h.LevelOf(p3); got != 3 {
+		t.Errorf("level(p3) = %d, want 3", got)
+	}
+}
+
+func TestIncomparableSetsShareLevelOne(t *testing.T) {
+	// Example 3: a CS with no contained CS also lands at level 1, even if
+	// large.
+	h := BuildFromSets([]Set{
+		mkSet(1, 2),
+		mkSet(1, 2, 3),
+		mkSet(10, 11, 12), // unrelated — level 1
+	})
+	if got := h.LevelOf(mkSet(10, 11, 12)); got != 1 {
+		t.Errorf("unrelated CS level = %d, want 1", got)
+	}
+	if got := h.LevelOf(mkSet(1, 2, 3)); got != 2 {
+		t.Errorf("superset CS level = %d, want 2", got)
+	}
+}
+
+func TestDiamondLattice(t *testing.T) {
+	// {1} and {2} both ⊂ {1,2}; level({1,2}) = 2 with two parents.
+	h := BuildFromSets([]Set{mkSet(1), mkSet(2), mkSet(1, 2)})
+	top := h.NodeOf(mkSet(1, 2))
+	if h.Levels[top] != 2 {
+		t.Errorf("level = %d, want 2", h.Levels[top])
+	}
+	if len(h.Parents[top]) != 2 {
+		t.Errorf("parents = %v, want both {1} and {2}", h.Parents[top])
+	}
+}
+
+func TestImmediateParentsSkipTransitive(t *testing.T) {
+	// {1} ⊂ {1,2} ⊂ {1,2,3}: the top node's only immediate parent is
+	// {1,2}, not {1}.
+	h := BuildFromSets([]Set{mkSet(1), mkSet(1, 2), mkSet(1, 2, 3)})
+	top := h.NodeOf(mkSet(1, 2, 3))
+	if len(h.Parents[top]) != 1 || !h.Sets[h.Parents[top][0]].Equal(mkSet(1, 2)) {
+		t.Errorf("immediate parents of top = %v", h.Parents[top])
+	}
+}
+
+func TestLevelOfAbsent(t *testing.T) {
+	h := BuildFromSets([]Set{mkSet(1)})
+	if h.LevelOf(mkSet(9)) != 0 {
+		t.Error("absent CS must report level 0")
+	}
+	if h.NodeOf(mkSet(9)) != -1 {
+		t.Error("absent CS must report node -1")
+	}
+}
+
+func TestSetsAtLevel(t *testing.T) {
+	h := BuildFromSets([]Set{mkSet(1), mkSet(2), mkSet(1, 2), mkSet(2, 3)})
+	if got := h.SetsAtLevel(1); len(got) != 2 {
+		t.Errorf("level 1 has %d sets, want 2", len(got))
+	}
+	if got := h.SetsAtLevel(2); len(got) != 2 {
+		t.Errorf("level 2 has %d sets, want 2", len(got))
+	}
+	if h.NumSets() != 4 {
+		t.Errorf("NumSets = %d", h.NumSets())
+	}
+}
+
+// TestHierarchyLevelInvariant property-checks the level definition: the
+// level of every node is exactly one more than the max level among its
+// strict subsets (or 1 when none exist).
+func TestHierarchyLevelInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		var sets []Set
+		seen := map[string]bool{}
+		for i := 0; i < 40; i++ {
+			n := 1 + rng.Intn(6)
+			props := make([]rdf.ID, n)
+			for j := range props {
+				props[j] = rdf.ID(rng.Intn(12))
+			}
+			s := NewSet(props)
+			if !seen[s.Key()] {
+				seen[s.Key()] = true
+				sets = append(sets, s)
+			}
+		}
+		h := BuildFromSets(sets)
+		for i, s := range h.Sets {
+			want := 1
+			for j, other := range h.Sets {
+				if other.ProperSubsetOf(s) && h.Levels[j]+1 > want {
+					want = h.Levels[j] + 1
+				}
+			}
+			if h.Levels[i] != want {
+				t.Fatalf("trial %d: level(%v) = %d, want %d", trial, s.Props(), h.Levels[i], want)
+			}
+		}
+		// Parent edges must connect to strict subsets.
+		for i := range h.Sets {
+			for _, p := range h.Parents[i] {
+				if !h.Sets[p].ProperSubsetOf(h.Sets[i]) {
+					t.Fatalf("trial %d: parent edge to non-subset", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	h := Build(map[rdf.ID]Set{})
+	if h.MaxLevel() != 0 || h.NumSets() != 0 {
+		t.Errorf("empty hierarchy: max=%d sets=%d", h.MaxLevel(), h.NumSets())
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	if mkSet(3, 1).Key() != mkSet(1, 3).Key() {
+		t.Error("Key not order-independent")
+	}
+	if mkSet(1).Key() == mkSet(2).Key() {
+		t.Error("distinct sets share a key")
+	}
+	if mkSet().Key() != "" {
+		t.Errorf("empty set key = %q", mkSet().Key())
+	}
+}

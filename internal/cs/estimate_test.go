@@ -1,0 +1,173 @@
+package cs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+// starCount is the brute-force row count of a star query over props with
+// distinct object variables: Σ_subjects Π_p |objects(s, p)|.
+func starCount(g *rdf.Graph, props []rdf.ID) int64 {
+	counts := make(map[rdf.ID]map[rdf.ID]int64) // subject -> prop -> #objects
+	for _, t := range g.Triples {
+		if counts[t.S] == nil {
+			counts[t.S] = make(map[rdf.ID]int64)
+		}
+		counts[t.S][t.P]++
+	}
+	var total int64
+	for _, perProp := range counts {
+		rows := int64(1)
+		ok := true
+		for _, p := range props {
+			if perProp[p] == 0 {
+				ok = false
+				break
+			}
+			rows *= perProp[p]
+		}
+		if ok {
+			total += rows
+		}
+	}
+	return total
+}
+
+func estGraph(seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	for s := 0; s < 200; s++ {
+		subj := rdf.NewIRI(fmt.Sprintf("s%d", s))
+		depth := 1 + rng.Intn(4)
+		for p := 0; p < depth; p++ {
+			// 1-3 triples per property (multiplicities matter for the
+			// estimate).
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				g.Add(subj, rdf.NewIRI(fmt.Sprintf("p%d", p)), rdf.NewIRI(fmt.Sprintf("o%d", rng.Intn(300))))
+			}
+		}
+	}
+	g.Dedup()
+	return g
+}
+
+func TestDistinctSubjectsExact(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := estGraph(seed)
+		e := NewEstimator(g)
+		for _, props := range [][]string{{"p0"}, {"p0", "p1"}, {"p0", "p1", "p2"}, {"p3"}} {
+			ids := make([]rdf.ID, len(props))
+			for i, p := range props {
+				ids[i] = g.Dict.LookupIRI(p)
+			}
+			// Brute force: subjects having all props.
+			bySubj := make(map[rdf.ID]map[rdf.ID]bool)
+			for _, tr := range g.Triples {
+				if bySubj[tr.S] == nil {
+					bySubj[tr.S] = make(map[rdf.ID]bool)
+				}
+				bySubj[tr.S][tr.P] = true
+			}
+			var want int64
+			for _, has := range bySubj {
+				ok := true
+				for _, id := range ids {
+					if !has[id] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					want++
+				}
+			}
+			if got := e.DistinctSubjects(ids); got != want {
+				t.Fatalf("seed %d %v: DistinctSubjects = %d, want %d", seed, props, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimateStarAccuracy(t *testing.T) {
+	// N&M's guarantee: per-CS uniform multiplicities make the estimate
+	// exact; with random multiplicities it stays within a small factor.
+	for seed := int64(0); seed < 5; seed++ {
+		g := estGraph(seed)
+		e := NewEstimator(g)
+		for _, props := range [][]string{{"p0"}, {"p0", "p1"}, {"p1", "p2"}} {
+			ids := make([]rdf.ID, len(props))
+			for i, p := range props {
+				ids[i] = g.Dict.LookupIRI(p)
+			}
+			truth := float64(starCount(g, ids))
+			est := e.EstimateStar(ids)
+			if truth == 0 {
+				if est != 0 {
+					t.Fatalf("seed %d %v: estimate %f for empty result", seed, props, est)
+				}
+				continue
+			}
+			ratio := est / truth
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Fatalf("seed %d %v: estimate %.1f vs truth %.0f (ratio %.2f)",
+					seed, props, est, truth, ratio)
+			}
+		}
+	}
+}
+
+func TestEstimateStarExactWhenUniform(t *testing.T) {
+	// Every subject in a CS has exactly the same multiplicities: the
+	// estimate must be exact.
+	g := rdf.NewGraph()
+	for s := 0; s < 30; s++ {
+		subj := rdf.NewIRI(fmt.Sprintf("s%d", s))
+		for k := 0; k < 2; k++ { // exactly 2 triples of p0 each
+			g.Add(subj, rdf.NewIRI("p0"), rdf.NewIRI(fmt.Sprintf("a%d_%d", s, k)))
+		}
+		g.Add(subj, rdf.NewIRI("p1"), rdf.NewIRI(fmt.Sprintf("b%d", s)))
+	}
+	g.Dedup()
+	e := NewEstimator(g)
+	ids := []rdf.ID{g.Dict.LookupIRI("p0"), g.Dict.LookupIRI("p1")}
+	truth := float64(starCount(g, ids))
+	if est := e.EstimateStar(ids); math.Abs(est-truth) > 1e-9 {
+		t.Fatalf("uniform case: estimate %.2f, truth %.0f", est, truth)
+	}
+}
+
+func TestPropertyTriples(t *testing.T) {
+	g := estGraph(7)
+	e := NewEstimator(g)
+	want := make(map[rdf.ID]int64)
+	for _, tr := range g.Triples {
+		want[tr.P]++
+	}
+	for p, n := range want {
+		if got := e.PropertyTriples(p); got != n {
+			t.Errorf("PropertyTriples(%d) = %d, want %d", p, got, n)
+		}
+	}
+}
+
+func TestEstimatorEdgeCases(t *testing.T) {
+	g := estGraph(3)
+	e := NewEstimator(g)
+	if e.EstimateStar(nil) != 0 {
+		t.Error("empty star must estimate 0")
+	}
+	ghost := g.Dict.EncodeIRI("neverUsed")
+	if e.DistinctSubjects([]rdf.ID{ghost}) != 0 {
+		t.Error("unused property must have 0 subjects")
+	}
+	if e.EstimateStar([]rdf.ID{ghost}) != 0 {
+		t.Error("unused property must estimate 0")
+	}
+	if e.Hierarchy() == nil {
+		t.Error("Hierarchy() returned nil")
+	}
+}

@@ -1,0 +1,64 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestBroadcastJoinMatchesShuffleJoin(t *testing.T) {
+	ctx := NewContext(4)
+	big := make([]Pair[int, int], 0, 1000)
+	for i := 0; i < 1000; i++ {
+		big = append(big, Pair[int, int]{i % 37, i})
+	}
+	small := []Pair[int, string]{{3, "a"}, {3, "b"}, {11, "c"}, {99, "never"}}
+
+	bigDS := Parallelize(ctx, big, 6)
+	viaBroadcast := BroadcastJoin(bigDS, small)
+	viaShuffle := JoinByKey(Parallelize(ctx, big, 6), Parallelize(ctx, small, 2), 4, func(k int) uint64 { return uint64(k) })
+
+	if viaBroadcast.Count() != viaShuffle.Count() {
+		t.Fatalf("broadcast %d rows, shuffle %d", viaBroadcast.Count(), viaShuffle.Count())
+	}
+	norm := func(rows []Pair[int, JoinRow[int, string]]) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = string(rune(r.Key)) + ":" + string(rune(r.Value.Left)) + ":" + r.Value.Right
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := norm(viaBroadcast.Collect()), norm(viaShuffle.Collect())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs between broadcast and shuffle join", i)
+		}
+	}
+}
+
+func TestBroadcastJoinMetrics(t *testing.T) {
+	ctx := NewContext(2)
+	big := make([]Pair[int, int], 100)
+	for i := range big {
+		big[i] = Pair[int, int]{i % 5, i}
+	}
+	bigDS := Parallelize(ctx, big, 4)
+	ctx.ResetMetrics()
+	_ = BroadcastJoin(bigDS, []Pair[int, int]{{1, 10}, {2, 20}})
+	m := ctx.Metrics()
+	if m.RowsBroadcast != 2*4 {
+		t.Errorf("RowsBroadcast = %d, want 8 (2 rows x 4 partitions)", m.RowsBroadcast)
+	}
+	if m.RowsShuffled != 0 {
+		t.Errorf("broadcast join shuffled %d rows", m.RowsShuffled)
+	}
+}
+
+func TestBroadcastJoinEmptySmall(t *testing.T) {
+	ctx := NewContext(2)
+	bigDS := Parallelize(ctx, []Pair[int, int]{{1, 1}}, 1)
+	j := BroadcastJoin[int, int, int](bigDS, nil)
+	if j.Count() != 0 {
+		t.Errorf("join with empty small side produced %d rows", j.Count())
+	}
+}

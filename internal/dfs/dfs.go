@@ -1,0 +1,458 @@
+// Package dfs implements a miniature distributed file system standing in
+// for HDFS in the paper's stack. Files are split into fixed-size blocks,
+// each block is replicated across a configurable number of simulated data
+// nodes, and a namenode tracks the block map. Two block-store backends are
+// provided: in-memory (default, used by tests and benchmarks) and on-disk
+// (used by the CLI tools so partitions persist between runs).
+//
+// The partitioner writes level sub-partitions and indexes here; the query
+// processor reads them back, and the harness uses the byte accounting for
+// the storage-footprint (reduction factor) experiments.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Config controls block placement.
+type Config struct {
+	// BlockSize is the maximum block payload size in bytes (default 1 MiB).
+	BlockSize int64
+	// Replication is the number of copies per block (default 1, clamped to
+	// the number of data nodes).
+	Replication int
+	// DataNodes is the number of simulated data nodes (default 4, matching
+	// the paper's 4-machine cluster).
+	DataNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1 << 20
+	}
+	if c.DataNodes <= 0 {
+		c.DataNodes = 4
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	if c.Replication > c.DataNodes {
+		c.Replication = c.DataNodes
+	}
+	return c
+}
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Path   string
+	Size   int64
+	Blocks int
+}
+
+// Usage summarizes cluster storage state.
+type Usage struct {
+	Files         int
+	LogicalBytes  int64   // sum of file sizes
+	PhysicalBytes int64   // logical × replication actually placed
+	NodeBytes     []int64 // bytes per data node
+}
+
+// blockStore abstracts where block payloads live.
+type blockStore interface {
+	put(node int, id uint64, data []byte) error
+	get(node int, id uint64) ([]byte, error)
+	del(node int, id uint64) error
+}
+
+type fileMeta struct {
+	size   int64
+	blocks []blockMeta
+}
+
+type blockMeta struct {
+	id    uint64
+	size  int64
+	nodes []int // replica placements
+}
+
+// FS is the namenode plus its block store. All methods are safe for
+// concurrent use.
+type FS struct {
+	cfg   Config
+	store blockStore
+
+	mu        sync.RWMutex
+	files     map[string]fileMeta
+	nextBlock uint64
+	nodeBytes []int64
+	bytesRead int64
+}
+
+// New returns an in-memory file system.
+func New(cfg Config) *FS {
+	cfg = cfg.withDefaults()
+	return &FS{
+		cfg:       cfg,
+		store:     newMemStore(cfg.DataNodes),
+		files:     make(map[string]fileMeta),
+		nodeBytes: make([]int64, cfg.DataNodes),
+	}
+}
+
+// NewOnDisk returns a file system whose blocks are persisted under dir,
+// one subdirectory per simulated data node.
+func NewOnDisk(dir string, cfg Config) (*FS, error) {
+	cfg = cfg.withDefaults()
+	ds, err := newDiskStore(dir, cfg.DataNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{
+		cfg:       cfg,
+		store:     ds,
+		files:     make(map[string]fileMeta),
+		nodeBytes: make([]int64, cfg.DataNodes),
+	}, nil
+}
+
+func cleanPath(p string) string {
+	return strings.TrimPrefix(filepath.ToSlash(filepath.Clean("/"+p)), "/")
+}
+
+// WriteFile stores data under path, replacing any existing file.
+func (f *FS) WriteFile(path string, data []byte) error {
+	w, err := f.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile returns the whole content of path. It bypasses the streaming
+// reader: blocks are assembled into one pre-sized buffer and the byte
+// accounting takes a single lock, which matters for workloads that open
+// many small sub-partition files.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	path = cleanPath(path)
+	f.mu.RLock()
+	meta, ok := f.files[path]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	buf := make([]byte, 0, meta.size)
+	for _, b := range meta.blocks {
+		data, err := f.store.get(b.nodes[0], b.id)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: block %d: %w", b.id, err)
+		}
+		buf = append(buf, data...)
+	}
+	f.mu.Lock()
+	f.bytesRead += int64(len(buf))
+	f.mu.Unlock()
+	return buf, nil
+}
+
+// Create opens path for writing. The file becomes visible atomically when
+// the returned writer is closed; a previous file at the same path is
+// replaced at that point.
+func (f *FS) Create(path string) (io.WriteCloser, error) {
+	path = cleanPath(path)
+	if path == "" {
+		return nil, fmt.Errorf("dfs: empty path")
+	}
+	return &fileWriter{fs: f, path: path}, nil
+}
+
+type fileWriter struct {
+	fs     *FS
+	path   string
+	buf    bytes.Buffer
+	meta   fileMeta
+	closed bool
+}
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write after close on %q", w.path)
+	}
+	n, _ := w.buf.Write(p)
+	for int64(w.buf.Len()) >= w.fs.cfg.BlockSize {
+		if err := w.flushBlock(w.fs.cfg.BlockSize); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (w *fileWriter) flushBlock(size int64) error {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(&w.buf, data); err != nil {
+		return err
+	}
+	bm, err := w.fs.placeBlock(data)
+	if err != nil {
+		return err
+	}
+	w.meta.blocks = append(w.meta.blocks, bm)
+	w.meta.size += size
+	return nil
+}
+
+func (w *fileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.buf.Len() > 0 {
+		if err := w.flushBlock(int64(w.buf.Len())); err != nil {
+			return err
+		}
+	}
+	w.fs.commit(w.path, w.meta)
+	return nil
+}
+
+// placeBlock writes one block to Replication nodes chosen round-robin.
+func (f *FS) placeBlock(data []byte) (blockMeta, error) {
+	f.mu.Lock()
+	id := f.nextBlock
+	f.nextBlock++
+	nodes := make([]int, f.cfg.Replication)
+	for i := range nodes {
+		nodes[i] = int((id + uint64(i)) % uint64(f.cfg.DataNodes))
+	}
+	for _, n := range nodes {
+		f.nodeBytes[n] += int64(len(data))
+	}
+	f.mu.Unlock()
+	for _, n := range nodes {
+		if err := f.store.put(n, id, data); err != nil {
+			return blockMeta{}, err
+		}
+	}
+	return blockMeta{id: id, size: int64(len(data)), nodes: nodes}, nil
+}
+
+func (f *FS) commit(path string, meta fileMeta) {
+	f.mu.Lock()
+	old, existed := f.files[path]
+	f.files[path] = meta
+	f.mu.Unlock()
+	if existed {
+		f.releaseBlocks(old)
+	}
+}
+
+func (f *FS) releaseBlocks(meta fileMeta) {
+	for _, b := range meta.blocks {
+		for _, n := range b.nodes {
+			_ = f.store.del(n, b.id)
+			f.mu.Lock()
+			f.nodeBytes[n] -= b.size
+			f.mu.Unlock()
+		}
+	}
+}
+
+// Open returns a reader over the file at path.
+func (f *FS) Open(path string) (io.ReadCloser, error) {
+	path = cleanPath(path)
+	f.mu.RLock()
+	meta, ok := f.files[path]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	return &fileReader{fs: f, meta: meta}, nil
+}
+
+type fileReader struct {
+	fs   *FS
+	meta fileMeta
+	idx  int
+	cur  *bytes.Reader
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	for {
+		if r.cur != nil && r.cur.Len() > 0 {
+			n, _ := r.cur.Read(p)
+			r.fs.mu.Lock()
+			r.fs.bytesRead += int64(n)
+			r.fs.mu.Unlock()
+			return n, nil
+		}
+		if r.idx >= len(r.meta.blocks) {
+			return 0, io.EOF
+		}
+		b := r.meta.blocks[r.idx]
+		r.idx++
+		// Read from the first replica; replicas are identical by
+		// construction, this just models HDFS short-circuit reads.
+		data, err := r.fs.store.get(b.nodes[0], b.id)
+		if err != nil {
+			return 0, fmt.Errorf("dfs: block %d: %w", b.id, err)
+		}
+		r.cur = bytes.NewReader(data)
+	}
+}
+
+func (r *fileReader) Close() error { return nil }
+
+// Stat returns metadata for path.
+func (f *FS) Stat(path string) (FileInfo, error) {
+	path = cleanPath(path)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	meta, ok := f.files[path]
+	if !ok {
+		return FileInfo{}, &os.PathError{Op: "stat", Path: path, Err: os.ErrNotExist}
+	}
+	return FileInfo{Path: path, Size: meta.size, Blocks: len(meta.blocks)}, nil
+}
+
+// Exists reports whether a file exists at path.
+func (f *FS) Exists(path string) bool {
+	_, err := f.Stat(path)
+	return err == nil
+}
+
+// List returns the files whose path starts with prefix, sorted by path.
+func (f *FS) List(prefix string) []FileInfo {
+	prefix = cleanPath(prefix)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []FileInfo
+	for p, meta := range f.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, FileInfo{Path: p, Size: meta.size, Blocks: len(meta.blocks)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Remove deletes the file at path and releases its blocks.
+func (f *FS) Remove(path string) error {
+	path = cleanPath(path)
+	f.mu.Lock()
+	meta, ok := f.files[path]
+	if ok {
+		delete(f.files, path)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	f.releaseBlocks(meta)
+	return nil
+}
+
+// Usage returns cluster storage statistics.
+func (f *FS) Usage() Usage {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	u := Usage{Files: len(f.files), NodeBytes: append([]int64(nil), f.nodeBytes...)}
+	for _, meta := range f.files {
+		u.LogicalBytes += meta.size
+	}
+	for _, nb := range u.NodeBytes {
+		u.PhysicalBytes += nb
+	}
+	return u
+}
+
+// BytesRead returns the cumulative bytes served to readers, an I/O metric
+// surfaced by the benchmark harness.
+func (f *FS) BytesRead() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.bytesRead
+}
+
+// memStore keeps blocks in per-node maps.
+type memStore struct {
+	mu    sync.RWMutex
+	nodes []map[uint64][]byte
+}
+
+func newMemStore(n int) *memStore {
+	s := &memStore{nodes: make([]map[uint64][]byte, n)}
+	for i := range s.nodes {
+		s.nodes[i] = make(map[uint64][]byte)
+	}
+	return s
+}
+
+func (s *memStore) put(node int, id uint64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.nodes[node][id] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *memStore) get(node int, id uint64) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.nodes[node][id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("missing block %d on node %d", id, node)
+	}
+	return data, nil
+}
+
+func (s *memStore) del(node int, id uint64) error {
+	s.mu.Lock()
+	delete(s.nodes[node], id)
+	s.mu.Unlock()
+	return nil
+}
+
+// diskStore persists blocks as files under dir/node<N>/<id>.blk.
+type diskStore struct {
+	dir string
+}
+
+func newDiskStore(dir string, n int) (*diskStore, error) {
+	for i := 0; i < n; i++ {
+		if err := os.MkdirAll(filepath.Join(dir, fmt.Sprintf("node%d", i)), 0o755); err != nil {
+			return nil, fmt.Errorf("dfs: %w", err)
+		}
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (s *diskStore) path(node int, id uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("node%d", node), fmt.Sprintf("%016x.blk", id))
+}
+
+func (s *diskStore) put(node int, id uint64, data []byte) error {
+	return os.WriteFile(s.path(node, id), data, 0o644)
+}
+
+func (s *diskStore) get(node int, id uint64) ([]byte, error) {
+	return os.ReadFile(s.path(node, id))
+}
+
+func (s *diskStore) del(node int, id uint64) error {
+	err := os.Remove(s.path(node, id))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,295 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestWriteReadSmall(t *testing.T) {
+	fs := New(Config{})
+	want := []byte("hello dfs")
+	if err := fs.WriteFile("a/b/c.txt", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("a/b/c.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read %q, want %q", got, want)
+	}
+}
+
+func TestMultiBlockRoundTrip(t *testing.T) {
+	fs := New(Config{BlockSize: 128, DataNodes: 3, Replication: 2})
+	rng := rand.New(rand.NewSource(5))
+	want := make([]byte, 10_000)
+	rng.Read(want)
+	if err := fs.WriteFile("big.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != int64(len(want)) {
+		t.Errorf("Size = %d, want %d", info.Size, len(want))
+	}
+	wantBlocks := (len(want) + 127) / 128
+	if info.Blocks != wantBlocks {
+		t.Errorf("Blocks = %d, want %d", info.Blocks, wantBlocks)
+	}
+	got, err := fs.ReadFile("big.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("multi-block content mismatch")
+	}
+}
+
+func TestReplicationAccounting(t *testing.T) {
+	fs := New(Config{BlockSize: 100, DataNodes: 4, Replication: 3})
+	data := make([]byte, 1000)
+	if err := fs.WriteFile("r.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	u := fs.Usage()
+	if u.LogicalBytes != 1000 {
+		t.Errorf("LogicalBytes = %d", u.LogicalBytes)
+	}
+	if u.PhysicalBytes != 3000 {
+		t.Errorf("PhysicalBytes = %d, want 3000 (3 replicas)", u.PhysicalBytes)
+	}
+	if len(u.NodeBytes) != 4 {
+		t.Errorf("NodeBytes has %d nodes", len(u.NodeBytes))
+	}
+	var spread int
+	for _, nb := range u.NodeBytes {
+		if nb > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Errorf("blocks landed on %d node(s); want spread across >= 2", spread)
+	}
+}
+
+func TestOverwriteReleasesBlocks(t *testing.T) {
+	fs := New(Config{BlockSize: 64, DataNodes: 2})
+	if err := fs.WriteFile("f", make([]byte, 640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("f", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	u := fs.Usage()
+	if u.LogicalBytes != 64 || u.PhysicalBytes != 64 {
+		t.Errorf("after overwrite: logical=%d physical=%d, want 64/64", u.LogicalBytes, u.PhysicalBytes)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil || len(got) != 64 {
+		t.Errorf("ReadFile after overwrite: len=%d err=%v", len(got), err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New(Config{})
+	if err := fs.WriteFile("x", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("x") {
+		t.Error("file still exists after Remove")
+	}
+	if err := fs.Remove("x"); !os.IsNotExist(err) {
+		t.Errorf("second Remove error = %v, want not-exist", err)
+	}
+	if u := fs.Usage(); u.PhysicalBytes != 0 || u.Files != 0 {
+		t.Errorf("usage after remove: %+v", u)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := New(Config{})
+	if _, err := fs.Open("nope"); !os.IsNotExist(err) {
+		t.Errorf("Open(missing) = %v, want not-exist", err)
+	}
+	if _, err := fs.Stat("nope"); !os.IsNotExist(err) {
+		t.Errorf("Stat(missing) = %v, want not-exist", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := New(Config{})
+	for _, p := range []string{"L1/p1.pcol", "L1/p2.pcol", "L2/p1.pcol", "idx/vp"} {
+		if err := fs.WriteFile(p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List("L1/")
+	if len(got) != 2 || got[0].Path != "L1/p1.pcol" || got[1].Path != "L1/p2.pcol" {
+		t.Errorf("List(L1/) = %+v", got)
+	}
+	if all := fs.List(""); len(all) != 4 {
+		t.Errorf("List(\"\") returned %d files", len(all))
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	fs := New(Config{})
+	if err := fs.WriteFile("/a//b/../c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("a/c") {
+		t.Error("cleaned path a/c not found")
+	}
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	fs := New(Config{})
+	if _, err := fs.Create(""); err == nil {
+		t.Error("Create(\"\") succeeded")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	fs := New(Config{})
+	w, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestVisibilityOnlyAfterClose(t *testing.T) {
+	fs := New(Config{})
+	w, _ := fs.Create("pending")
+	if _, err := w.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("pending") {
+		t.Error("file visible before Close")
+	}
+	w.Close()
+	if !fs.Exists("pending") {
+		t.Error("file not visible after Close")
+	}
+}
+
+func TestBytesReadAccounting(t *testing.T) {
+	fs := New(Config{BlockSize: 50})
+	if err := fs.WriteFile("f", make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.BytesRead()
+	if _, err := fs.ReadFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.BytesRead() - before; got != 500 {
+		t.Errorf("BytesRead delta = %d, want 500", got)
+	}
+}
+
+func TestOnDiskBackend(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewOnDisk(dir, Config{BlockSize: 64, DataNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 300)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if err := fs.WriteFile("disk.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("disk.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("on-disk content mismatch")
+	}
+	// Blocks should exist under node dirs.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("expected 2 node dirs, found %d", len(entries))
+	}
+	if err := fs.Remove("disk.bin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	fs := New(Config{BlockSize: 128, DataNodes: 4})
+	var wg sync.WaitGroup
+	const n = 16
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(i)}, 1000)
+			if err := fs.WriteFile(fmt.Sprintf("f%d", i), data); err != nil {
+				t.Errorf("write f%d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		got, err := fs.ReadFile(fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatalf("read f%d: %v", i, err)
+		}
+		for _, b := range got {
+			if b != byte(i) {
+				t.Fatalf("f%d corrupted", i)
+			}
+		}
+	}
+}
+
+func TestReaderIsStreamable(t *testing.T) {
+	fs := New(Config{BlockSize: 10})
+	if err := fs.WriteFile("s", []byte("0123456789abcdefghij")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 7)
+	var all []byte
+	for {
+		n, err := r.Read(buf)
+		all = append(all, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if string(all) != "0123456789abcdefghij" {
+		t.Errorf("streamed read = %q", all)
+	}
+}

@@ -1,0 +1,86 @@
+package dfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is where a disk-backed FS persists its namenode state so a
+// later process can reopen the store.
+const manifestName = "manifest.json"
+
+type manifestFile struct {
+	Path   string          `json:"path"`
+	Size   int64           `json:"size"`
+	Blocks []manifestBlock `json:"blocks"`
+}
+
+type manifestBlock struct {
+	ID    uint64 `json:"id"`
+	Size  int64  `json:"size"`
+	Nodes []int  `json:"nodes"`
+}
+
+type manifest struct {
+	Config    Config         `json:"config"`
+	NextBlock uint64         `json:"next_block"`
+	Files     []manifestFile `json:"files"`
+}
+
+// SaveManifest persists the namenode state. It only applies to disk-backed
+// file systems (the in-memory backend has nothing durable to reopen).
+func (f *FS) SaveManifest() error {
+	ds, ok := f.store.(*diskStore)
+	if !ok {
+		return fmt.Errorf("dfs: SaveManifest requires an on-disk store")
+	}
+	f.mu.RLock()
+	m := manifest{Config: f.cfg, NextBlock: f.nextBlock}
+	for path, meta := range f.files {
+		mf := manifestFile{Path: path, Size: meta.size}
+		for _, b := range meta.blocks {
+			mf.Blocks = append(mf.Blocks, manifestBlock{ID: b.id, Size: b.size, Nodes: b.nodes})
+		}
+		m.Files = append(m.Files, mf)
+	}
+	f.mu.RUnlock()
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("dfs: %w", err)
+	}
+	return os.WriteFile(filepath.Join(ds.dir, manifestName), data, 0o644)
+}
+
+// OpenOnDisk reopens a disk-backed file system previously populated and
+// saved with SaveManifest.
+func OpenOnDisk(dir string) (*FS, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: open manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dfs: parse manifest: %w", err)
+	}
+	fs, err := NewOnDisk(dir, m.Config)
+	if err != nil {
+		return nil, err
+	}
+	fs.nextBlock = m.NextBlock
+	for _, mf := range m.Files {
+		meta := fileMeta{size: mf.Size}
+		for _, b := range mf.Blocks {
+			meta.blocks = append(meta.blocks, blockMeta{id: b.ID, size: b.Size, nodes: b.Nodes})
+			for _, n := range b.Nodes {
+				if n < 0 || n >= len(fs.nodeBytes) {
+					return nil, fmt.Errorf("dfs: manifest references node %d of %d", n, len(fs.nodeBytes))
+				}
+				fs.nodeBytes[n] += b.Size
+			}
+		}
+		fs.files[mf.Path] = meta
+	}
+	return fs, nil
+}

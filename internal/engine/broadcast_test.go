@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ping/internal/dataflow"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// skewedGraph has one big property extent and one tiny one, the broadcast
+// join's natural habitat.
+func skewedGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	for i := 0; i < 2000; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i%500)), iri("big"), iri(fmt.Sprintf("o%d", i)))
+	}
+	for i := 0; i < 20; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i)), iri("tiny"), iri(fmt.Sprintf("t%d", i)))
+	}
+	g.Dedup()
+	return g
+}
+
+func TestEngineUsesBroadcastForSmallSide(t *testing.T) {
+	g := skewedGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?s <big> ?o . ?s <tiny> ?t }`)
+	ctx := dataflow.NewContext(2)
+	ctx.ResetMetrics()
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{Context: ctx, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ctx.Metrics()
+	if m.RowsBroadcast == 0 {
+		t.Error("small side not broadcast")
+	}
+	if m.RowsShuffled != 0 {
+		t.Errorf("broadcast-eligible join still shuffled %d rows", m.RowsShuffled)
+	}
+	// Correctness against the oracle.
+	if want := Naive(g, q); !sameRelation(rel, want) {
+		t.Errorf("broadcast join disagrees with oracle: %d vs %d", rel.Card(), want.Card())
+	}
+}
+
+func TestBroadcastDisabled(t *testing.T) {
+	g := skewedGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?s <big> ?o . ?s <tiny> ?t }`)
+	ctx := dataflow.NewContext(2)
+	ctx.ResetMetrics()
+	relOff, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict,
+		Options{Context: ctx, Partitions: 4, BroadcastThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ctx.Metrics()
+	if m.RowsBroadcast != 0 {
+		t.Error("broadcast used despite being disabled")
+	}
+	if m.RowsShuffled == 0 {
+		t.Error("disabled broadcast must fall back to shuffle join")
+	}
+	relOn, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{Context: ctx, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRelation(relOff, relOn) {
+		t.Error("broadcast and shuffle joins disagree")
+	}
+}
+
+func TestBroadcastThresholdRespected(t *testing.T) {
+	g := skewedGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?s <big> ?o . ?s <tiny> ?t }`)
+	ctx := dataflow.NewContext(2)
+	ctx.ResetMetrics()
+	// Threshold below the small side's 20 rows: no broadcast.
+	_, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict,
+		Options{Context: ctx, Partitions: 4, BroadcastThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Metrics().RowsBroadcast != 0 {
+		t.Error("threshold 5 still broadcast a 20-row side")
+	}
+}

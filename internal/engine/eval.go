@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"ping/internal/dataflow"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// Stats reports what one evaluation touched and produced.
+type Stats struct {
+	// InputRows is the number of vertical-partition rows fed into the
+	// pattern relations — the paper's "data access / loaded rows" metric.
+	InputRows int64
+	// IntermediateRows counts rows materialized by joins.
+	IntermediateRows int64
+	// OutputRows is the final result cardinality.
+	OutputRows int64
+	// Joins is the number of binary joins executed.
+	Joins int
+}
+
+// Options configures Evaluate.
+type Options struct {
+	// Context supplies the dataflow executor; nil means a private
+	// single-worker context.
+	Context *dataflow.Context
+	// Partitions is the shuffle fan-out for joins (<=0: context default).
+	Partitions int
+	// BroadcastThreshold: when one join side has at most this many rows
+	// (and is at least 4x smaller than the other), it is broadcast to
+	// every partition instead of shuffling both sides — Spark's broadcast
+	// hash join. 0 means the default (5000); negative disables.
+	BroadcastThreshold int
+}
+
+// defaultBroadcastThreshold mirrors Spark's autoBroadcastJoinThreshold
+// idea at our row-count scale.
+const defaultBroadcastThreshold = 5000
+
+func (o Options) broadcastThreshold() int {
+	switch {
+	case o.BroadcastThreshold < 0:
+		return 0
+	case o.BroadcastThreshold == 0:
+		return defaultBroadcastThreshold
+	default:
+		return o.BroadcastThreshold
+	}
+}
+
+// Evaluate computes the BGP result from per-pattern inputs. inputs[i]
+// corresponds to q.Patterns[i]. The join order is chosen greedily:
+// start from the smallest relation and repeatedly join with the smallest
+// relation sharing a variable, falling back to a cross product only when
+// the pattern graph is disconnected.
+func Evaluate(q *sparql.Query, inputs []PatternInput, dict *rdf.Dict, opts Options) (*Relation, *Stats, error) {
+	return EvaluatePaths(q, inputs, nil, dict, opts)
+}
+
+// joinAll reduces the relation list to one via greedy hash joins.
+func joinAll(ctx *dataflow.Context, rels []*Relation, opts Options, stats *Stats) (*Relation, error) {
+	if len(rels) == 0 {
+		return &Relation{}, nil
+	}
+	remaining := append([]*Relation(nil), rels...)
+	// Start with the smallest relation.
+	cur := popSmallest(&remaining, nil)
+	for len(remaining) > 0 {
+		next := popSmallest(&remaining, cur)
+		joined := join(ctx, cur, next, opts)
+		stats.Joins++
+		stats.IntermediateRows += int64(joined.Card())
+		cur = joined
+	}
+	return cur, nil
+}
+
+// popSmallest removes and returns the smallest relation; when cur is
+// non-nil it prefers relations sharing a variable with cur (to avoid
+// cross products) and only falls back to an unconnected one when none
+// shares.
+func popSmallest(rels *[]*Relation, cur *Relation) *Relation {
+	best, bestShared := -1, false
+	for i, r := range *rels {
+		shared := cur != nil && len(cur.sharedVars(r)) > 0
+		switch {
+		case best < 0:
+			best, bestShared = i, shared
+		case shared && !bestShared:
+			best, bestShared = i, shared
+		case shared == bestShared && r.Card() < (*rels)[best].Card():
+			best = i
+		}
+	}
+	r := (*rels)[best]
+	*rels = append((*rels)[:best], (*rels)[best+1:]...)
+	return r
+}
+
+// join computes the natural join of two relations on the dataflow
+// engine: a broadcast hash join when one side is small (per the options'
+// threshold), a partitioned shuffle hash join otherwise. With no shared
+// variables it degrades to a cross product.
+func join(ctx *dataflow.Context, left, right *Relation, opts Options) *Relation {
+	parts := opts.Partitions
+	shared := left.sharedVars(right)
+	outVars := append([]string(nil), left.Vars...)
+	rightExtra := make([]int, 0, len(right.Vars))
+	for i, v := range right.Vars {
+		if left.varIndex(v) < 0 {
+			outVars = append(outVars, v)
+			rightExtra = append(rightExtra, i)
+		}
+	}
+
+	if len(shared) == 0 {
+		// Cross product (disconnected BGP).
+		out := &Relation{Vars: outVars, Rows: make([][]rdf.ID, 0, len(left.Rows)*len(right.Rows))}
+		for _, lr := range left.Rows {
+			for _, rr := range right.Rows {
+				row := make([]rdf.ID, 0, len(outVars))
+				row = append(row, lr...)
+				for _, i := range rightExtra {
+					row = append(row, rr[i])
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out
+	}
+
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, v := range shared {
+		lIdx[i] = left.varIndex(v)
+		rIdx[i] = right.varIndex(v)
+	}
+
+	// Broadcast hash join when one side is small enough: the big side is
+	// never shuffled.
+	if threshold := opts.broadcastThreshold(); threshold > 0 {
+		small, big := right, left
+		smallIdx, bigIdx := rIdx, lIdx
+		smallIsRight := true
+		if left.Card() < right.Card() {
+			small, big = left, right
+			smallIdx, bigIdx = lIdx, rIdx
+			smallIsRight = false
+		}
+		if small.Card() <= threshold && small.Card()*4 <= big.Card() {
+			smallRows := make([]dataflow.Pair[string, []rdf.ID], len(small.Rows))
+			for i, row := range small.Rows {
+				smallRows[i] = dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, smallIdx), Value: row}
+			}
+			bigKeyed := dataflow.Map(
+				dataflow.Parallelize(ctx, big.Rows, parts),
+				func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
+					return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, bigIdx), Value: row}
+				})
+			joined := dataflow.BroadcastJoin(bigKeyed, smallRows)
+			out := &Relation{Vars: outVars}
+			for _, pr := range joined.Collect() {
+				lr, rr := pr.Value.Left, pr.Value.Right
+				if !smallIsRight {
+					lr, rr = rr, lr
+				}
+				row := make([]rdf.ID, 0, len(outVars))
+				row = append(row, lr...)
+				for _, i := range rightExtra {
+					row = append(row, rr[i])
+				}
+				out.Rows = append(out.Rows, row)
+			}
+			return out
+		}
+	}
+
+	lKeyed := dataflow.Map(
+		dataflow.Parallelize(ctx, left.Rows, parts),
+		func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
+			return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, lIdx), Value: row}
+		})
+	rKeyed := dataflow.Map(
+		dataflow.Parallelize(ctx, right.Rows, parts),
+		func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
+			return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, rIdx), Value: row}
+		})
+	joined := dataflow.JoinByKey(lKeyed, rKeyed, parts, hashString)
+	out := &Relation{Vars: outVars}
+	for _, pr := range joined.Collect() {
+		lr, rr := pr.Value.Left, pr.Value.Right
+		row := make([]rdf.ID, 0, len(outVars))
+		row = append(row, lr...)
+		for _, i := range rightExtra {
+			row = append(row, rr[i])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// InputsFromGraph builds per-pattern inputs directly from a graph's triple
+// list — the whole-graph evaluation used by tests and by the oracle
+// comparison path (no partitioning, no pruning).
+func InputsFromGraph(g *rdf.Graph, q *sparql.Query) []PatternInput {
+	byProp := make(map[rdf.ID][]rdf.SOPair)
+	for _, t := range g.Triples {
+		byProp[t.P] = append(byProp[t.P], rdf.SOPair{S: t.S, O: t.O})
+	}
+	inputs := make([]PatternInput, len(q.Patterns))
+	for i, pat := range q.Patterns {
+		in := PatternInput{Pattern: pat}
+		if pat.P.IsConcrete() {
+			if p := g.Dict.Lookup(pat.P); p != rdf.NoID {
+				in.Groups = []PropGroup{{Prop: p, Rows: byProp[p]}}
+			}
+		} else {
+			for p, rows := range byProp {
+				in.Groups = append(in.Groups, PropGroup{Prop: p, Rows: rows})
+			}
+		}
+		inputs[i] = in
+	}
+	return inputs
+}

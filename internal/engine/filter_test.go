@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// priceGraph builds products with numeric prices.
+func priceGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	for i, price := range []string{"5", "15", "25", "35", "45"} {
+		p := iri(fmt.Sprintf("prod%d", i))
+		g.Add(p, iri("price"), rdf.NewTypedLiteral(price, "http://www.w3.org/2001/XMLSchema#integer"))
+		g.Add(p, iri("label"), rdf.NewLiteral(fmt.Sprintf("product %d", i)))
+	}
+	return g
+}
+
+func TestFilterNumericRange(t *testing.T) {
+	g := priceGraph()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <price> ?v .
+		FILTER (?v > 10 && ?v < 40)
+	}`)
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 3 { // 15, 25, 35
+		t.Errorf("Card = %d, want 3", rel.Card())
+	}
+	if want := Naive(g, q); !sameRelation(rel, want) {
+		t.Errorf("Evaluate disagrees with Naive under FILTER: %d vs %d", rel.Card(), want.Card())
+	}
+}
+
+func TestFilterOnDroppedVariable(t *testing.T) {
+	// The filter references ?v, the projection keeps only ?p.
+	g := priceGraph()
+	q := sparql.MustParse(`SELECT ?p WHERE {
+		?p <price> ?v .
+		FILTER (?v >= 25)
+	}`)
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 3 || len(rel.Vars) != 1 {
+		t.Errorf("Card = %d vars = %v", rel.Card(), rel.Vars)
+	}
+	if want := Naive(g, q); !sameRelation(rel, want) {
+		t.Error("mismatch with oracle on projected filter")
+	}
+}
+
+func TestFilterAcrossJoin(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("a"), iri("knows"), iri("b"))
+	g.Add(iri("b"), iri("age"), rdf.NewTypedLiteral("30", "http://www.w3.org/2001/XMLSchema#integer"))
+	g.Add(iri("a"), iri("knows"), iri("c"))
+	g.Add(iri("c"), iri("age"), rdf.NewTypedLiteral("17", "http://www.w3.org/2001/XMLSchema#integer"))
+	q := sparql.MustParse(`SELECT ?f WHERE {
+		<a> <knows> ?f .
+		?f <age> ?age .
+		FILTER (?age >= 18)
+	}`)
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 || g.Dict.Term(rel.Rows[0][0]).Value != "b" {
+		t.Errorf("adult friends = %v", rel.Rows)
+	}
+}
+
+func TestFilterIRIEqualityInQuery(t *testing.T) {
+	g := priceGraph()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <price> ?v .
+		FILTER (?p = <prod2>)
+	}`)
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 {
+		t.Errorf("Card = %d, want 1", rel.Card())
+	}
+}
+
+func TestFilterUnboundVariableEliminates(t *testing.T) {
+	g := priceGraph()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <price> ?v .
+		FILTER (?nosuch > 1)
+	}`)
+	rel, _, err := Evaluate(q, InputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 0 {
+		t.Errorf("filter on unbound var kept %d rows", rel.Card())
+	}
+}
+
+func TestFilterWithPaths(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("a"), iri("next"), iri("b"))
+	g.Add(iri("b"), iri("next"), iri("c"))
+	g.Add(iri("a"), iri("val"), rdf.NewTypedLiteral("1", "http://www.w3.org/2001/XMLSchema#integer"))
+	g.Add(iri("b"), iri("val"), rdf.NewTypedLiteral("2", "http://www.w3.org/2001/XMLSchema#integer"))
+	g.Add(iri("c"), iri("val"), rdf.NewTypedLiteral("3", "http://www.w3.org/2001/XMLSchema#integer"))
+	q := sparql.MustParse(`SELECT * WHERE {
+		<a> <next>+ ?n .
+		?n <val> ?v .
+		FILTER (?v > 2)
+	}`)
+	rel, _, err := EvaluatePaths(q, InputsFromGraph(g, q), PathInputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Card() != 1 || g.Dict.Term(rel.Rows[0][0]).Value != "c" {
+		t.Errorf("path+filter = %v", rel.Rows)
+	}
+}

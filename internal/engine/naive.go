@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"sort"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// Naive evaluates a BGP against a graph by backtracking over triple
+// patterns, one pattern at a time, most-selective-first. It is written for
+// clarity, not speed: it serves as the reference oracle the paper's
+// formal claims are tested against (PQA boundedness, EQA completeness).
+func Naive(g *rdf.Graph, q *sparql.Query) *Relation {
+	byProp := make(map[rdf.ID][]rdf.SOPair)
+	for _, t := range g.Triples {
+		byProp[t.P] = append(byProp[t.P], rdf.SOPair{S: t.S, O: t.O})
+	}
+
+	// Order patterns by a crude selectivity estimate: constant-rich
+	// patterns first, then small property extents.
+	patterns := append([]sparql.TriplePattern(nil), q.Patterns...)
+	extent := func(p sparql.TriplePattern) int {
+		n := 0
+		if p.P.IsConcrete() {
+			id := g.Dict.Lookup(p.P)
+			if id == rdf.NoID {
+				return 0
+			}
+			n = len(byProp[id])
+		} else {
+			n = g.Len()
+		}
+		if p.S.IsConcrete() || p.O.IsConcrete() {
+			n /= 4
+		}
+		return n
+	}
+	sort.SliceStable(patterns, func(i, j int) bool { return extent(patterns[i]) < extent(patterns[j]) })
+
+	binding := make(map[string]rdf.ID)
+	var results []map[string]rdf.ID
+
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(patterns) {
+			snapshot := make(map[string]rdf.ID, len(binding))
+			for k, v := range binding {
+				snapshot[k] = v
+			}
+			results = append(results, snapshot)
+			return
+		}
+		pat := patterns[i]
+		tryRows := func(prop rdf.ID, rows []rdf.SOPair) {
+			for _, pr := range rows {
+				var bound []string
+				match := true
+				unify := func(term rdf.Term, val rdf.ID) {
+					if !match {
+						return
+					}
+					switch {
+					case !term.IsVar():
+						if g.Dict.Lookup(term) != val {
+							match = false
+						}
+					default:
+						if cur, ok := binding[term.Value]; ok {
+							if cur != val {
+								match = false
+							}
+						} else {
+							binding[term.Value] = val
+							bound = append(bound, term.Value)
+						}
+					}
+				}
+				unify(pat.S, pr.S)
+				unify(pat.P, prop)
+				unify(pat.O, pr.O)
+				if match {
+					walk(i + 1)
+				}
+				for _, v := range bound {
+					delete(binding, v)
+				}
+			}
+		}
+		if pat.P.IsConcrete() {
+			if id := g.Dict.Lookup(pat.P); id != rdf.NoID {
+				tryRows(id, byProp[id])
+			}
+			return
+		}
+		// Variable predicate: consider every property, respecting an
+		// existing binding.
+		if cur, ok := binding[pat.P.Value]; ok {
+			tryRows(cur, byProp[cur])
+			return
+		}
+		for prop, rows := range byProp {
+			tryRows(prop, rows)
+		}
+	}
+	walk(0)
+
+	proj := q.Projection()
+	rel := &Relation{Vars: proj, Rows: make([][]rdf.ID, 0, len(results))}
+	for _, b := range results {
+		if len(q.Filters) > 0 {
+			lookup := func(name string) (rdf.Term, bool) {
+				if id, ok := b[name]; ok {
+					return g.Dict.Term(id), true
+				}
+				return rdf.Term{}, false
+			}
+			keep := true
+			for _, f := range q.Filters {
+				if !f.Eval(lookup) {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+		}
+		row := make([]rdf.ID, len(proj))
+		for j, v := range proj {
+			row[j] = b[v]
+		}
+		rel.Rows = append(rel.Rows, row)
+	}
+	if q.Distinct {
+		rel = rel.Distinct()
+	}
+	return rel.Limit(q.Limit)
+}

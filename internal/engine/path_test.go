@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// pathGraph builds a small graph for path tests:
+//
+//	a -p-> b -p-> c -p-> d      (a chain)
+//	b -q-> x, d -q-> y          (side edges)
+//	e -p-> e                    (self loop)
+func pathGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("a"), iri("p"), iri("b"))
+	g.Add(iri("b"), iri("p"), iri("c"))
+	g.Add(iri("c"), iri("p"), iri("d"))
+	g.Add(iri("b"), iri("q"), iri("x"))
+	g.Add(iri("d"), iri("q"), iri("y"))
+	g.Add(iri("e"), iri("p"), iri("e"))
+	g.Dedup()
+	return g
+}
+
+func evalPathQuery(t *testing.T, g *rdf.Graph, qs string) *Relation {
+	t.Helper()
+	q := sparql.MustParse(qs)
+	rel, _, err := EvaluatePaths(q, InputsFromGraph(g, q), PathInputsFromGraph(g, q), g.Dict, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestPathPlusClosure(t *testing.T) {
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>+ ?y }`)
+	// a reaches b, c, d.
+	if rel.Card() != 3 {
+		t.Fatalf("a p+ ?y: %d rows, want 3", rel.Card())
+	}
+	// Self loop: e reaches e via p+.
+	rel2 := evalPathQuery(t, g, `SELECT * WHERE { <e> <p>+ ?y }`)
+	if rel2.Card() != 1 || g.Dict.Term(rel2.Rows[0][0]).Value != "e" {
+		t.Fatalf("e p+ = %v", rel2.Rows)
+	}
+}
+
+// bfsReach is an independent oracle for transitive closure.
+func bfsReach(g *rdf.Graph, prop string, from rdf.ID) map[rdf.ID]bool {
+	propID := g.Dict.LookupIRI(prop)
+	adj := make(map[rdf.ID][]rdf.ID)
+	for _, t := range g.Triples {
+		if t.P == propID {
+			adj[t.S] = append(adj[t.S], t.O)
+		}
+	}
+	seen := make(map[rdf.ID]bool)
+	queue := append([]rdf.ID(nil), adj[from]...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		queue = append(queue, adj[n]...)
+	}
+	return seen
+}
+
+func TestPathPlusMatchesBFSRandomized(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		n := 25
+		for i := 0; i < 60; i++ {
+			g.Add(
+				rdf.NewIRI(fmt.Sprintf("n%d", rng.Intn(n))),
+				rdf.NewIRI("p"),
+				rdf.NewIRI(fmt.Sprintf("n%d", rng.Intn(n))),
+			)
+		}
+		g.Dedup()
+		start := fmt.Sprintf("n%d", rng.Intn(n))
+		rel := evalPathQuery(t, g, fmt.Sprintf(`SELECT * WHERE { <%s> <p>+ ?y }`, start))
+		startID := g.Dict.LookupIRI(start)
+		if startID == rdf.NoID {
+			continue
+		}
+		want := bfsReach(g, "p", startID)
+		if rel.Card() != len(want) {
+			t.Fatalf("seed %d: closure from %s has %d nodes, BFS says %d",
+				seed, start, rel.Card(), len(want))
+		}
+		for _, row := range rel.Rows {
+			if !want[row[0]] {
+				t.Fatalf("seed %d: closure contains unreachable node", seed)
+			}
+		}
+	}
+}
+
+func TestPathStarIncludesZeroLength(t *testing.T) {
+	g := pathGraph()
+	relPlus := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>+ ?y }`)
+	relStar := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>* ?y }`)
+	if relStar.Card() != relPlus.Card()+1 {
+		t.Fatalf("star %d rows, plus %d: star must add exactly the zero-length match",
+			relStar.Card(), relPlus.Card())
+	}
+}
+
+func TestPathSeq(t *testing.T) {
+	g := pathGraph()
+	// p/q: a->b->x? No: a-p->b, b-q->x → (a,x). c-p->d, d-q->y → (c,y).
+	// b-p->c has no q out of c.
+	rel := evalPathQuery(t, g, `SELECT * WHERE { ?s <p>/<q> ?o }`)
+	if rel.Card() != 2 {
+		t.Fatalf("p/q: %d rows, want 2", rel.Card())
+	}
+}
+
+func TestPathAlt(t *testing.T) {
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { <b> (<p>|<q>) ?o }`)
+	// b-p->c and b-q->x.
+	if rel.Card() != 2 {
+		t.Fatalf("b (p|q) ?o: %d rows, want 2", rel.Card())
+	}
+}
+
+func TestPathClosureOfSeq(t *testing.T) {
+	// (p/p)+ from a: a->c (2 hops), a->? 4 hops would be beyond d. So {c}.
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { <a> (<p>/<p>)+ ?y }`)
+	if rel.Card() != 1 || g.Dict.Term(rel.Rows[0][0]).Value != "c" {
+		t.Fatalf("(p/p)+ from a = %v, want {c}", rel.Rows)
+	}
+}
+
+func TestPathConstantBothEnds(t *testing.T) {
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>+ <d> }`)
+	if rel.Card() != 1 {
+		t.Fatalf("a p+ d: %d rows, want 1 (no vars → single empty row)", rel.Card())
+	}
+	rel2 := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>+ <x> }`)
+	if rel2.Card() != 0 {
+		t.Fatalf("a p+ x: %d rows, want 0", rel2.Card())
+	}
+}
+
+func TestPathSameVariableBothEnds(t *testing.T) {
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { ?x <p>+ ?x }`)
+	// Only the self loop e.
+	if rel.Card() != 1 || g.Dict.Term(rel.Rows[0][0]).Value != "e" {
+		t.Fatalf("?x p+ ?x = %v", rel.Rows)
+	}
+}
+
+func TestPathJoinedWithBGP(t *testing.T) {
+	g := pathGraph()
+	// Reachable from a via p+, then q out of it.
+	rel := evalPathQuery(t, g, `SELECT * WHERE { <a> <p>+ ?m . ?m <q> ?o }`)
+	// m ∈ {b, d} have q edges → (b,x), (d,y).
+	if rel.Card() != 2 {
+		t.Fatalf("path+BGP join: %d rows, want 2", rel.Card())
+	}
+}
+
+func TestPathUnknownProperty(t *testing.T) {
+	g := pathGraph()
+	rel := evalPathQuery(t, g, `SELECT * WHERE { ?s <nosuch>+ ?o }`)
+	if rel.Card() != 0 {
+		t.Fatalf("unknown property closure: %d rows", rel.Card())
+	}
+	// Star of an unknown property: universe is empty too (no incident
+	// nodes), so zero rows — documented divergence from the spec's
+	// all-graph-terms semantics.
+	rel2 := evalPathQuery(t, g, `SELECT * WHERE { ?s <nosuch>* ?o }`)
+	if rel2.Card() != 0 {
+		t.Fatalf("unknown property star: %d rows", rel2.Card())
+	}
+}
+
+func TestEvaluatePathsInputMismatch(t *testing.T) {
+	g := pathGraph()
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p>+ ?y }`)
+	if _, _, err := EvaluatePaths(q, nil, nil, g.Dict, Options{}); err == nil {
+		t.Error("mismatched path inputs accepted")
+	}
+	// Evaluate (BGP-only entry point) must reject path queries.
+	if _, _, err := Evaluate(q, nil, g.Dict, Options{}); err == nil {
+		t.Error("Evaluate accepted a path query")
+	}
+}

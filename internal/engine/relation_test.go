@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+func rel(vars []string, rows ...[]rdf.ID) *Relation {
+	return &Relation{Vars: vars, Rows: rows}
+}
+
+func TestProject(t *testing.T) {
+	r := rel([]string{"a", "b", "c"}, []rdf.ID{1, 2, 3}, []rdf.ID{4, 5, 6})
+	p, err := r.Project([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Card() != 2 || p.Rows[0][0] != 3 || p.Rows[0][1] != 1 {
+		t.Errorf("Project rows = %v", p.Rows)
+	}
+	if _, err := r.Project([]string{"zz"}); err == nil {
+		t.Error("projecting unbound variable succeeded")
+	}
+}
+
+func TestDistinctRelation(t *testing.T) {
+	r := rel([]string{"a"}, []rdf.ID{1}, []rdf.ID{2}, []rdf.ID{1}, []rdf.ID{1})
+	d := r.Distinct()
+	if d.Card() != 2 {
+		t.Errorf("Distinct Card = %d", d.Card())
+	}
+	if d.Rows[0][0] != 1 || d.Rows[1][0] != 2 {
+		t.Error("Distinct must preserve first-occurrence order")
+	}
+}
+
+func TestLimitRelation(t *testing.T) {
+	r := rel([]string{"a"}, []rdf.ID{1}, []rdf.ID{2}, []rdf.ID{3})
+	if r.Limit(2).Card() != 2 {
+		t.Error("Limit(2)")
+	}
+	if r.Limit(0).Card() != 3 {
+		t.Error("Limit(0) must be a no-op")
+	}
+	if r.Limit(99).Card() != 3 {
+		t.Error("Limit beyond size must be a no-op")
+	}
+}
+
+func TestBindingMaps(t *testing.T) {
+	r := rel([]string{"x", "y"}, []rdf.ID{7, 8})
+	m := r.BindingMaps()
+	if len(m) != 1 || m[0]["x"] != 7 || m[0]["y"] != 8 {
+		t.Errorf("BindingMaps = %v", m)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := rel([]string{"x", "y"}, []rdf.ID{1, 2})
+	if s := r.String(); !strings.Contains(s, "?x") || !strings.Contains(s, "1 rows") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBuildRelationConstFilters(t *testing.T) {
+	d := rdf.NewDict()
+	p := d.EncodeIRI("p")
+	a, b, c := d.EncodeIRI("a"), d.EncodeIRI("b"), d.EncodeIRI("c")
+	rows := []rdf.SOPair{{S: a, O: b}, {S: a, O: c}, {S: b, O: c}}
+	pat := sparql.TriplePattern{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewVar("o")}
+	got, err := BuildRelation(PatternInput{Pattern: pat, Groups: []PropGroup{{Prop: p, Rows: rows}}}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 2 {
+		t.Errorf("Card = %d, want 2", got.Card())
+	}
+	for _, row := range got.Rows {
+		if row[0] != b && row[0] != c {
+			t.Errorf("unexpected binding %v", row)
+		}
+	}
+}
+
+func TestBuildRelationWrongPropGroupSkipped(t *testing.T) {
+	d := rdf.NewDict()
+	p, q := d.EncodeIRI("p"), d.EncodeIRI("q")
+	a, b := d.EncodeIRI("a"), d.EncodeIRI("b")
+	pat := sparql.TriplePattern{S: rdf.NewVar("s"), P: rdf.NewIRI("p"), O: rdf.NewVar("o")}
+	got, err := BuildRelation(PatternInput{
+		Pattern: pat,
+		Groups: []PropGroup{
+			{Prop: p, Rows: []rdf.SOPair{{S: a, O: b}}},
+			{Prop: q, Rows: []rdf.SOPair{{S: b, O: a}}}, // must be ignored
+		},
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 1 {
+		t.Errorf("Card = %d, want 1 (group with wrong property must be skipped)", got.Card())
+	}
+}
+
+func TestBuildRelationVariablePredicateBindsP(t *testing.T) {
+	d := rdf.NewDict()
+	p, q := d.EncodeIRI("p"), d.EncodeIRI("q")
+	a, b := d.EncodeIRI("a"), d.EncodeIRI("b")
+	pat := sparql.TriplePattern{S: rdf.NewVar("s"), P: rdf.NewVar("pp"), O: rdf.NewVar("o")}
+	got, err := BuildRelation(PatternInput{
+		Pattern: pat,
+		Groups: []PropGroup{
+			{Prop: p, Rows: []rdf.SOPair{{S: a, O: b}}},
+			{Prop: q, Rows: []rdf.SOPair{{S: b, O: a}}},
+		},
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Card() != 2 || len(got.Vars) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	pi := got.varIndex("pp")
+	seen := map[rdf.ID]bool{}
+	for _, row := range got.Rows {
+		seen[row[pi]] = true
+	}
+	if !seen[p] || !seen[q] {
+		t.Error("predicate variable not bound to group properties")
+	}
+}
+
+func TestPatternInputTotalRows(t *testing.T) {
+	in := PatternInput{Groups: []PropGroup{
+		{Rows: make([]rdf.SOPair, 3)},
+		{Rows: make([]rdf.SOPair, 5)},
+	}}
+	if in.TotalRows() != 8 {
+		t.Errorf("TotalRows = %d", in.TotalRows())
+	}
+}

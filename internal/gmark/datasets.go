@@ -1,0 +1,421 @@
+package gmark
+
+import "fmt"
+
+// This file defines the six evaluation schemas of the paper (§5.2, Table 1
+// and Fig. 5), scaled to single-machine sizes. Each schema's chain lengths
+// are chosen so the CS hierarchy reproduces the paper's level counts:
+// Uniprot 5, Shop 6, Social 11, LUBM 2, YAGO 15, DBpedia 17.
+
+// placeNames is the named object pool of the DBpedia schema; California is
+// the constant of query Q55 (§5.7).
+var placeNames = []string{
+	"California", "NewYork", "Texas", "London", "Paris", "Berlin",
+	"Tokyo", "Athens", "Lyon", "Evry", "Heraklion", "Boston",
+	"Seattle", "Austin", "Dublin", "Madrid", "Rome", "Vienna",
+	"Oslo", "Zurich",
+}
+
+// Uniprot models the protein dataset of the running example (Fig. 1):
+// occursIn and hasKeyword are required, reference/interacts/encodes/
+// annotation are progressively rarer refinements. 5 hierarchy levels.
+func Uniprot() Schema {
+	return Schema{
+		Name: "uniprot",
+		Classes: []Class{
+			{
+				Name:  "Protein",
+				Count: 6000,
+				Required: []Property{
+					{Name: "occursIn", Target: Target{Pool: 400}},
+					{Name: "hasKeyword", Target: Target{Pool: 800}, MaxCard: 2},
+				},
+				Chain: []Property{
+					{Name: "reference", Target: Target{Pool: 1500}},
+					{Name: "interacts", Target: Target{Class: "Protein"}},
+					{Name: "encodes", Target: Target{Class: "Gene"}},
+					{Name: "annotation", Target: Target{Literal: 500}},
+				},
+			},
+			{
+				Name:  "Gene",
+				Count: 2000,
+				Required: []Property{
+					{Name: "locatedOn", Target: Target{Pool: 40}},
+				},
+				Chain: []Property{
+					{Name: "translatesTo", Target: Target{Class: "Protein"}},
+				},
+			},
+		},
+	}
+}
+
+// Shop models the WatDiv-like e-commerce schema: users, products, reviews,
+// retailers. 6 hierarchy levels (the User chain).
+func Shop() Schema {
+	return Schema{
+		Name: "shop",
+		Classes: []Class{
+			{
+				Name:    "User",
+				Count:   6000,
+				AddType: true,
+				Required: []Property{
+					{Name: "name", Target: Target{Literal: 4000}},
+				},
+				Chain: []Property{
+					{Name: "follows", Target: Target{Class: "User"}},
+					{Name: "likes", Target: Target{Class: "Product"}},
+					{Name: "purchases", Target: Target{Class: "Product"}, MaxCard: 2},
+					{Name: "makesReview", Target: Target{Class: "Review"}},
+					{Name: "friendOf", Target: Target{Class: "User"}},
+				},
+			},
+			{
+				Name:    "Product",
+				Count:   5000,
+				AddType: true,
+				Required: []Property{
+					{Name: "label", Target: Target{Literal: 3000}},
+				},
+				Chain: []Property{
+					{Name: "price", Target: Target{Literal: 900}},
+					{Name: "category", Target: Target{Pool: 60}},
+					{Name: "producedBy", Target: Target{Class: "Retailer"}},
+				},
+			},
+			{
+				Name:    "Review",
+				Count:   3000,
+				AddType: true,
+				Required: []Property{
+					{Name: "rating", Target: Target{Literal: 5}},
+				},
+				Chain: []Property{
+					{Name: "reviewFor", Target: Target{Class: "Product"}},
+				},
+			},
+			{
+				Name:    "Retailer",
+				Count:   500,
+				AddType: true,
+				Required: []Property{
+					{Name: "country", Target: Target{Pool: 50}},
+				},
+			},
+		},
+	}
+}
+
+// Social models the LDBC SNB-like social network: persons, posts,
+// organisations. 11 hierarchy levels (the Person chain).
+func Social() Schema {
+	return Schema{
+		Name: "social",
+		Classes: []Class{
+			{
+				Name:    "Person",
+				Count:   8000,
+				AddType: true,
+				Required: []Property{
+					{Name: "firstName", Target: Target{Literal: 2000}},
+				},
+				Chain: []Property{
+					{Name: "knows", Target: Target{Class: "Person"}, MaxCard: 2},
+					{Name: "email", Target: Target{Literal: 6000}},
+					{Name: "speaks", Target: Target{Pool: 30}},
+					{Name: "worksAt", Target: Target{Class: "Organisation"}},
+					{Name: "studyAt", Target: Target{Class: "Organisation"}},
+					{Name: "likes", Target: Target{Class: "Post"}, MaxCard: 2},
+					{Name: "moderates", Target: Target{Pool: 300}},
+					{Name: "bornIn", Target: Target{Pool: 120}},
+					{Name: "locatedIn", Target: Target{Pool: 120}},
+					{Name: "interestedIn", Target: Target{Pool: 80}},
+				},
+				// A slightly slower decay keeps the deep levels populated.
+				DepthWeights: decay(10, 0.7),
+			},
+			{
+				Name:    "Post",
+				Count:   10000,
+				AddType: true,
+				Required: []Property{
+					{Name: "creationDate", Target: Target{Literal: 4000}},
+				},
+				Chain: []Property{
+					{Name: "content", Target: Target{Literal: 8000}},
+					{Name: "language", Target: Target{Pool: 20}},
+					{Name: "hasCreator", Target: Target{Class: "Person"}},
+				},
+			},
+			{
+				Name:    "Organisation",
+				Count:   300,
+				AddType: true,
+				Required: []Property{
+					{Name: "orgName", Target: Target{Literal: 300}},
+				},
+			},
+		},
+	}
+}
+
+// LUBM models the university benchmark: very regular instances, hence
+// only 2 hierarchy levels (the paper highlights this as the structured
+// extreme).
+func LUBM() Schema {
+	return Schema{
+		Name: "lubm",
+		Classes: []Class{
+			{
+				Name:    "Student",
+				Count:   12000,
+				AddType: true,
+				Required: []Property{
+					{Name: "takesCourse", Target: Target{Class: "Course"}, MaxCard: 3},
+					{Name: "memberOf", Target: Target{Class: "Department"}},
+				},
+				Chain: []Property{
+					{Name: "emailAddress", Target: Target{Literal: 12000}},
+				},
+			},
+			{
+				Name:    "Professor",
+				Count:   2000,
+				AddType: true,
+				Required: []Property{
+					{Name: "teacherOf", Target: Target{Class: "Course"}, MaxCard: 2},
+					{Name: "worksFor", Target: Target{Class: "Department"}},
+				},
+				Chain: []Property{
+					{Name: "doctoralDegreeFrom", Target: Target{Pool: 40}},
+				},
+			},
+			{
+				Name:    "Course",
+				Count:   4000,
+				AddType: true,
+				Required: []Property{
+					{Name: "offeredBy", Target: Target{Class: "Department"}},
+				},
+				Chain: []Property{
+					{Name: "courseName", Target: Target{Literal: 4000}},
+				},
+			},
+			{
+				Name:    "Department",
+				Count:   400,
+				AddType: true,
+				Required: []Property{
+					{Name: "subOrganizationOf", Target: Target{Pool: 40}},
+				},
+			},
+		},
+	}
+}
+
+// YAGO models the heterogeneous real-world knowledge base: 15 hierarchy
+// levels (the Person chain), big star/complex queries in the workload.
+func YAGO() Schema {
+	return Schema{
+		Name: "yago",
+		Classes: []Class{
+			{
+				Name:    "Person",
+				Count:   9000,
+				AddType: true,
+				Required: []Property{
+					{Name: "label", Target: Target{Literal: 7000}},
+				},
+				Chain: []Property{
+					{Name: "bornIn", Target: Target{Class: "City"}},
+					{Name: "livesIn", Target: Target{Class: "City"}},
+					{Name: "worksAt", Target: Target{Pool: 500}},
+					{Name: "hasWonPrize", Target: Target{Pool: 80}},
+					{Name: "graduatedFrom", Target: Target{Pool: 200}},
+					{Name: "isMarriedTo", Target: Target{Class: "Person"}},
+					{Name: "influences", Target: Target{Class: "Person"}},
+					{Name: "actedIn", Target: Target{Class: "Movie"}},
+					{Name: "directed", Target: Target{Class: "Movie"}},
+					{Name: "wroteMusicFor", Target: Target{Class: "Movie"}},
+					{Name: "hasChild", Target: Target{Class: "Person"}},
+					{Name: "owns", Target: Target{Pool: 400}},
+					{Name: "diedIn", Target: Target{Class: "City"}},
+					{Name: "interestedIn", Target: Target{Pool: 60}},
+				},
+				DepthWeights: decay(14, 0.75),
+			},
+			{
+				Name:    "Movie",
+				Count:   4000,
+				AddType: true,
+				Required: []Property{
+					{Name: "title", Target: Target{Literal: 3500}},
+				},
+				Chain: []Property{
+					{Name: "releasedIn", Target: Target{Pool: 90}},
+					{Name: "producedIn", Target: Target{Class: "City"}},
+				},
+			},
+			{
+				Name:    "City",
+				Count:   800,
+				AddType: true,
+				Required: []Property{
+					{Name: "cityName", Target: Target{Literal: 800}},
+				},
+				Chain: []Property{
+					{Name: "locatedInCountry", Target: Target{Pool: 50}},
+				},
+			},
+		},
+	}
+}
+
+// DBpedia models the messiest real-world dataset: 17 hierarchy levels,
+// many classes, and the exact symbol-level structure of query Q55
+// (Table 2): rdf:type on levels 1-17, foundationPlace on 2-13 (Company
+// chain), developer on 2-11 (Product chain), California as an object on
+// levels 2-17.
+func DBpedia() Schema {
+	miscChain := make([]Property, 16)
+	for i := range miscChain {
+		// Every other misc property points at named places so place
+		// objects (California included) occur across all deep levels.
+		if i%2 == 0 {
+			miscChain[i] = Property{Name: fmt.Sprintf("misc%d", i+1), Target: Target{Named: placeNames}}
+		} else {
+			miscChain[i] = Property{Name: fmt.Sprintf("misc%d", i+1), Target: Target{Pool: 300}}
+		}
+	}
+	return Schema{
+		Name: "dbpedia",
+		Classes: []Class{
+			{
+				Name:    "Misc",
+				Count:   5000,
+				AddType: true,
+				Required: []Property{
+					{Name: "label", Target: Target{Literal: 4000}},
+				},
+				Chain:        miscChain,
+				DepthWeights: decay(16, 0.8),
+			},
+			{
+				Name:    "Company",
+				Count:   3000,
+				AddType: true,
+				Required: []Property{
+					{Name: "label", Target: Target{Literal: 2500}},
+				},
+				Chain: []Property{
+					{Name: "foundationPlace", Target: Target{Named: placeNames}},
+					{Name: "industry", Target: Target{Pool: 60}},
+					{Name: "revenue", Target: Target{Literal: 2000}},
+					{Name: "numberOfEmployees", Target: Target{Literal: 1500}},
+					{Name: "locationCity", Target: Target{Named: placeNames}},
+					{Name: "parentCompany", Target: Target{Class: "Company"}},
+					{Name: "owner", Target: Target{Pool: 500}},
+					{Name: "foundingYear", Target: Target{Literal: 150}},
+					{Name: "keyPerson", Target: Target{Class: "Person"}},
+					{Name: "product", Target: Target{Class: "Product"}},
+					{Name: "division", Target: Target{Pool: 200}},
+					{Name: "subsidiary", Target: Target{Class: "Company"}},
+				},
+				DepthWeights: decay(12, 0.75),
+			},
+			{
+				Name:    "Product",
+				Count:   3000,
+				AddType: true,
+				Required: []Property{
+					{Name: "label", Target: Target{Literal: 2500}},
+				},
+				Chain: []Property{
+					{Name: "developer", Target: Target{Class: "Company"}},
+					{Name: "genre", Target: Target{Pool: 70}},
+					{Name: "releaseDate", Target: Target{Literal: 2000}},
+					{Name: "version", Target: Target{Literal: 500}},
+					{Name: "license", Target: Target{Pool: 30}},
+					{Name: "platform", Target: Target{Pool: 40}},
+					{Name: "website", Target: Target{Literal: 2500}},
+					{Name: "programmingLanguage", Target: Target{Pool: 40}},
+					{Name: "predecessor", Target: Target{Class: "Product"}},
+					{Name: "successor", Target: Target{Class: "Product"}},
+				},
+				DepthWeights: decay(10, 0.75),
+			},
+			{
+				Name:    "Person",
+				Count:   2500,
+				AddType: true,
+				Required: []Property{
+					{Name: "personName", Target: Target{Literal: 2200}},
+				},
+				Chain: []Property{
+					{Name: "birthPlace", Target: Target{Named: placeNames}},
+					{Name: "occupation", Target: Target{Pool: 80}},
+					{Name: "knownFor", Target: Target{Pool: 300}},
+					{Name: "almaMater", Target: Target{Pool: 120}},
+					{Name: "award", Target: Target{Pool: 60}},
+				},
+			},
+		},
+	}
+}
+
+// decay returns depth weights 1, r, r², ... for chain length n.
+func decay(n int, r float64) []float64 {
+	w := make([]float64, n+1)
+	cur := 1.0
+	for i := range w {
+		w[i] = cur
+		cur *= r
+	}
+	return w
+}
+
+// NamedDataset couples a schema with the scale factor the harness uses to
+// approximate the paper's dataset-size ratios.
+type NamedDataset struct {
+	// Name is the label used in the paper's tables (shop100 is the 100GB
+	// Shop variant, a larger scale of the same schema).
+	Name string
+	// Schema generates the data.
+	Schema Schema
+	// Scale multiplies instance counts.
+	Scale float64
+	// PaperSize and PaperTriples document the original dataset for
+	// Table 1 rendering.
+	PaperSize    string
+	PaperTriples string
+	// Levels is the expected CS hierarchy depth (Fig. 5).
+	Levels int
+}
+
+// StandardDatasets lists the seven dataset configurations of the paper's
+// evaluation in Table 1 order. Scales are chosen so relative sizes mirror
+// the paper while the whole suite runs on one machine.
+func StandardDatasets() []NamedDataset {
+	return []NamedDataset{
+		{Name: "uniprot", Schema: Uniprot(), Scale: 1, PaperSize: "3GB", PaperTriples: "2.1M", Levels: 5},
+		{Name: "shop", Schema: Shop(), Scale: 1, PaperSize: "13GB", PaperTriples: "23M", Levels: 6},
+		{Name: "shop100", Schema: Shop(), Scale: 8, PaperSize: "100GB", PaperTriples: "1B", Levels: 6},
+		{Name: "social", Schema: Social(), Scale: 1, PaperSize: "18GB", PaperTriples: "50M", Levels: 11},
+		{Name: "lubm", Schema: LUBM(), Scale: 1, PaperSize: "30.1GB", PaperTriples: "173.5M", Levels: 2},
+		{Name: "yago", Schema: YAGO(), Scale: 1, PaperSize: "12GB", PaperTriples: "82M", Levels: 15},
+		{Name: "dbpedia", Schema: DBpedia(), Scale: 1, PaperSize: "30GB", PaperTriples: "182M", Levels: 17},
+	}
+}
+
+// DatasetByName returns the standard dataset with the given name, or nil.
+func DatasetByName(name string) *NamedDataset {
+	for _, d := range StandardDatasets() {
+		if d.Name == name {
+			d := d
+			return &d
+		}
+	}
+	return nil
+}

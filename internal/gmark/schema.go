@@ -1,0 +1,248 @@
+// Package gmark is a schema-driven synthetic RDF graph and query-workload
+// generator standing in for the gMark generator (Bagan et al., TKDE'17)
+// and the benchmark datasets of the paper's evaluation (§5.2): Uniprot,
+// Shop (WatDiv-like), Social (LDBC-like), LUBM, DBpedia, and YAGO.
+//
+// The generator controls the single property that drives every PING
+// experiment: the characteristic-set hierarchy. Each class declares a set
+// of *required* properties and an ordered *chain* of optional properties;
+// an instance samples a depth d from the class's depth distribution and
+// receives the required properties plus the first d chain properties. CS
+// subsumption between the resulting prefix sets is exactly the chain
+// order, so a class with chain length m populates hierarchy levels
+// 1..m+1 — letting each dataset reproduce its published level count
+// (Fig. 5: 5 for Uniprot, 2 for LUBM, 11 for Social, 15 for YAGO, 17 for
+// DBpedia, ...).
+package gmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ping/internal/rdf"
+)
+
+// Target describes where a property's objects come from.
+type Target struct {
+	// Class draws objects uniformly from the instances of this class.
+	Class string
+	// Pool draws objects from a pool of Pool opaque leaf IRIs owned by
+	// the property (entities with no outgoing edges).
+	Pool int
+	// Named draws objects from this fixed list of IRIs (e.g. the place
+	// names of the DBpedia schema, including dbr:California).
+	Named []string
+	// Literal draws string literals from a pool of Literal values.
+	Literal int
+}
+
+// Property is a schema property: a local name plus its object target and
+// an optional out-degree above one.
+type Property struct {
+	Name   string
+	Target Target
+	// MaxCard is the maximum number of triples an instance emits for this
+	// property (uniform in [1, MaxCard]; 0 means exactly 1).
+	MaxCard int
+}
+
+// Class describes one instance population.
+type Class struct {
+	Name string
+	// Count is the number of instances at Scale 1.
+	Count int
+	// Required properties occur on every instance (plus rdf:type when
+	// AddType is set).
+	Required []Property
+	// Chain is the ordered optional-property chain; an instance of depth
+	// d carries Chain[0:d].
+	Chain []Property
+	// DepthWeights gives the relative probability of each depth 0..len(Chain).
+	// Empty means a geometric-like default that thins out with depth.
+	DepthWeights []float64
+	// AddType adds an (instance, rdf:type, <schema>/<Name>) triple, making
+	// rdf:type part of the class's characteristic sets (the paper treats
+	// typing as an ordinary property, §3.8).
+	AddType bool
+}
+
+// Levels returns how many hierarchy levels this class populates.
+func (c Class) Levels() int { return len(c.Chain) + 1 }
+
+// Schema is a complete dataset description.
+type Schema struct {
+	Name    string
+	Classes []Class
+}
+
+// MaxLevels returns the hierarchy depth the schema generates.
+func (s Schema) MaxLevels() int {
+	max := 0
+	for _, c := range s.Classes {
+		if c.Levels() > max {
+			max = c.Levels()
+		}
+	}
+	return max
+}
+
+// IRI builds a schema-namespaced IRI.
+func (s Schema) IRI(local string) string {
+	return fmt.Sprintf("http://%s.example.org/%s", s.Name, local)
+}
+
+// Dataset is a generated graph plus the metadata query generation needs.
+type Dataset struct {
+	Schema Schema
+	Graph  *rdf.Graph
+	// InstancesByClass maps class name to the instance IRIs generated.
+	InstancesByClass map[string][]string
+	// depthByInstance records each instance's sampled chain depth.
+	depthByInstance map[string]int
+}
+
+// Generate builds the dataset at the given scale factor (instance counts
+// are multiplied by scale). Generation is deterministic in (schema, scale,
+// seed).
+func (s Schema) Generate(scale float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		Schema:           s,
+		Graph:            rdf.NewGraph(),
+		InstancesByClass: make(map[string][]string),
+		depthByInstance:  make(map[string]int),
+	}
+
+	// First pass: allot instance IRIs so cross-class references resolve.
+	for _, c := range s.Classes {
+		n := int(float64(c.Count) * scale)
+		if n < 1 {
+			n = 1
+		}
+		iris := make([]string, n)
+		for i := range iris {
+			iris[i] = s.IRI(fmt.Sprintf("%s%d", c.Name, i))
+		}
+		d.InstancesByClass[c.Name] = iris
+	}
+
+	typeIRI := rdf.NewIRI(rdf.RDFType)
+	for _, c := range s.Classes {
+		weights := c.DepthWeights
+		if len(weights) == 0 {
+			weights = defaultDepthWeights(len(c.Chain))
+		}
+		classTerm := rdf.NewIRI(s.IRI(c.Name))
+		for _, iri := range d.InstancesByClass[c.Name] {
+			subj := rdf.NewIRI(iri)
+			if c.AddType {
+				d.Graph.Add(subj, typeIRI, classTerm)
+			}
+			for _, p := range c.Required {
+				d.emit(rng, subj, c, p)
+			}
+			depth := sampleIndex(rng, weights)
+			d.depthByInstance[iri] = depth
+			for i := 0; i < depth; i++ {
+				d.emit(rng, subj, c, c.Chain[i])
+			}
+		}
+	}
+	d.Graph.Dedup()
+	return d
+}
+
+// emit writes the triples of one property on one subject.
+func (d *Dataset) emit(rng *rand.Rand, subj rdf.Term, c Class, p Property) {
+	card := 1
+	if p.MaxCard > 1 {
+		card = 1 + rng.Intn(p.MaxCard)
+	}
+	prop := rdf.NewIRI(d.Schema.IRI(p.Name))
+	for k := 0; k < card; k++ {
+		d.Graph.Add(subj, prop, d.object(rng, p))
+	}
+}
+
+// skewIndex samples an index in [0, n) with a Zipf-like head-heavy skew:
+// a few hot objects collect most references while the long tail is
+// referenced once or not at all — the reference distribution of real
+// knowledge graphs (and the reason instance constants in queries usually
+// pin down very few hierarchy levels).
+func skewIndex(rng *rand.Rand, n int) int {
+	u := rng.Float64()
+	i := int(float64(n) * u * u * u)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// object samples one object term for a property.
+func (d *Dataset) object(rng *rand.Rand, p Property) rdf.Term {
+	t := p.Target
+	switch {
+	case t.Class != "":
+		pool := d.InstancesByClass[t.Class]
+		if len(pool) == 0 {
+			return rdf.NewIRI(d.Schema.IRI("missing/" + t.Class))
+		}
+		return rdf.NewIRI(pool[skewIndex(rng, len(pool))])
+	case len(t.Named) > 0:
+		return rdf.NewIRI(d.Schema.IRI(t.Named[skewIndex(rng, len(t.Named))]))
+	case t.Literal > 0:
+		return rdf.NewLiteral(fmt.Sprintf("%s-value-%d", p.Name, skewIndex(rng, t.Literal)))
+	default:
+		pool := t.Pool
+		if pool <= 0 {
+			pool = 100
+		}
+		return rdf.NewIRI(d.Schema.IRI(fmt.Sprintf("%s/e%d", p.Name, skewIndex(rng, pool))))
+	}
+}
+
+// defaultDepthWeights thins out geometrically: each extra chain level
+// keeps ~55% of the previous one, giving the decreasing level populations
+// typical of real datasets (Fig. 5).
+func defaultDepthWeights(chainLen int) []float64 {
+	w := make([]float64, chainLen+1)
+	cur := 1.0
+	for i := range w {
+		w[i] = cur
+		cur *= 0.55
+	}
+	return w
+}
+
+// sampleIndex draws an index proportional to weights.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// ClassByName returns the class spec, or nil.
+func (s Schema) ClassByName(name string) *Class {
+	for i := range s.Classes {
+		if s.Classes[i].Name == name {
+			return &s.Classes[i]
+		}
+	}
+	return nil
+}
+
+// PropertyIRI returns the full IRI of a schema property name.
+func (s Schema) PropertyIRI(name string) string { return s.IRI(name) }
+
+// InstanceDepth returns the sampled chain depth of an instance IRI
+// (0 if unknown).
+func (d *Dataset) InstanceDepth(iri string) int { return d.depthByInstance[iri] }

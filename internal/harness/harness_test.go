@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ping/internal/ping"
+)
+
+// smallSuite runs the experiments at reduced scale so tests stay fast.
+func smallSuite() *Suite {
+	return NewSuite(2, 2, 0.15, 42)
+}
+
+func TestDatasetCache(t *testing.T) {
+	s := smallSuite()
+	a, err := s.Dataset("uniprot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Dataset("uniprot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	if _, err := s.Dataset("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if a.RawBytes <= 0 || a.NTriplesBytes <= a.RawBytes {
+		t.Errorf("size baselines: raw=%d ntriples=%d", a.RawBytes, a.NTriplesBytes)
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Table1([]string{"uniprot", "lubm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"uniprot", "lubm", "2.1M", "levels"} {
+		if !strings.Contains(r.Body+r.String(), want) {
+			t.Errorf("table1 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestFig5Report(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Fig5([]string{"uniprot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "L1") || !strings.Contains(r.Body, "L5") {
+		t.Errorf("fig5 missing levels:\n%s", r.Body)
+	}
+}
+
+func TestFig6Report(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Fig6([]string{"uniprot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"star", "chain", "complex", "coverage", "slice"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("fig6 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestFig7Report(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Fig7([]string{"uniprot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PING", "S2RDF", "WORQ"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("fig7 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestFig8AndTable2Reports(t *testing.T) {
+	s := NewSuite(2, 2, 0.5, 42) // deep hierarchies need more instances
+	r8, err := s.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r8.Body, "Q55") {
+		t.Errorf("fig8 missing Q55:\n%s", r8.Body)
+	}
+	r2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rdf:type", "foundationPlace", "developer", "California"} {
+		if !strings.Contains(r2.Body, want) {
+			t.Errorf("table2 missing %q:\n%s", want, r2.Body)
+		}
+	}
+}
+
+func TestFig9Report(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"YAGO", "Shop100", "2 of 6", "6 of 6"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("fig9 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestAblationReport(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline", "no sub-partition pruning", "largest level first"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("ablation missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+func TestScalingAndExtensionsReports(t *testing.T) {
+	s := NewSuite(2, 1, 0.1, 42)
+	r, err := s.Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ns/triple", "0.25x", "2.00x"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("scaling missing %q:\n%s", want, r.Body)
+		}
+	}
+	re, err := s.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Incremental maintenance", "Bloom-filter", "knows+", "TPF smart client"} {
+		if !strings.Contains(re.Body, want) {
+			t.Errorf("extensions missing %q", want)
+		}
+	}
+}
+
+func TestRunDispatcher(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Run("fig5", []string{"uniprot"})
+	if err != nil || r.ID != "fig5" {
+		t.Errorf("Run(fig5) = %v, %v", r, err)
+	}
+	if _, err := s.Run("nope", nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	s := smallSuite()
+	r, err := s.Run("fig5", []string{"uniprot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(s.Describe(), []*Report{r})
+	for _, want := range []string{"# EXPERIMENTS", "## fig5", "**Paper:**", "```"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestAggregatePQACarryForward(t *testing.T) {
+	// A short run's final values must persist in later aggregate steps.
+	s := smallSuite()
+	bd, err := s.Dataset("uniprot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := s.Processor(bd, ping.Options{})
+	wl := s.Workload(bd)
+	if len(wl.Star) == 0 {
+		t.Skip("no star queries generated at this scale")
+	}
+	var results []*ping.Result
+	for _, q := range wl.Star {
+		res, err := proc.PQA(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Steps) > 0 {
+			results = append(results, res)
+		}
+	}
+	c := aggregatePQA(results)
+	for i := 1; i < len(c.Rows); i++ {
+		if c.Rows[i] < c.Rows[i-1] {
+			t.Errorf("aggregated rows decreased at step %d", i+1)
+		}
+		if c.Coverage[i] < c.Coverage[i-1]-1e-9 {
+			t.Errorf("aggregated coverage decreased at step %d", i+1)
+		}
+	}
+	if len(c.Coverage) > 0 && c.Coverage[len(c.Coverage)-1] < 0.999 {
+		t.Errorf("final aggregated coverage %.3f < 1", c.Coverage[len(c.Coverage)-1])
+	}
+	if c.Queries != len(results) {
+		t.Errorf("Queries = %d, want %d", c.Queries, len(results))
+	}
+}
+
+func TestEmptyAggregate(t *testing.T) {
+	c := aggregatePQA(nil)
+	if c.Queries != 0 || len(c.TimeMS) != 0 {
+		t.Errorf("empty aggregate: %+v", c)
+	}
+}

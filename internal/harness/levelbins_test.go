@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/hpart"
+	"ping/internal/ping"
+	"ping/internal/rdf"
+)
+
+func TestLevelBinnedQueries(t *testing.T) {
+	s := NewSuite(2, 3, 0.3, 42)
+	bd, err := s.Dataset("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := LevelBinnedQueries(bd.Layout, bd.Data, "User", 2, 3, 7)
+	if len(bins) == 0 {
+		t.Fatal("no bins produced")
+	}
+	proc := s.Processor(bd, ping.Options{})
+	typeID := bd.Data.Graph.Dict.LookupIRI(rdf.RDFType)
+	for k, qs := range bins {
+		if k < 2 || k > bd.Layout.NumLevels {
+			t.Errorf("bin %d out of range", k)
+		}
+		for _, q := range qs {
+			if len(q.Patterns) != 2 {
+				t.Errorf("bin %d: query has %d patterns, want 2", k, len(q.Patterns))
+			}
+			// The accessed-level count must equal the bin key.
+			var union hpart.LevelSet
+			for _, hl := range proc.QuerySlices(q) {
+				for _, key := range hl {
+					union = union.Add(key.Level)
+				}
+			}
+			if union.Count() != k {
+				t.Errorf("bin %d: query accesses %v (%d levels)\n%s", k, union, union.Count(), q)
+			}
+			// Grounded in an existing subject: at least one answer.
+			rel, _, err := engine.Evaluate(q, engine.InputsFromGraph(bd.Data.Graph, q),
+				bd.Data.Graph.Dict, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.Card() == 0 {
+				t.Errorf("bin %d: grounded query has no answers:\n%s", k, q)
+			}
+			// rdf:type patterns are excluded by construction.
+			for _, pat := range q.Patterns {
+				if pat.P.IsConcrete() && bd.Data.Graph.Dict.Lookup(pat.P) == typeID {
+					t.Errorf("bin %d: query contains an rdf:type pattern", k)
+				}
+			}
+		}
+	}
+	// Degenerate inputs.
+	if got := LevelBinnedQueries(bd.Layout, bd.Data, "NoClass", 2, 3, 1); got != nil {
+		t.Error("unknown class produced bins")
+	}
+	if got := LevelBinnedQueries(bd.Layout, bd.Data, "User", 0, 3, 1); got != nil {
+		t.Error("zero patterns produced bins")
+	}
+}
+
+func TestSystemsAgreeOnBinnedQueries(t *testing.T) {
+	// The three EQA systems must return identical answer counts on the
+	// Fig. 9 workload — they may only differ in data touched.
+	s := NewSuite(2, 2, 0.2, 42)
+	bd, err := s.Dataset("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := s.binnedShopQueries(bd, 2)
+	pingSys, s2Sys, wqSys, err := s.Systems(bd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, qs := range bins {
+		for _, q := range qs {
+			relP, _, err := pingSys.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relS, _, err := s2Sys.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relW, _, err := wqSys.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if relP.Card() != relS.Card() || relP.Card() != relW.Card() {
+				t.Errorf("answer mismatch: PING=%d S2RDF=%d WORQ=%d\n%s",
+					relP.Card(), relS.Card(), relW.Card(), q)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no binned queries to check")
+	}
+}

@@ -1,0 +1,117 @@
+package hpart
+
+import (
+	"fmt"
+
+	"ping/internal/bloom"
+)
+
+// Per-sub-partition Bloom filters implement the paper's §6.2 proposal of
+// "Bloom filters to identify levels with relevant answers": for a pattern
+// with a constant subject or object, the processor can probe the filters
+// of each candidate sub-partition and skip the ones that definitely do not
+// contain the constant. The SI/OI indexes prune by term *globally* (does
+// the term occur anywhere on this level?); the filters refine that to the
+// specific property file, which matters when a term occurs on a level only
+// under other properties. False positives merely load extra files; false
+// negatives are impossible, so answers are unaffected.
+
+// SubPartBlooms holds one sub-partition's subject and object filters.
+type SubPartBlooms struct {
+	Subjects *bloom.Filter
+	Objects  *bloom.Filter
+}
+
+// bloomFalsePositiveRate is the target FP rate for sub-partition filters.
+const bloomFalsePositiveRate = 0.01
+
+func bloomPath(key SubPartKey) string {
+	return fmt.Sprintf("blooms/L%02d_p%d.blm", key.Level, key.Prop)
+}
+
+// buildBlooms constructs the filters for one sub-partition's rows.
+func buildBlooms(pairs []Pair) SubPartBlooms {
+	sf := bloom.NewWithEstimates(uint64(len(pairs)+1), bloomFalsePositiveRate)
+	of := bloom.NewWithEstimates(uint64(len(pairs)+1), bloomFalsePositiveRate)
+	for _, pr := range pairs {
+		sf.Add(uint64(pr.S))
+		of.Add(uint64(pr.O))
+	}
+	return SubPartBlooms{Subjects: sf, Objects: of}
+}
+
+// writeBlooms persists one sub-partition's filters.
+func (l *Layout) writeBlooms(key SubPartKey, b SubPartBlooms) error {
+	w, err := l.fs.Create(bloomPath(key))
+	if err != nil {
+		return fmt.Errorf("hpart: %w", err)
+	}
+	if _, err := b.Subjects.WriteTo(w); err != nil {
+		w.Close()
+		return fmt.Errorf("hpart: write blooms %s: %w", key, err)
+	}
+	if _, err := b.Objects.WriteTo(w); err != nil {
+		w.Close()
+		return fmt.Errorf("hpart: write blooms %s: %w", key, err)
+	}
+	return w.Close()
+}
+
+// Blooms returns the filters of a sub-partition, or nil if the layout was
+// built without them.
+func (l *Layout) Blooms(key SubPartKey) *SubPartBlooms {
+	if l.blooms == nil {
+		return nil
+	}
+	if b, ok := l.blooms[key]; ok {
+		return &b
+	}
+	return nil
+}
+
+// HasBlooms reports whether the layout carries sub-partition filters.
+func (l *Layout) HasBlooms() bool { return len(l.blooms) > 0 }
+
+// BuildBlooms constructs (or rebuilds) the filters for every
+// sub-partition, persisting them alongside the data. It can be called on
+// layouts partitioned without Options.BuildBlooms.
+func (l *Layout) BuildBlooms() error {
+	l.blooms = make(map[SubPartKey]SubPartBlooms, len(l.SubPartRows))
+	for key := range l.SubPartRows {
+		pairs, err := l.ReadSubPartition(key)
+		if err != nil {
+			return err
+		}
+		b := buildBlooms(pairs)
+		l.blooms[key] = b
+		if err := l.writeBlooms(key, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadBlooms restores persisted filters for the inventoried
+// sub-partitions; missing files mean the layout has no filters.
+func (l *Layout) loadBlooms() error {
+	blooms := make(map[SubPartKey]SubPartBlooms, len(l.SubPartRows))
+	for key := range l.SubPartRows {
+		r, err := l.fs.Open(bloomPath(key))
+		if err != nil {
+			return nil // not built; leave l.blooms nil
+		}
+		sf, err := bloom.Read(r)
+		if err != nil {
+			r.Close()
+			return fmt.Errorf("hpart: read blooms %s: %w", key, err)
+		}
+		of, err := bloom.Read(r)
+		r.Close()
+		if err != nil {
+			return fmt.Errorf("hpart: read blooms %s: %w", key, err)
+		}
+		blooms[key] = SubPartBlooms{Subjects: sf, Objects: of}
+	}
+	l.blooms = blooms
+	return nil
+}

@@ -1,0 +1,130 @@
+package hpart
+
+import (
+	"testing"
+
+	"ping/internal/dataflow"
+	"ping/internal/rdf"
+)
+
+// TestDistributedEquivalentToSequential: the dataflow partitioner must
+// produce a layout identical (up to row order inside files) to the
+// sequential Algorithm 1.
+func TestDistributedEquivalentToSequential(t *testing.T) {
+	ctx := dataflow.NewContext(4)
+	for seed := int64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 150, 6)
+		seq, err := Partition(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := PartitionDistributed(g, ctx, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist.NumLevels != seq.NumLevels {
+			t.Fatalf("seed %d: levels %d != %d", seed, dist.NumLevels, seq.NumLevels)
+		}
+		if len(dist.SubPartRows) != len(seq.SubPartRows) {
+			t.Fatalf("seed %d: %d sub-partitions != %d", seed, len(dist.SubPartRows), len(seq.SubPartRows))
+		}
+		for key, rows := range seq.SubPartRows {
+			if dist.SubPartRows[key] != rows {
+				t.Fatalf("seed %d: SubPartRows[%v] = %d, want %d", seed, key, dist.SubPartRows[key], rows)
+			}
+			// Row sets must match.
+			sp, err := seq.ReadSubPartition(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, err := dist.ReadSubPartition(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[Pair]bool, len(sp))
+			for _, pr := range sp {
+				set[pr] = true
+			}
+			for _, pr := range dp {
+				if !set[pr] {
+					t.Fatalf("seed %d: %v has extra row %v", seed, key, pr)
+				}
+			}
+		}
+		for s, l := range seq.SI {
+			if dist.SI[s] != l {
+				t.Fatalf("seed %d: SI[%d] = %d, want %d", seed, s, dist.SI[s], l)
+			}
+		}
+		for p, set := range seq.VP {
+			if dist.VP[p] != set {
+				t.Fatalf("seed %d: VP[%d] = %v, want %v", seed, p, dist.VP[p], set)
+			}
+		}
+		for o, set := range seq.OI {
+			if dist.OI[o] != set {
+				t.Fatalf("seed %d: OI[%d] = %v, want %v", seed, o, dist.OI[o], set)
+			}
+		}
+		for i := range seq.LevelTriples {
+			if dist.LevelTriples[i] != seq.LevelTriples[i] {
+				t.Fatalf("seed %d: LevelTriples[%d] = %d, want %d",
+					seed, i, dist.LevelTriples[i], seq.LevelTriples[i])
+			}
+		}
+	}
+}
+
+func TestDistributedRunsStagesOnCluster(t *testing.T) {
+	ctx := dataflow.NewContext(4)
+	ctx.ResetMetrics()
+	g := randomGraph(9, 200, 5)
+	if _, err := PartitionDistributed(g, ctx, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m := ctx.Metrics()
+	if m.Stages < 5 {
+		t.Errorf("only %d dataflow stages ran", m.Stages)
+	}
+	if m.RowsShuffled == 0 {
+		t.Error("no shuffle recorded — the job did not run distributed")
+	}
+}
+
+func TestDistributedWithBloomsAndNilContext(t *testing.T) {
+	g := randomGraph(11, 80, 4)
+	lay, err := PartitionDistributed(g, nil, Options{BuildBlooms: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lay.HasBlooms() {
+		t.Error("blooms not built by distributed partitioner")
+	}
+	// Spot check: a stored pair passes its filters.
+	for _, key := range lay.SubPartitions() {
+		pairs, err := lay.ReadSubPartition(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := lay.Blooms(key)
+		if b == nil {
+			t.Fatalf("no blooms for %v", key)
+		}
+		for _, pr := range pairs {
+			if !b.Subjects.Contains(uint64(pr.S)) || !b.Objects.Contains(uint64(pr.O)) {
+				t.Fatalf("%v: filter missing stored row", key)
+			}
+		}
+		break
+	}
+}
+
+func TestDistributedEmptyGraph(t *testing.T) {
+	lay, err := PartitionDistributed(rdf.NewGraph(), dataflow.NewContext(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.NumLevels != 0 || lay.TotalTriples() != 0 {
+		t.Errorf("empty graph: levels=%d triples=%d", lay.NumLevels, lay.TotalTriples())
+	}
+}

@@ -1,0 +1,269 @@
+// Package hpart implements PING's hierarchical partitioner (Algorithm 1 of
+// the paper, §3.5–3.8). Given an RDF graph it
+//
+//  1. extracts the CS hierarchy (package cs),
+//  2. assigns every triple to the level of its subject's characteristic
+//     set — the levels L₁..Lₙ are disjoint (modularity, Thm 3.4) and
+//     jointly cover the graph (losslessness, Thm 3.5),
+//  3. vertically sub-partitions every level by property: L_i[p] holds only
+//     the (subject, object) pairs for p — the predicate is implied by the
+//     file name, saving space (§3.6),
+//  4. builds the three indexes of §3.7: VP (property → levels),
+//     SI (subject → level), OI (object → levels),
+//
+// and stores sub-partitions plus indexes as columnar files in a dfs
+// file system, mirroring the paper's Parquet-on-HDFS layout.
+package hpart
+
+import (
+	"fmt"
+	"time"
+
+	"ping/internal/columnar"
+	"ping/internal/cs"
+	"ping/internal/dfs"
+	"ping/internal/rdf"
+)
+
+// Pair is one row of a vertical sub-partition: a subject and object ID.
+// It aliases rdf.SOPair so engines and baselines share the representation.
+type Pair = rdf.SOPair
+
+// SubPartKey identifies a vertical sub-partition L_level[Prop].
+type SubPartKey struct {
+	Level int
+	Prop  rdf.ID
+}
+
+func (k SubPartKey) String() string { return fmt.Sprintf("L%d[p%d]", k.Level, k.Prop) }
+
+// Layout is a partitioned dataset: the CS hierarchy, the three indexes,
+// per-sub-partition row counts, and the file system holding the data.
+type Layout struct {
+	// Dict is shared with the source graph so IDs remain comparable.
+	Dict *rdf.Dict
+	// Hierarchy is the mined CS hierarchy.
+	Hierarchy *cs.Hierarchy
+	// NumLevels is the hierarchy depth (number of partitions).
+	NumLevels int
+
+	// VP maps each property to the levels where it occurs (§3.7).
+	VP map[rdf.ID]LevelSet
+	// SI maps each subject to its unique level (unique by modularity).
+	SI map[rdf.ID]int
+	// OI maps each object to the levels where it occurs as an object.
+	OI map[rdf.ID]LevelSet
+
+	// SubPartRows holds the row count of every sub-partition, used for
+	// join ordering and data-access accounting without touching files.
+	SubPartRows map[SubPartKey]int
+	// LevelTriples[i] is the number of triples on level i+1 (Fig. 5).
+	LevelTriples []int64
+
+	// PreprocessTime is the wall-clock duration of Partition.
+	PreprocessTime time.Duration
+	// StoredBytes is the total size of all written partition files
+	// (excluding indexes), the numerator of the Fig. 7 reduction factor.
+	StoredBytes int64
+
+	fs *dfs.FS
+	// blooms holds the optional per-sub-partition membership filters
+	// (§6.2 extension); nil when not built.
+	blooms map[SubPartKey]SubPartBlooms
+}
+
+// Options configures Partition.
+type Options struct {
+	// FS is the destination file system; nil means a fresh in-memory one.
+	FS *dfs.FS
+	// Encoding selects the columnar encoding for sub-partition files.
+	// PING's storage policy is plain varint columns (predicate names are
+	// dropped; heavier compression is left to the baselines). Zero value
+	// (Plain) is the paper-faithful setting.
+	Encoding columnar.Encoding
+	// BuildBlooms additionally builds per-sub-partition Bloom filters
+	// that the query processor can use to skip files that cannot contain
+	// a pattern's constant (the §6.2 extension).
+	BuildBlooms bool
+}
+
+// Partition runs Algorithm 1 over the graph. The input graph should be
+// deduplicated; duplicate triples would otherwise inflate sub-partitions.
+func Partition(g *rdf.Graph, opts Options) (*Layout, error) {
+	start := time.Now()
+	fs := opts.FS
+	if fs == nil {
+		fs = dfs.New(dfs.Config{})
+	}
+
+	// Line 2: extract the CS hierarchy.
+	csBySubject := cs.Extract(g)
+	h := cs.Build(csBySubject)
+	if h.MaxLevel() > MaxLevels {
+		return nil, fmt.Errorf("hpart: hierarchy depth %d exceeds supported %d", h.MaxLevel(), MaxLevels)
+	}
+
+	lay := &Layout{
+		Dict:         g.Dict,
+		Hierarchy:    h,
+		NumLevels:    h.MaxLevel(),
+		VP:           make(map[rdf.ID]LevelSet),
+		SI:           make(map[rdf.ID]int, len(csBySubject)),
+		OI:           make(map[rdf.ID]LevelSet),
+		SubPartRows:  make(map[SubPartKey]int),
+		LevelTriples: make([]int64, h.MaxLevel()),
+		fs:           fs,
+	}
+
+	// Pre-resolve each subject's level once, into a dense array indexed
+	// by term ID (the dictionary hands out contiguous IDs). Dense arrays
+	// replace four hash-map writes per triple in the hot loop below.
+	nTerms := g.Dict.Len()
+	levelOf := make([]uint8, nTerms)
+	for s, set := range csBySubject {
+		levelOf[s] = uint8(h.LevelOf(set))
+	}
+	vp := make([]LevelSet, nTerms)
+	oi := make([]LevelSet, nTerms)
+
+	// Lines 3-12: one pass over the triples building sub-partitions and
+	// indexes.
+	sub := make(map[SubPartKey][]Pair)
+	for _, t := range g.Triples {
+		i := int(levelOf[t.S])
+		key := SubPartKey{Level: i, Prop: t.P}
+		sub[key] = append(sub[key], Pair{S: t.S, O: t.O})
+		lay.LevelTriples[i-1]++
+		vp[t.P] = vp[t.P].Add(i)
+		oi[t.O] = oi[t.O].Add(i)
+	}
+	// Materialize the sparse index maps from the dense arrays.
+	for id := 0; id < nTerms; id++ {
+		if vp[id] != 0 {
+			lay.VP[rdf.ID(id)] = vp[id]
+		}
+		if oi[id] != 0 {
+			lay.OI[rdf.ID(id)] = oi[id]
+		}
+		if l := levelOf[id]; l != 0 {
+			lay.SI[rdf.ID(id)] = int(l)
+		}
+	}
+
+	// Persist sub-partitions as two-column files.
+	if opts.BuildBlooms {
+		lay.blooms = make(map[SubPartKey]SubPartBlooms, len(sub))
+	}
+	for key, pairs := range sub {
+		lay.SubPartRows[key] = len(pairs)
+		if opts.BuildBlooms {
+			b := buildBlooms(pairs)
+			lay.blooms[key] = b
+			if err := lay.writeBlooms(key, b); err != nil {
+				return nil, err
+			}
+		}
+		scol := make([]uint32, len(pairs))
+		ocol := make([]uint32, len(pairs))
+		for i, pr := range pairs {
+			scol[i] = pr.S
+			ocol[i] = pr.O
+		}
+		w, err := fs.Create(subPartPath(key))
+		if err != nil {
+			return nil, fmt.Errorf("hpart: %w", err)
+		}
+		n, err := columnar.WriteColumns(w, [][]uint32{scol, ocol}, opts.Encoding)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hpart: write %s: %w", key, err)
+		}
+		lay.StoredBytes += n
+	}
+
+	if err := lay.writeIndexes(); err != nil {
+		return nil, err
+	}
+	lay.PreprocessTime = time.Since(start)
+	return lay, nil
+}
+
+func subPartPath(key SubPartKey) string {
+	return fmt.Sprintf("levels/L%02d/p%d.pcol", key.Level, key.Prop)
+}
+
+// FS returns the file system backing the layout.
+func (l *Layout) FS() *dfs.FS { return l.fs }
+
+// SubPartitions returns the keys of all non-empty sub-partitions.
+func (l *Layout) SubPartitions() []SubPartKey {
+	out := make([]SubPartKey, 0, len(l.SubPartRows))
+	for k := range l.SubPartRows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// HasSubPartition reports whether L_level[prop] exists (is non-empty).
+func (l *Layout) HasSubPartition(key SubPartKey) bool {
+	_, ok := l.SubPartRows[key]
+	return ok
+}
+
+// ReadSubPartition loads the (subject, object) pairs of L_level[prop] from
+// storage. Every call re-reads the file, so callers' row accounting
+// reflects real data access.
+func (l *Layout) ReadSubPartition(key SubPartKey) ([]Pair, error) {
+	data, err := l.fs.ReadFile(subPartPath(key))
+	if err != nil {
+		return nil, fmt.Errorf("hpart: open %s: %w", key, err)
+	}
+	cols, err := columnar.DecodeColumns(data)
+	if err != nil {
+		return nil, fmt.Errorf("hpart: read %s: %w", key, err)
+	}
+	if len(cols) != 2 || len(cols[0]) != len(cols[1]) {
+		return nil, fmt.Errorf("hpart: %s: malformed sub-partition", key)
+	}
+	pairs := make([]Pair, len(cols[0]))
+	for i := range pairs {
+		pairs[i] = Pair{S: cols[0][i], O: cols[1][i]}
+	}
+	return pairs, nil
+}
+
+// SubjectLevels returns the SI entry for a subject as a LevelSet (empty if
+// the term never occurs as a subject).
+func (l *Layout) SubjectLevels(id rdf.ID) LevelSet {
+	if lv, ok := l.SI[id]; ok {
+		return LevelSet(0).Add(lv)
+	}
+	return 0
+}
+
+// ObjectLevels returns the OI entry for an object (empty if the term never
+// occurs as an object).
+func (l *Layout) ObjectLevels(id rdf.ID) LevelSet { return l.OI[id] }
+
+// PropertyLevels returns the VP entry for a property (empty if absent).
+func (l *Layout) PropertyLevels(id rdf.ID) LevelSet { return l.VP[id] }
+
+// AllLevels returns the set {1..NumLevels}.
+func (l *Layout) AllLevels() LevelSet {
+	var s LevelSet
+	for i := 1; i <= l.NumLevels; i++ {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// TotalTriples returns the number of partitioned triples.
+func (l *Layout) TotalTriples() int64 {
+	var n int64
+	for _, c := range l.LevelTriples {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package hpart
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// LevelSet is a bitset over hierarchy levels 1..64. The paper's deepest
+// dataset (DBpedia) has 17 levels; 64 leaves ample headroom while keeping
+// the indexes flat arrays of one word per entry.
+type LevelSet uint64
+
+// MaxLevels is the deepest hierarchy a LevelSet can represent.
+const MaxLevels = 64
+
+// Add returns the set with the given 1-based level included.
+func (s LevelSet) Add(level int) LevelSet {
+	if level < 1 || level > MaxLevels {
+		panic(fmt.Sprintf("hpart: level %d out of range [1,%d]", level, MaxLevels))
+	}
+	return s | 1<<(level-1)
+}
+
+// Has reports whether a level is present.
+func (s LevelSet) Has(level int) bool {
+	if level < 1 || level > MaxLevels {
+		return false
+	}
+	return s&(1<<(level-1)) != 0
+}
+
+// Intersect returns the levels common to both sets.
+func (s LevelSet) Intersect(t LevelSet) LevelSet { return s & t }
+
+// Union returns the levels in either set.
+func (s LevelSet) Union(t LevelSet) LevelSet { return s | t }
+
+// Empty reports whether no level is present.
+func (s LevelSet) Empty() bool { return s == 0 }
+
+// Count returns the number of levels present.
+func (s LevelSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Min returns the smallest level present, or 0 when empty.
+func (s LevelSet) Min() int {
+	if s == 0 {
+		return 0
+	}
+	return bits.TrailingZeros64(uint64(s)) + 1
+}
+
+// Max returns the largest level present, or 0 when empty.
+func (s LevelSet) Max() int {
+	if s == 0 {
+		return 0
+	}
+	return 64 - bits.LeadingZeros64(uint64(s))
+}
+
+// Levels returns the present levels in ascending order.
+func (s LevelSet) Levels() []int {
+	out := make([]int, 0, s.Count())
+	for l := s.Min(); l > 0 && l <= s.Max(); l++ {
+		if s.Has(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// UpTo returns the subset of levels ≤ k.
+func (s LevelSet) UpTo(k int) LevelSet {
+	if k <= 0 {
+		return 0
+	}
+	if k >= MaxLevels {
+		return s
+	}
+	return s & (1<<k - 1)
+}
+
+// String renders the set like "{2,5-13}" style ranges, matching how the
+// paper writes symbol-level tables (Table 2).
+func (s LevelSet) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	levels := s.Levels()
+	for i := 0; i < len(levels); {
+		j := i
+		for j+1 < len(levels) && levels[j+1] == levels[j]+1 {
+			j++
+		}
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		if j == i {
+			fmt.Fprintf(&b, "%d", levels[i])
+		} else {
+			fmt.Fprintf(&b, "%d-%d", levels[i], levels[j])
+		}
+		i = j + 1
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package hpart
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelSetBasics(t *testing.T) {
+	var s LevelSet
+	if !s.Empty() || s.Count() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("zero set not empty")
+	}
+	s = s.Add(3).Add(1).Add(17)
+	if s.Empty() || s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	for _, l := range []int{1, 3, 17} {
+		if !s.Has(l) {
+			t.Errorf("Has(%d) = false", l)
+		}
+	}
+	for _, l := range []int{2, 4, 16, 18, 0, -1, 65} {
+		if s.Has(l) {
+			t.Errorf("Has(%d) = true", l)
+		}
+	}
+	if s.Min() != 1 || s.Max() != 17 {
+		t.Errorf("Min/Max = %d/%d", s.Min(), s.Max())
+	}
+	got := s.Levels()
+	want := []int{1, 3, 17}
+	if len(got) != len(want) {
+		t.Fatalf("Levels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Levels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLevelSetOps(t *testing.T) {
+	a := LevelSet(0).Add(1).Add(2).Add(5)
+	b := LevelSet(0).Add(2).Add(5).Add(9)
+	if got := a.Intersect(b); got.Count() != 2 || !got.Has(2) || !got.Has(5) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Union(b); got.Count() != 4 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.UpTo(2); got.Count() != 2 || got.Has(5) {
+		t.Errorf("UpTo(2) = %v", got)
+	}
+	if got := a.UpTo(0); !got.Empty() {
+		t.Errorf("UpTo(0) = %v", got)
+	}
+	if got := a.UpTo(100); got != a {
+		t.Errorf("UpTo(100) = %v", got)
+	}
+}
+
+func TestLevelSetAddPanicsOutOfRange(t *testing.T) {
+	for _, l := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%d) did not panic", l)
+				}
+			}()
+			LevelSet(0).Add(l)
+		}()
+	}
+}
+
+func TestLevelSetString(t *testing.T) {
+	cases := map[string]LevelSet{
+		"{}":    0,
+		"{3}":   LevelSet(0).Add(3),
+		"{1-3}": LevelSet(0).Add(1).Add(2).Add(3),
+		"{2-13}": func() LevelSet {
+			s := LevelSet(0)
+			for i := 2; i <= 13; i++ {
+				s = s.Add(i)
+			}
+			return s
+		}(),
+		"{1,3-4,9}": LevelSet(0).Add(1).Add(3).Add(4).Add(9),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String(%b) = %q, want %q", uint64(s), got, want)
+		}
+	}
+}
+
+func TestLevelSetQuickInvariants(t *testing.T) {
+	err := quick.Check(func(raw uint64, level uint8) bool {
+		s := LevelSet(raw)
+		l := int(level%MaxLevels) + 1
+		withL := s.Add(l)
+		return withL.Has(l) && withL.Count() >= s.Count() &&
+			withL.Union(s) == withL && s.Intersect(withL) == s
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitJoinSet(t *testing.T) {
+	err := quick.Check(func(raw uint64) bool {
+		lo, hi := splitSet(LevelSet(raw))
+		return joinSet(lo, hi) == LevelSet(raw)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,473 @@
+package hpart
+
+import (
+	"fmt"
+	"sort"
+
+	"ping/internal/columnar"
+	"ping/internal/cs"
+	"ping/internal/rdf"
+)
+
+// Maintainer implements the incremental-update algorithm the paper leaves
+// as future work (§6.1/§6.2): applying triple additions and removals to an
+// existing hierarchical partitioning without rebuilding it.
+//
+// The subtlety the paper points out is that updates can reshape the CS
+// hierarchy itself: adding triples can create a characteristic set that
+// slots *below* existing ones, deepening their levels, and removals can
+// flatten chains. The maintainer therefore keeps the live multiset of
+// characteristic sets; after an update batch it recomputes the (small)
+// hierarchy, diffs every CS's level, and moves exactly the affected
+// subjects' rows between level files — instances whose CS and level are
+// untouched cost nothing, matching the paper's "trivial for instances that
+// have a CS already in the hierarchy" observation.
+//
+// All layout invariants (modularity, losslessness, index consistency) are
+// preserved; the equivalence tests check the maintained layout against a
+// from-scratch Partition of the updated graph.
+type Maintainer struct {
+	lay *Layout
+	// csBySubject is the live CS of every subject.
+	csBySubject map[rdf.ID]cs.Set
+	// csCount is the number of subjects per CS key (the hierarchy is the
+	// set of keys with count > 0).
+	csCount map[string]int
+	// csByKey resolves a CS key back to its set.
+	csByKey map[string]cs.Set
+	// oiCount tracks, per (object, level), how many triples reference the
+	// object there — the exact refcounts behind the OI index.
+	oiCount map[objLevel]int
+}
+
+type objLevel struct {
+	obj   rdf.ID
+	level int
+}
+
+// NewMaintainer builds a maintainer by scanning the layout's
+// sub-partitions once (the layout is lossless, so the scan reconstructs
+// every subject's CS and the object refcounts).
+func NewMaintainer(lay *Layout) (*Maintainer, error) {
+	m := &Maintainer{
+		lay:         lay,
+		csBySubject: make(map[rdf.ID]cs.Set),
+		csCount:     make(map[string]int),
+		csByKey:     make(map[string]cs.Set),
+		oiCount:     make(map[objLevel]int),
+	}
+	propsBySubject := make(map[rdf.ID][]rdf.ID)
+	for _, key := range lay.SubPartitions() {
+		pairs, err := lay.ReadSubPartition(key)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range pairs {
+			props := propsBySubject[pr.S]
+			if len(props) == 0 || props[len(props)-1] != key.Prop {
+				propsBySubject[pr.S] = append(props, key.Prop)
+			}
+			m.oiCount[objLevel{pr.O, key.Level}]++
+		}
+	}
+	for s, props := range propsBySubject {
+		set := cs.NewSet(props)
+		m.csBySubject[s] = set
+		key := set.Key()
+		m.csCount[key]++
+		m.csByKey[key] = set
+	}
+	return m, nil
+}
+
+// Layout returns the maintained layout.
+func (m *Maintainer) Layout() *Layout { return m.lay }
+
+// AddTriples applies a batch of additions. Duplicate triples (already
+// present) are ignored. The dictionary of the layout must already contain
+// the triple terms (use Layout.Dict.Encode when building the batch).
+func (m *Maintainer) AddTriples(ts []rdf.Triple) error {
+	return m.apply(ts, nil)
+}
+
+// RemoveTriples applies a batch of removals. Absent triples are ignored.
+func (m *Maintainer) RemoveTriples(ts []rdf.Triple) error {
+	return m.apply(nil, ts)
+}
+
+// Apply applies additions and removals in one batch (removals first).
+func (m *Maintainer) Apply(add, remove []rdf.Triple) error {
+	return m.apply(add, remove)
+}
+
+// subjectDelta accumulates the per-subject changes of a batch.
+type subjectDelta struct {
+	addByProp map[rdf.ID][]rdf.ID // prop -> objects added
+	delByProp map[rdf.ID][]rdf.ID // prop -> objects removed
+}
+
+func (m *Maintainer) apply(add, remove []rdf.Triple) error {
+	if len(add) == 0 && len(remove) == 0 {
+		return nil
+	}
+	deltas := make(map[rdf.ID]*subjectDelta)
+	delta := func(s rdf.ID) *subjectDelta {
+		d := deltas[s]
+		if d == nil {
+			d = &subjectDelta{
+				addByProp: make(map[rdf.ID][]rdf.ID),
+				delByProp: make(map[rdf.ID][]rdf.ID),
+			}
+			deltas[s] = d
+		}
+		return d
+	}
+	for _, t := range remove {
+		d := delta(t.S)
+		d.delByProp[t.P] = append(d.delByProp[t.P], t.O)
+	}
+	for _, t := range add {
+		d := delta(t.S)
+		d.addByProp[t.P] = append(d.addByProp[t.P], t.O)
+	}
+
+	// Phase 1: pull every affected subject's current rows out of its old
+	// level files and compute its updated property map.
+	rowsBySubject := make(map[rdf.ID]map[rdf.ID][]rdf.ID) // subject -> prop -> objects
+	if err := m.extractSubjects(deltas, rowsBySubject); err != nil {
+		return err
+	}
+
+	// Phase 2: apply the deltas in memory.
+	for s, d := range deltas {
+		rows := rowsBySubject[s]
+		if rows == nil {
+			rows = make(map[rdf.ID][]rdf.ID)
+			rowsBySubject[s] = rows
+		}
+		for p, objs := range d.delByProp {
+			rows[p] = removeAll(rows[p], objs)
+			if len(rows[p]) == 0 {
+				delete(rows, p)
+			}
+		}
+		for p, objs := range d.addByProp {
+			rows[p] = addDistinct(rows[p], objs)
+		}
+	}
+
+	// Phase 3: update the CS multiset with each subject's new CS.
+	for s := range deltas {
+		old, had := m.csBySubject[s]
+		if had {
+			key := old.Key()
+			m.csCount[key]--
+			if m.csCount[key] == 0 {
+				delete(m.csCount, key)
+				delete(m.csByKey, key)
+			}
+		}
+		props := make([]rdf.ID, 0, len(rowsBySubject[s]))
+		for p := range rowsBySubject[s] {
+			props = append(props, p)
+		}
+		if len(props) == 0 {
+			delete(m.csBySubject, s)
+			continue
+		}
+		set := cs.NewSet(props)
+		m.csBySubject[s] = set
+		key := set.Key()
+		m.csCount[key]++
+		m.csByKey[key] = set
+	}
+
+	// Phase 4: recompute the hierarchy over the live CS multiset and diff
+	// levels. CSs whose level changed drag *all* their subjects along —
+	// this is the "new levels introduced" case the paper flags.
+	sets := make([]cs.Set, 0, len(m.csByKey))
+	for _, set := range m.csByKey {
+		sets = append(sets, set)
+	}
+	h := cs.BuildFromSets(sets)
+	if h.MaxLevel() > MaxLevels {
+		return fmt.Errorf("hpart: updated hierarchy depth %d exceeds supported %d", h.MaxLevel(), MaxLevels)
+	}
+
+	moved := make(map[rdf.ID]bool, len(deltas))
+	for s := range deltas {
+		moved[s] = true
+	}
+	// Batch all pure level shifts into one extraction pass: when a new CS
+	// renumbers many existing CSs, every affected sub-partition file is
+	// still read and rewritten exactly once.
+	shiftKeys := make(map[SubPartKey]map[rdf.ID]bool)
+	levelByKey := make(map[string]int, len(m.csByKey))
+	for key, set := range m.csByKey {
+		levelByKey[key] = h.LevelOf(set)
+	}
+	for s, set := range m.csBySubject {
+		if moved[s] {
+			continue
+		}
+		if newLevel := levelByKey[set.Key()]; newLevel != m.lay.SI[s] {
+			moved[s] = true
+			oldLevel := m.lay.SI[s]
+			for _, p := range set.Props() {
+				key := SubPartKey{Level: oldLevel, Prop: p}
+				if shiftKeys[key] == nil {
+					shiftKeys[key] = make(map[rdf.ID]bool)
+				}
+				shiftKeys[key][s] = true
+			}
+		}
+	}
+	if len(shiftKeys) > 0 {
+		if err := m.extractFromFiles(shiftKeys, rowsBySubject); err != nil {
+			return err
+		}
+	}
+
+	// Phase 5: write every moved subject's rows at its new level and
+	// refresh the indexes.
+	if err := m.placeSubjects(h, moved, rowsBySubject); err != nil {
+		return err
+	}
+	m.lay.Hierarchy = h
+	m.lay.NumLevels = h.MaxLevel()
+	m.recomputeLevelStats()
+	return m.lay.writeIndexes()
+}
+
+// extractSubjects removes all rows of the delta'd subjects from their old
+// level files, collecting them into rowsBySubject.
+func (m *Maintainer) extractSubjects(deltas map[rdf.ID]*subjectDelta, rowsBySubject map[rdf.ID]map[rdf.ID][]rdf.ID) error {
+	// Group work per sub-partition so each file is rewritten once.
+	byKey := make(map[SubPartKey]map[rdf.ID]bool)
+	for s := range deltas {
+		set, ok := m.csBySubject[s]
+		if !ok {
+			continue
+		}
+		level := m.lay.SI[s]
+		for _, p := range set.Props() {
+			key := SubPartKey{Level: level, Prop: p}
+			if byKey[key] == nil {
+				byKey[key] = make(map[rdf.ID]bool)
+			}
+			byKey[key][s] = true
+		}
+	}
+	return m.extractFromFiles(byKey, rowsBySubject)
+}
+
+// extractFromFiles rewrites each listed sub-partition without the listed
+// subjects' rows, collecting the removed rows and maintaining the OI
+// refcounts.
+func (m *Maintainer) extractFromFiles(byKey map[SubPartKey]map[rdf.ID]bool, rowsBySubject map[rdf.ID]map[rdf.ID][]rdf.ID) error {
+	for key, subjects := range byKey {
+		if !m.lay.HasSubPartition(key) {
+			continue
+		}
+		pairs, err := m.lay.ReadSubPartition(key)
+		if err != nil {
+			return err
+		}
+		kept := pairs[:0:0]
+		for _, pr := range pairs {
+			if subjects[pr.S] {
+				rows := rowsBySubject[pr.S]
+				if rows == nil {
+					rows = make(map[rdf.ID][]rdf.ID)
+					rowsBySubject[pr.S] = rows
+				}
+				rows[key.Prop] = append(rows[key.Prop], pr.O)
+				m.decOI(pr.O, key.Level)
+			} else {
+				kept = append(kept, pr)
+			}
+		}
+		if err := m.writeSubPartition(key, kept); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// placeSubjects writes the moved subjects' rows into their new level
+// files, batching appends per sub-partition.
+func (m *Maintainer) placeSubjects(h *cs.Hierarchy, moved map[rdf.ID]bool, rowsBySubject map[rdf.ID]map[rdf.ID][]rdf.ID) error {
+	appends := make(map[SubPartKey][]Pair)
+	for s := range moved {
+		set, ok := m.csBySubject[s]
+		if !ok {
+			delete(m.lay.SI, s) // subject vanished entirely
+			continue
+		}
+		level := h.LevelOf(set)
+		m.lay.SI[s] = level
+		for p, objs := range rowsBySubject[s] {
+			key := SubPartKey{Level: level, Prop: p}
+			for _, o := range objs {
+				appends[key] = append(appends[key], Pair{S: s, O: o})
+				m.incOI(o, level)
+			}
+		}
+	}
+	for key, rows := range appends {
+		var existing []Pair
+		if m.lay.HasSubPartition(key) {
+			var err error
+			existing, err = m.lay.ReadSubPartition(key)
+			if err != nil {
+				return err
+			}
+		}
+		if err := m.writeSubPartition(key, append(existing, rows...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSubPartition persists a sub-partition's rows (removing the file
+// when empty) and keeps SubPartRows, StoredBytes, and VP in sync.
+func (m *Maintainer) writeSubPartition(key SubPartKey, rows []Pair) error {
+	path := subPartPath(key)
+	if info, err := m.lay.fs.Stat(path); err == nil {
+		m.lay.StoredBytes -= info.Size
+	}
+	if len(rows) == 0 {
+		delete(m.lay.SubPartRows, key)
+		if m.lay.fs.Exists(path) {
+			if err := m.lay.fs.Remove(path); err != nil {
+				return fmt.Errorf("hpart: %w", err)
+			}
+		}
+		if m.lay.blooms != nil {
+			delete(m.lay.blooms, key)
+			if m.lay.fs.Exists(bloomPath(key)) {
+				if err := m.lay.fs.Remove(bloomPath(key)); err != nil {
+					return fmt.Errorf("hpart: %w", err)
+				}
+			}
+		}
+		m.refreshVP(key.Prop)
+		return nil
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].S != rows[j].S {
+			return rows[i].S < rows[j].S
+		}
+		return rows[i].O < rows[j].O
+	})
+	scol := make([]uint32, len(rows))
+	ocol := make([]uint32, len(rows))
+	for i, pr := range rows {
+		scol[i] = pr.S
+		ocol[i] = pr.O
+	}
+	w, err := m.lay.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("hpart: %w", err)
+	}
+	n, err := columnar.WriteColumns(w, [][]uint32{scol, ocol}, columnar.Plain)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("hpart: rewrite %s: %w", key, err)
+	}
+	m.lay.StoredBytes += n
+	m.lay.SubPartRows[key] = len(rows)
+	if m.lay.blooms != nil {
+		// Bloom filters cannot delete, so a rewrite rebuilds the filter.
+		b := buildBlooms(rows)
+		m.lay.blooms[key] = b
+		if err := m.lay.writeBlooms(key, b); err != nil {
+			return err
+		}
+	}
+	m.refreshVP(key.Prop)
+	return nil
+}
+
+// refreshVP recomputes one property's VP entry from the sub-partition
+// inventory.
+func (m *Maintainer) refreshVP(p rdf.ID) {
+	var set LevelSet
+	for key := range m.lay.SubPartRows {
+		if key.Prop == p {
+			set = set.Add(key.Level)
+		}
+	}
+	if set.Empty() {
+		delete(m.lay.VP, p)
+	} else {
+		m.lay.VP[p] = set
+	}
+}
+
+func (m *Maintainer) incOI(o rdf.ID, level int) {
+	k := objLevel{o, level}
+	m.oiCount[k]++
+	if m.oiCount[k] == 1 {
+		m.lay.OI[o] = m.lay.OI[o].Add(level)
+	}
+}
+
+func (m *Maintainer) decOI(o rdf.ID, level int) {
+	k := objLevel{o, level}
+	m.oiCount[k]--
+	if m.oiCount[k] <= 0 {
+		delete(m.oiCount, k)
+		set := m.lay.OI[o] &^ (1 << (level - 1))
+		if set.Empty() {
+			delete(m.lay.OI, o)
+		} else {
+			m.lay.OI[o] = set
+		}
+	}
+}
+
+// recomputeLevelStats refreshes LevelTriples from the inventory.
+func (m *Maintainer) recomputeLevelStats() {
+	counts := make([]int64, m.lay.NumLevels)
+	for key, rows := range m.lay.SubPartRows {
+		if key.Level >= 1 && key.Level <= m.lay.NumLevels {
+			counts[key.Level-1] += int64(rows)
+		}
+	}
+	m.lay.LevelTriples = counts
+}
+
+// removeAll returns objs minus the removals (each removal deletes one
+// occurrence; sub-partitions hold sets, so one is all there is).
+func removeAll(objs, removals []rdf.ID) []rdf.ID {
+	drop := make(map[rdf.ID]bool, len(removals))
+	for _, o := range removals {
+		drop[o] = true
+	}
+	out := objs[:0:0]
+	for _, o := range objs {
+		if !drop[o] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// addDistinct appends additions not already present.
+func addDistinct(objs, additions []rdf.ID) []rdf.ID {
+	have := make(map[rdf.ID]bool, len(objs))
+	for _, o := range objs {
+		have[o] = true
+	}
+	for _, o := range additions {
+		if !have[o] {
+			have[o] = true
+			objs = append(objs, o)
+		}
+	}
+	return objs
+}

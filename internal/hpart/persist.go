@@ -1,0 +1,211 @@
+package hpart
+
+import (
+	"fmt"
+
+	"ping/internal/columnar"
+	"ping/internal/dfs"
+	"ping/internal/rdf"
+)
+
+// Storage paths within the layout's file system. Sub-partitions live under
+// levels/, indexes under indexes/, and meta.pcol ties everything together.
+const (
+	vpPath   = "indexes/vp.pcol"
+	siPath   = "indexes/si.pcol"
+	oiPath   = "indexes/oi.pcol"
+	metaPath = "meta.pcol"
+	dictPath = "dict.txt"
+)
+
+func splitSet(s LevelSet) (lo, hi uint32) {
+	return uint32(s), uint32(uint64(s) >> 32)
+}
+
+func joinSet(lo, hi uint32) LevelSet {
+	return LevelSet(uint64(lo) | uint64(hi)<<32)
+}
+
+// writeIndexes persists VP, SI, OI and the layout metadata. Indexes are
+// stored as columnar files (IDs plus level bitmasks), the same storage
+// substrate as the data, matching the paper's "indexes are stored in HDFS
+// and loaded into Spark memory at query-processor startup" (§3.7).
+func (l *Layout) writeIndexes() error {
+	write := func(path string, cols [][]uint32) error {
+		w, err := l.fs.Create(path)
+		if err != nil {
+			return fmt.Errorf("hpart: %w", err)
+		}
+		_, err = columnar.WriteColumns(w, cols, columnar.Auto)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("hpart: write %s: %w", path, err)
+		}
+		return nil
+	}
+
+	// VP: property → level set.
+	vp := make([][]uint32, 3)
+	for p, set := range l.VP {
+		lo, hi := splitSet(set)
+		vp[0] = append(vp[0], p)
+		vp[1] = append(vp[1], lo)
+		vp[2] = append(vp[2], hi)
+	}
+	if err := write(vpPath, vp); err != nil {
+		return err
+	}
+
+	// SI: subject → level.
+	si := make([][]uint32, 2)
+	for s, level := range l.SI {
+		si[0] = append(si[0], s)
+		si[1] = append(si[1], uint32(level))
+	}
+	if err := write(siPath, si); err != nil {
+		return err
+	}
+
+	// OI: object → level set.
+	oi := make([][]uint32, 3)
+	for o, set := range l.OI {
+		lo, hi := splitSet(set)
+		oi[0] = append(oi[0], o)
+		oi[1] = append(oi[1], lo)
+		oi[2] = append(oi[2], hi)
+	}
+	if err := write(oiPath, oi); err != nil {
+		return err
+	}
+
+	// Meta: hierarchy depth, per-level triple counts (split 64-bit), and
+	// the sub-partition inventory with row counts.
+	meta := make([][]uint32, 6)
+	meta[0] = []uint32{uint32(l.NumLevels)}
+	for _, n := range l.LevelTriples {
+		meta[1] = append(meta[1], uint32(uint64(n)&0xffffffff))
+		meta[2] = append(meta[2], uint32(uint64(n)>>32))
+	}
+	for key, rows := range l.SubPartRows {
+		meta[3] = append(meta[3], uint32(key.Level))
+		meta[4] = append(meta[4], key.Prop)
+		meta[5] = append(meta[5], uint32(rows))
+	}
+	return write(metaPath, meta)
+}
+
+// SaveDict persists the term dictionary alongside the partitions so a
+// layout directory is self-contained (used by the CLI tools).
+func (l *Layout) SaveDict() error {
+	w, err := l.fs.Create(dictPath)
+	if err != nil {
+		return fmt.Errorf("hpart: %w", err)
+	}
+	_, err = l.Dict.WriteTo(w)
+	if cerr := w.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("hpart: save dict: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a Layout from a file system previously populated by
+// Partition (and SaveDict, if dict is nil). The CS hierarchy itself is not
+// persisted — query processing only needs the indexes — so
+// Layout.Hierarchy is nil on loaded layouts.
+func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
+	read := func(path string, wantCols int) ([][]uint32, error) {
+		r, err := fs.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("hpart: %w", err)
+		}
+		defer r.Close()
+		cols, err := columnar.ReadColumns(r)
+		if err != nil {
+			return nil, fmt.Errorf("hpart: read %s: %w", path, err)
+		}
+		if len(cols) != wantCols {
+			return nil, fmt.Errorf("hpart: %s has %d columns, want %d", path, len(cols), wantCols)
+		}
+		return cols, nil
+	}
+
+	if dict == nil {
+		r, err := fs.Open(dictPath)
+		if err != nil {
+			return nil, fmt.Errorf("hpart: no dictionary provided and %s missing: %w", dictPath, err)
+		}
+		dict, err = rdf.ReadDict(r)
+		r.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lay := &Layout{
+		Dict:        dict,
+		VP:          make(map[rdf.ID]LevelSet),
+		SI:          make(map[rdf.ID]int),
+		OI:          make(map[rdf.ID]LevelSet),
+		SubPartRows: make(map[SubPartKey]int),
+		fs:          fs,
+	}
+
+	meta, err := read(metaPath, 6)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta[0]) != 1 {
+		return nil, fmt.Errorf("hpart: malformed meta header")
+	}
+	lay.NumLevels = int(meta[0][0])
+	if len(meta[1]) != len(meta[2]) || len(meta[1]) != lay.NumLevels {
+		return nil, fmt.Errorf("hpart: malformed level counts")
+	}
+	lay.LevelTriples = make([]int64, lay.NumLevels)
+	for i := range meta[1] {
+		lay.LevelTriples[i] = int64(uint64(meta[1][i]) | uint64(meta[2][i])<<32)
+	}
+	if len(meta[3]) != len(meta[4]) || len(meta[3]) != len(meta[5]) {
+		return nil, fmt.Errorf("hpart: malformed sub-partition inventory")
+	}
+	var stored int64
+	for i := range meta[3] {
+		key := SubPartKey{Level: int(meta[3][i]), Prop: meta[4][i]}
+		lay.SubPartRows[key] = int(meta[5][i])
+		if info, err := fs.Stat(fmt.Sprintf("levels/L%02d/p%d.pcol", key.Level, key.Prop)); err == nil {
+			stored += info.Size
+		}
+	}
+	lay.StoredBytes = stored
+
+	vp, err := read(vpPath, 3)
+	if err != nil {
+		return nil, err
+	}
+	for i := range vp[0] {
+		lay.VP[vp[0][i]] = joinSet(vp[1][i], vp[2][i])
+	}
+	si, err := read(siPath, 2)
+	if err != nil {
+		return nil, err
+	}
+	for i := range si[0] {
+		lay.SI[si[0][i]] = int(si[1][i])
+	}
+	oi, err := read(oiPath, 3)
+	if err != nil {
+		return nil, err
+	}
+	for i := range oi[0] {
+		lay.OI[oi[0][i]] = joinSet(oi[1][i], oi[2][i])
+	}
+	if err := lay.loadBlooms(); err != nil {
+		return nil, err
+	}
+	return lay, nil
+}

@@ -1,0 +1,107 @@
+package ping
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// TestProductScheduleCap: the literal Algorithm 2 product is capped; a
+// query whose per-pattern candidate lists multiply past the cap must fail
+// with a clear error instead of enumerating forever.
+func TestProductScheduleCap(t *testing.T) {
+	// ~120 properties over nested CSs gives each variable-predicate
+	// pattern >100 candidate sub-partitions; three such patterns exceed
+	// the 2^20 cap.
+	g := rdf.NewGraph()
+	for s := 0; s < 130; s++ {
+		subj := rdf.NewIRI(fmt.Sprintf("s%d", s))
+		for p := 0; p <= s%13; p++ {
+			g.Add(subj, rdf.NewIRI(fmt.Sprintf("p%d_%d", s%10, p)), rdf.NewIRI("o"))
+		}
+	}
+	g.Dedup()
+	lay := mustPartition(t, g)
+	proc := NewProcessor(lay, Options{Strategy: ProductOrder})
+	// Shared variables keep the joins small; the cap must trip during
+	// scheduling, before any evaluation.
+	q := sparql.MustParse(`SELECT * WHERE { ?a ?p1 ?b . ?a ?p2 ?c . ?b ?p3 ?d }`)
+	nCand := len(proc.PatternSlices(q.Patterns[0]))
+	if nCand*nCand*nCand <= 1<<20 {
+		t.Skipf("graph too small to exceed the cap (%d^3)", nCand)
+	}
+	_, err := proc.PQA(q)
+	if err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("expected product-cap error, got %v", err)
+	}
+	// The level strategy handles the same query fine.
+	levelProc := NewProcessor(lay, Options{})
+	if _, err := levelProc.PQA(q); err != nil {
+		t.Fatalf("level strategy failed: %v", err)
+	}
+}
+
+func TestCoverageZeroAnswerQuery(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	// Safe (all symbols exist) but empty: occursIn of a keyword object.
+	q := sparql.MustParse(`SELECT * WHERE { <Keyword546> <occursIn> ?x }`)
+	if proc.Safe(q) {
+		// SI pruning makes this unsafe (Keyword546 never a subject);
+		// use a join that is safe but empty instead.
+		t.Log("query pruned as unsafe — as designed")
+	}
+	q2 := sparql.MustParse(`SELECT * WHERE { ?x <occursIn> ?y . ?y <interacts> ?z }`)
+	res, err := proc.PQA(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Card() != 0 {
+		t.Fatalf("expected empty result, got %d", res.Final.Card())
+	}
+	for i := range res.Steps {
+		if res.Coverage(i) != 1 {
+			t.Errorf("coverage(%d) = %f for zero-answer query, want 1", i, res.Coverage(i))
+		}
+	}
+}
+
+func TestStepNewSubPartsDisjoint(t *testing.T) {
+	// No sub-partition may be loaded twice across steps.
+	g := nestedGraph(42, 80, 5)
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z . ?y <p0> ?w }`)
+	res, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, st := range res.Steps {
+		for _, k := range st.NewSubParts {
+			key := k.String()
+			if seen[key] {
+				t.Fatalf("sub-partition %s loaded twice", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestLayoutAccessor(t *testing.T) {
+	g := fig1Graph()
+	lay := mustPartition(t, g)
+	proc := NewProcessor(lay, Options{})
+	if proc.Layout() != lay {
+		t.Error("Layout() does not return the wrapped layout")
+	}
+}
+
+func TestResultCoverageNoSteps(t *testing.T) {
+	r := &Result{Final: nil}
+	if got := r.Coverage(0); got != 1 {
+		t.Errorf("coverage with no steps = %f", got)
+	}
+}

@@ -1,0 +1,88 @@
+package ping
+
+import (
+	"fmt"
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// pricedGraph attaches numeric ratings so FILTER queries have selective
+// answers, with nested CSs for a multi-level hierarchy.
+func pricedGraph(subjects int) *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	for i := 0; i < subjects; i++ {
+		s := iri(fmt.Sprintf("item%d", i))
+		g.Add(s, iri("rating"), rdf.NewTypedLiteral(
+			fmt.Sprintf("%d", i%10), "http://www.w3.org/2001/XMLSchema#integer"))
+		if i%2 == 0 {
+			g.Add(s, iri("tag"), iri(fmt.Sprintf("tag%d", i%5)))
+		}
+		if i%4 == 0 {
+			g.Add(s, iri("link"), iri(fmt.Sprintf("item%d", (i+1)%subjects)))
+		}
+	}
+	g.Dedup()
+	return g
+}
+
+// TestPQAFilterSoundness: a FILTER is a monotone selection, so all three
+// formal properties must survive it.
+func TestPQAFilterSoundness(t *testing.T) {
+	g := pricedGraph(120)
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	queries := []string{
+		`SELECT * WHERE { ?x <rating> ?r . FILTER (?r >= 7) }`,
+		`SELECT * WHERE { ?x <rating> ?r . ?x <tag> ?t . FILTER (?r > 2 && ?r < 8) }`,
+		`SELECT ?x WHERE { ?x <rating> ?r . ?x <link> ?y . FILTER (!(?r = 0)) }`,
+		`SELECT * WHERE { ?x <rating> ?r . FILTER (?r = 3 || ?r = 5) }`,
+	}
+	for _, qs := range queries {
+		q := sparql.MustParse(qs)
+		oracle := answerSet(engine.Naive(g, q).Distinct())
+		res, err := proc.PQA(q)
+		if err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+		prev := map[string]bool{}
+		for i, step := range res.Steps {
+			cur := answerSet(step.Answers)
+			if !subset(prev, cur) {
+				t.Fatalf("%q: step %d lost answers under FILTER", qs, i+1)
+			}
+			if !subset(cur, oracle) {
+				t.Fatalf("%q: step %d produced a filtered-out answer", qs, i+1)
+			}
+			prev = cur
+		}
+		got := answerSet(res.Final)
+		if len(got) != len(oracle) || !subset(got, oracle) {
+			t.Fatalf("%q: final %d answers, oracle %d", qs, len(got), len(oracle))
+		}
+	}
+}
+
+func TestEQAFilterMatchesOracle(t *testing.T) {
+	g := pricedGraph(80)
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	q := sparql.MustParse(`SELECT * WHERE {
+		?x <rating> ?r .
+		?x <tag> ?t .
+		FILTER (?r < 4)
+	}`)
+	rel, _, err := proc.EQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := answerSet(engine.Naive(g, q).Distinct())
+	got := answerSet(rel)
+	if len(got) != len(oracle) || !subset(got, oracle) {
+		t.Fatalf("EQA filter: %d answers, oracle %d", len(got), len(oracle))
+	}
+	if rel.Card() == 0 {
+		t.Fatal("filter query unexpectedly empty — test graph too small")
+	}
+}

@@ -1,0 +1,169 @@
+package ping
+
+import (
+	"testing"
+
+	"ping/internal/engine"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// pathOracle evaluates a (possibly path-carrying) query on the whole
+// graph.
+func pathOracle(t *testing.T, g *rdf.Graph, q *sparql.Query) *engine.Relation {
+	t.Helper()
+	rel, _, err := engine.EvaluatePaths(q,
+		engine.InputsFromGraph(g, q), engine.PathInputsFromGraph(g, q),
+		g.Dict, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel.Distinct()
+}
+
+var pathQueries = []string{
+	`SELECT * WHERE { ?x <p0>+ ?y }`,
+	`SELECT * WHERE { <s1> <p0>+ ?y }`,
+	`SELECT * WHERE { ?x <p0>* ?y }`,
+	`SELECT * WHERE { ?x <p0>/<p1> ?y }`,
+	`SELECT * WHERE { ?x (<p0>|<p1>)+ ?y }`,
+	`SELECT * WHERE { ?x <p0>+ ?y . ?y <p1> ?z }`,
+	`SELECT DISTINCT ?x WHERE { ?x (<p0>/<p1>)+ ?y }`,
+}
+
+// TestPQAPathFormalProperties extends the Lemma 4.3/4.4 and Theorem 4.5
+// checks to the navigational extension: progressive path answers must
+// grow monotonically, stay sound, and converge to whole-graph evaluation.
+func TestPQAPathFormalProperties(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := nestedGraph(seed, 50, 5)
+		lay := mustPartition(t, g)
+		proc := NewProcessor(lay, Options{})
+		for _, qs := range pathQueries {
+			q := sparql.MustParse(qs)
+			oracle := answerSet(pathOracle(t, g, q))
+			res, err := proc.PQA(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, qs, err)
+			}
+			prev := map[string]bool{}
+			for i, step := range res.Steps {
+				cur := answerSet(step.Answers)
+				if !subset(prev, cur) {
+					t.Fatalf("seed %d %q: step %d lost answers", seed, qs, i+1)
+				}
+				if !subset(cur, oracle) {
+					t.Fatalf("seed %d %q: step %d produced a false positive", seed, qs, i+1)
+				}
+				prev = cur
+			}
+			got := answerSet(res.Final)
+			if len(got) != len(oracle) || !subset(got, oracle) {
+				t.Fatalf("seed %d %q: final %d answers, oracle %d", seed, qs, len(got), len(oracle))
+			}
+
+			// EQA must agree too.
+			rel, _, err := proc.EQA(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eqa := answerSet(rel)
+			if len(eqa) != len(oracle) || !subset(eqa, oracle) {
+				t.Fatalf("seed %d %q: EQA %d answers, oracle %d", seed, qs, len(eqa), len(oracle))
+			}
+		}
+	}
+}
+
+func TestPathSlicesUseVPOnly(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	// interacts exists only on L3; its closure pattern must load only
+	// L3[interacts] even with a constant endpoint (constants cannot prune
+	// closure levels, but VP still restricts the property).
+	q := sparql.MustParse(`SELECT * WHERE { <P38952> <interacts>+ ?y }`)
+	hl := proc.QueryPathSlices(q)
+	if len(hl) != 1 || len(hl[0]) != 1 || hl[0][0].Level != 3 {
+		t.Fatalf("path slices = %v", hl)
+	}
+	res, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Final.Card() != 1 { // P38952 interacts P43426
+		t.Errorf("answers = %d, want 1", res.Final.Card())
+	}
+}
+
+func TestPathUnsafeQuery(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <noSuchProp>+ ?y }`)
+	if proc.Safe(q) {
+		t.Error("closure over absent property reported safe")
+	}
+	res, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 || res.Final.Card() != 0 {
+		t.Errorf("unsafe path query returned %d steps / %d answers", len(res.Steps), res.Final.Card())
+	}
+}
+
+func TestPathChainAcrossLevels(t *testing.T) {
+	// A chain that crosses hierarchy levels: each hop lives on a
+	// different level, so the closure only completes on the last slice.
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	// n1 (CS {p}) -> n2 (CS {p,q}) -> n3 (CS {p,q,r}): levels 1,2,3.
+	g.Add(iri("n1"), iri("p"), iri("n2"))
+	g.Add(iri("n2"), iri("p"), iri("n3"))
+	g.Add(iri("n2"), iri("q"), iri("x"))
+	g.Add(iri("n3"), iri("p"), iri("n4"))
+	g.Add(iri("n3"), iri("q"), iri("x"))
+	g.Add(iri("n3"), iri("r"), iri("x"))
+	g.Dedup()
+	lay := mustPartition(t, g)
+	if lay.NumLevels != 3 {
+		t.Fatalf("levels = %d", lay.NumLevels)
+	}
+	proc := NewProcessor(lay, Options{})
+	q := sparql.MustParse(`SELECT * WHERE { <n1> <p>+ ?y }`)
+	res, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full reachability: n2, n3, n4.
+	if res.Final.Card() != 3 {
+		t.Fatalf("final = %d answers, want 3", res.Final.Card())
+	}
+	// The first slice sees only L1[p] = {n1->n2}: 1 answer; reachability
+	// deepens as levels load — the paper's "multiple iterations across
+	// the impacted levels".
+	if len(res.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(res.Steps))
+	}
+	if got := res.Steps[0].Answers.Card(); got != 1 {
+		t.Errorf("slice 1 answers = %d, want 1", got)
+	}
+	if got := res.Steps[1].Answers.Card(); got != 2 {
+		t.Errorf("slice 2 answers = %d, want 2", got)
+	}
+}
+
+func TestPathWithBloomPruning(t *testing.T) {
+	g := nestedGraph(55, 40, 4)
+	lay := bloomLayout(t, g)
+	proc := NewProcessor(lay, Options{UseBloomPruning: true})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0>+ ?y . ?x <p1> ?z }`)
+	oracle := answerSet(pathOracle(t, g, q))
+	rel, _, err := proc.EQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := answerSet(rel)
+	if len(got) != len(oracle) || !subset(got, oracle) {
+		t.Fatalf("bloom + path: %d answers, oracle %d", len(got), len(oracle))
+	}
+}

@@ -1,0 +1,435 @@
+// Package ping implements the paper's primary contribution: progressive
+// query answering (PQA, Algorithm 2) and exact query answering (EQA,
+// Algorithm 3) over the hierarchical CS partitioning of package hpart.
+//
+// For every triple pattern the processor consults the VP/SI/OI indexes to
+// compute the pattern's candidate sub-partitions — HL(t) in the paper —
+// and only ever touches those. A *slice* is a set of sub-partitions on
+// which the query is safe (every pattern has at least one candidate,
+// Def. 4.1/4.2). Slices are visited in increasing level order; each step
+// loads only the not-yet-visited sub-partitions, re-evaluates the query on
+// the accumulated data, and reports the (sound, Lemma 4.4) partial
+// answers. The final step evaluates the maximal slice and therefore the
+// exact result (Theorem 4.5).
+package ping
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ping/internal/dataflow"
+	"ping/internal/engine"
+	"ping/internal/hpart"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// SliceStrategy selects the order in which PQA visits hierarchy levels.
+type SliceStrategy int
+
+const (
+	// LevelCumulative visits levels top-down (1, 2, 3, ...), matching the
+	// evaluation figures: one slice per level that contributes data.
+	LevelCumulative SliceStrategy = iota
+	// ProductOrder enumerates the literal Algorithm 2 cartesian product
+	// of per-pattern sub-partition choices.
+	ProductOrder
+	// LargestFirst visits levels in decreasing partition size (§6.2's
+	// "return the largest partition first" future-work variant).
+	LargestFirst
+	// SmallestFirst visits levels in increasing partition size.
+	SmallestFirst
+)
+
+func (s SliceStrategy) String() string {
+	switch s {
+	case LevelCumulative:
+		return "level-cumulative"
+	case ProductOrder:
+		return "product"
+	case LargestFirst:
+		return "largest-first"
+	case SmallestFirst:
+		return "smallest-first"
+	default:
+		return fmt.Sprintf("SliceStrategy(%d)", int(s))
+	}
+}
+
+// Options configures a Processor.
+type Options struct {
+	// Context supplies the dataflow executor (nil: single worker).
+	Context *dataflow.Context
+	// Partitions is the join shuffle fan-out (<=0: context default).
+	Partitions int
+	// Strategy selects slice ordering; zero value is LevelCumulative.
+	Strategy SliceStrategy
+	// DisableSubPartPruning loads every property file at a level instead
+	// of only the ones the pattern needs. Used by the ablation benchmarks
+	// to quantify the benefit of sub-partitioning (§3.6).
+	DisableSubPartPruning bool
+	// DisableIndexPruning ignores the SI/OI indexes when computing
+	// pattern slices (VP alone decides). Used by ablation benchmarks to
+	// quantify the benefit of subject/object indexing (§3.7).
+	DisableIndexPruning bool
+	// UseBloomPruning probes the layout's per-sub-partition Bloom filters
+	// (§6.2 extension) to skip candidate sub-partitions that definitely
+	// do not contain a pattern's constant subject/object. Requires a
+	// layout built with hpart.Options.BuildBlooms (or
+	// Layout.BuildBlooms); silently inactive otherwise.
+	UseBloomPruning bool
+}
+
+// Processor answers queries over one partitioned layout.
+type Processor struct {
+	layout *hpart.Layout
+	opts   Options
+	ctx    *dataflow.Context
+}
+
+// NewProcessor creates a processor over a layout.
+func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = dataflow.NewContext(1)
+	}
+	return &Processor{layout: layout, opts: opts, ctx: ctx}
+}
+
+// Layout returns the underlying layout.
+func (p *Processor) Layout() *hpart.Layout { return p.layout }
+
+// PatternSlices computes HL(t) — the candidate sub-partitions of one
+// triple pattern (Algorithm 2, line 3): the levels are the intersection
+// of the index entries of the pattern's symbols, and the properties are
+// either the pattern's constant predicate or, for a variable predicate,
+// every property present on those levels.
+func (p *Processor) PatternSlices(pat sparql.TriplePattern) []hpart.SubPartKey {
+	lay := p.layout
+	levels := lay.AllLevels()
+
+	var props []rdf.ID
+	if pat.P.IsConcrete() {
+		id := lay.Dict.Lookup(pat.P)
+		if id == rdf.NoID {
+			return nil
+		}
+		levels = levels.Intersect(lay.PropertyLevels(id))
+		props = []rdf.ID{id}
+	}
+	if !p.opts.DisableIndexPruning {
+		if pat.S.IsConcrete() {
+			id := lay.Dict.Lookup(pat.S)
+			if id == rdf.NoID {
+				return nil
+			}
+			levels = levels.Intersect(lay.SubjectLevels(id))
+		}
+		if pat.O.IsConcrete() {
+			id := lay.Dict.Lookup(pat.O)
+			if id == rdf.NoID {
+				return nil
+			}
+			levels = levels.Intersect(lay.ObjectLevels(id))
+		}
+	}
+	if levels.Empty() {
+		return nil
+	}
+
+	var keys []hpart.SubPartKey
+	if props == nil {
+		// Variable predicate: every property stored on a candidate level.
+		for prop, set := range lay.VP {
+			common := set.Intersect(levels)
+			for _, l := range common.Levels() {
+				keys = append(keys, hpart.SubPartKey{Level: l, Prop: prop})
+			}
+		}
+	} else {
+		for _, prop := range props {
+			for _, l := range levels.Levels() {
+				key := hpart.SubPartKey{Level: l, Prop: prop}
+				if lay.HasSubPartition(key) {
+					keys = append(keys, key)
+				}
+			}
+		}
+	}
+	keys = p.bloomPrune(pat, keys)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Level != keys[j].Level {
+			return keys[i].Level < keys[j].Level
+		}
+		return keys[i].Prop < keys[j].Prop
+	})
+	return keys
+}
+
+// bloomPrune drops candidate sub-partitions whose membership filters rule
+// out the pattern's constant subject/object. Filters have no false
+// negatives, so pruning never loses answers.
+func (p *Processor) bloomPrune(pat sparql.TriplePattern, keys []hpart.SubPartKey) []hpart.SubPartKey {
+	if !p.opts.UseBloomPruning || !p.layout.HasBlooms() {
+		return keys
+	}
+	sConst, oConst := rdf.NoID, rdf.NoID
+	if pat.S.IsConcrete() {
+		sConst = p.layout.Dict.Lookup(pat.S)
+	}
+	if pat.O.IsConcrete() {
+		oConst = p.layout.Dict.Lookup(pat.O)
+	}
+	if sConst == rdf.NoID && oConst == rdf.NoID {
+		return keys
+	}
+	kept := keys[:0]
+	for _, k := range keys {
+		b := p.layout.Blooms(k)
+		if b != nil {
+			if sConst != rdf.NoID && !b.Subjects.Contains(uint64(sConst)) {
+				continue
+			}
+			if oConst != rdf.NoID && !b.Objects.Contains(uint64(oConst)) {
+				continue
+			}
+		}
+		kept = append(kept, k)
+	}
+	return kept
+}
+
+// QuerySlices returns HL(t) for every plain pattern of q. The query is
+// safe on some slice iff every returned list is non-empty.
+func (p *Processor) QuerySlices(q *sparql.Query) [][]hpart.SubPartKey {
+	out := make([][]hpart.SubPartKey, len(q.Patterns))
+	for i, pat := range q.Patterns {
+		out[i] = p.PatternSlices(pat)
+	}
+	return out
+}
+
+// PathPatternSlices computes the candidate sub-partitions of a property-
+// path pattern (§6.2 navigational extension): every level of every
+// property the path mentions. Endpoint constants cannot prune levels here
+// — a closure may pass through intermediate nodes on any level — so only
+// the VP index applies.
+func (p *Processor) PathPatternSlices(pat sparql.PathPattern) []hpart.SubPartKey {
+	lay := p.layout
+	var keys []hpart.SubPartKey
+	seen := make(map[hpart.SubPartKey]bool)
+	for _, iri := range pat.Path.IRIs(nil) {
+		id := lay.Dict.Lookup(iri)
+		if id == rdf.NoID {
+			continue
+		}
+		for _, l := range lay.PropertyLevels(id).Levels() {
+			key := hpart.SubPartKey{Level: l, Prop: id}
+			if lay.HasSubPartition(key) && !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Level != keys[j].Level {
+			return keys[i].Level < keys[j].Level
+		}
+		return keys[i].Prop < keys[j].Prop
+	})
+	return keys
+}
+
+// QueryPathSlices returns the candidate sub-partitions for every path
+// pattern of q.
+func (p *Processor) QueryPathSlices(q *sparql.Query) [][]hpart.SubPartKey {
+	out := make([][]hpart.SubPartKey, len(q.Paths))
+	for i, pat := range q.Paths {
+		out[i] = p.PathPatternSlices(pat)
+	}
+	return out
+}
+
+// Safe reports whether the query is safe on at least one slice, i.e.
+// whether any answer can exist in the partitioned data (Def. 4.1). For a
+// path pattern, safety means at least one of its properties occurs
+// somewhere; an alternation only needs one live branch, but a dead
+// sequence step or closure base empties the whole pattern, so requiring
+// one live property is the weakest sound condition.
+func (p *Processor) Safe(q *sparql.Query) bool {
+	for _, hl := range p.QuerySlices(q) {
+		if len(hl) == 0 {
+			return false
+		}
+	}
+	for _, hl := range p.QueryPathSlices(q) {
+		if len(hl) == 0 {
+			return false
+		}
+	}
+	return len(q.Patterns)+len(q.Paths) > 0
+}
+
+// StepResult describes one progressive step (one visited slice).
+type StepResult struct {
+	// Step is the 1-based slice number.
+	Step int
+	// MaxLevel is the deepest hierarchy level included so far.
+	MaxLevel int
+	// NewSubParts lists the sub-partitions loaded by this step.
+	NewSubParts []hpart.SubPartKey
+	// RowsLoadedStep / RowsLoadedCum count vertical-partition rows read
+	// from storage by this step and cumulatively.
+	RowsLoadedStep int64
+	RowsLoadedCum  int64
+	// Answers is the cumulative (distinct) answer relation after this
+	// step — a sound subset of the exact result.
+	Answers *engine.Relation
+	// NewAnswers is how many answers this step added.
+	NewAnswers int
+	// Elapsed / ElapsedCum time this step and the run so far.
+	Elapsed    time.Duration
+	ElapsedCum time.Duration
+}
+
+// Result is a completed PQA run.
+type Result struct {
+	// Steps holds one entry per visited slice, in visit order.
+	Steps []StepResult
+	// Final is the exact answer relation (the last step's answers), or an
+	// empty relation when the query is unsafe on every slice.
+	Final *engine.Relation
+}
+
+// Coverage returns |answers after step i| / |final answers| — the paper's
+// coverage metric. Steps are 0-indexed; a final answer count of zero
+// yields coverage 1 for every step (nothing to find).
+func (r *Result) Coverage(step int) float64 {
+	if len(r.Steps) == 0 || r.Final.Card() == 0 {
+		return 1
+	}
+	return float64(r.Steps[step].Answers.Card()) / float64(r.Final.Card())
+}
+
+// PQA runs progressive query answering to completion and returns every
+// step. It is equivalent to PQASteps with a callback that always
+// continues.
+func (p *Processor) PQA(q *sparql.Query) (*Result, error) {
+	res := &Result{}
+	err := p.PQASteps(q, func(s StepResult) bool {
+		res.Steps = append(res.Steps, s)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Steps) > 0 {
+		res.Final = res.Steps[len(res.Steps)-1].Answers
+	} else {
+		res.Final = &engine.Relation{Vars: q.Projection()}
+	}
+	return res, nil
+}
+
+// PQASteps runs progressive query answering, invoking fn after each
+// slice. Returning false from fn stops the run early (the user has seen
+// enough answers); all delivered answers remain sound by Lemma 4.4.
+func (p *Processor) PQASteps(q *sparql.Query, fn func(StepResult) bool) error {
+	if len(q.Patterns)+len(q.Paths) == 0 {
+		return fmt.Errorf("ping: query has no patterns")
+	}
+	hl := p.QuerySlices(q)
+	hlPaths := p.QueryPathSlices(q)
+	for _, candidates := range hl {
+		if len(candidates) == 0 {
+			// Unsafe on every slice: no answers anywhere (soundness of
+			// the index: absent symbols cannot match).
+			return nil
+		}
+	}
+	for _, candidates := range hlPaths {
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+
+	steps, err := p.sliceSchedule(append(append([][]hpart.SubPartKey{}, hl...), hlPaths...))
+	if err != nil {
+		return err
+	}
+
+	state := newEvalState(p, q, hl, hlPaths)
+	start := time.Now()
+	var cum time.Duration
+	for i, step := range steps {
+		t0 := time.Now()
+		if err := state.load(step.newKeys); err != nil {
+			return err
+		}
+		answers, err := state.evaluate()
+		if err != nil {
+			return err
+		}
+		el := time.Since(t0)
+		cum = time.Since(start)
+		sr := StepResult{
+			Step:           i + 1,
+			MaxLevel:       step.maxLevel,
+			NewSubParts:    step.newKeys,
+			RowsLoadedStep: state.rowsLoadedStep,
+			RowsLoadedCum:  state.rowsLoadedCum,
+			Answers:        answers,
+			NewAnswers:     answers.Card() - state.prevAnswers,
+			Elapsed:        el,
+			ElapsedCum:     cum,
+		}
+		state.prevAnswers = answers.Card()
+		if !fn(sr) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// EQA evaluates the query directly on its maximal slice: each pattern
+// loads exactly the sub-partitions its symbols allow, in one shot. This
+// is the mode compared against S2RDF and WORQ in §5.6.
+func (p *Processor) EQA(q *sparql.Query) (*engine.Relation, *engine.Stats, error) {
+	if len(q.Patterns)+len(q.Paths) == 0 {
+		return nil, nil, fmt.Errorf("ping: query has no patterns")
+	}
+	hl := p.QuerySlices(q)
+	hlPaths := p.QueryPathSlices(q)
+	for _, candidates := range hl {
+		if len(candidates) == 0 {
+			return &engine.Relation{Vars: q.Projection()}, &engine.Stats{}, nil
+		}
+	}
+	for _, candidates := range hlPaths {
+		if len(candidates) == 0 {
+			return &engine.Relation{Vars: q.Projection()}, &engine.Stats{}, nil
+		}
+	}
+	state := newEvalState(p, q, hl, hlPaths)
+	var all []hpart.SubPartKey
+	seen := make(map[hpart.SubPartKey]bool)
+	for _, candidates := range append(append([][]hpart.SubPartKey{}, hl...), hlPaths...) {
+		for _, k := range candidates {
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, k)
+			}
+		}
+	}
+	if err := state.load(all); err != nil {
+		return nil, nil, err
+	}
+	answers, err := state.evaluate()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := state.lastStats
+	stats.InputRows = state.rowsLoadedCum
+	return answers, stats, nil
+}

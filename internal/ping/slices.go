@@ -1,0 +1,311 @@
+package ping
+
+import (
+	"fmt"
+	"sort"
+
+	"ping/internal/engine"
+	"ping/internal/hpart"
+	"ping/internal/sparql"
+)
+
+// scheduledStep is one PQA iteration: the sub-partitions it loads and the
+// deepest level included once it completes.
+type scheduledStep struct {
+	maxLevel int
+	newKeys  []hpart.SubPartKey
+}
+
+// productCap bounds the literal Algorithm 2 product enumeration; beyond
+// this the caller should use a level-cumulative strategy.
+const productCap = 1 << 20
+
+// sliceSchedule turns the per-pattern candidate lists into an ordered
+// sequence of steps according to the processor's strategy. Every step's
+// cumulative sub-partition set is a slice for the query (all patterns
+// covered, Def. 4.2); the last step's set is the maximal slice.
+func (p *Processor) sliceSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
+	switch p.opts.Strategy {
+	case ProductOrder:
+		return p.productSchedule(hl)
+	default:
+		return p.levelSchedule(hl)
+	}
+}
+
+// levelSchedule visits hierarchy levels one at a time. The order is
+// ascending level for LevelCumulative, or sorted by partition size for the
+// LargestFirst/SmallestFirst variants. The first steps are merged until
+// the cumulative set covers every pattern (before that point the query is
+// not safe and no evaluation can run).
+func (p *Processor) levelSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
+	// Distinct levels appearing in any candidate list.
+	levelSeen := make(map[int]bool)
+	for _, candidates := range hl {
+		for _, k := range candidates {
+			levelSeen[k.Level] = true
+		}
+	}
+	levels := make([]int, 0, len(levelSeen))
+	for l := range levelSeen {
+		levels = append(levels, l)
+	}
+	switch p.opts.Strategy {
+	case LargestFirst:
+		sort.Slice(levels, func(i, j int) bool {
+			return p.layout.LevelTriples[levels[i]-1] > p.layout.LevelTriples[levels[j]-1]
+		})
+	case SmallestFirst:
+		sort.Slice(levels, func(i, j int) bool {
+			return p.layout.LevelTriples[levels[i]-1] < p.layout.LevelTriples[levels[j]-1]
+		})
+	default:
+		sort.Ints(levels)
+	}
+
+	// Group candidate keys by level, deduplicated across patterns.
+	keysByLevel := make(map[int][]hpart.SubPartKey)
+	dedup := make(map[hpart.SubPartKey]bool)
+	for _, candidates := range hl {
+		for _, k := range candidates {
+			if !dedup[k] {
+				dedup[k] = true
+				keysByLevel[k.Level] = append(keysByLevel[k.Level], k)
+			}
+		}
+	}
+	// Ablation: loading whole levels instead of per-property files.
+	if p.opts.DisableSubPartPruning {
+		for l := range keysByLevel {
+			var all []hpart.SubPartKey
+			for key := range p.layout.SubPartRows {
+				if key.Level == l {
+					all = append(all, key)
+				}
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i].Prop < all[j].Prop })
+			keysByLevel[l] = all
+		}
+	}
+
+	// Per-pattern cover tracking: a step sequence becomes valid once all
+	// patterns have at least one candidate among included levels.
+	patternHasLevel := make([]map[int]bool, len(hl))
+	for i, candidates := range hl {
+		patternHasLevel[i] = make(map[int]bool)
+		for _, k := range candidates {
+			patternHasLevel[i][k.Level] = true
+		}
+	}
+
+	var steps []scheduledStep
+	included := make(map[int]bool)
+	covered := func() bool {
+		for _, has := range patternHasLevel {
+			ok := false
+			for l := range has {
+				if included[l] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	var pending []hpart.SubPartKey
+	maxLevel := 0
+	for _, l := range levels {
+		included[l] = true
+		pending = append(pending, keysByLevel[l]...)
+		if l > maxLevel {
+			maxLevel = l
+		}
+		if !covered() {
+			continue // not yet a slice; keep accumulating
+		}
+		if len(pending) == 0 {
+			continue // nothing new to load; skip the step
+		}
+		steps = append(steps, scheduledStep{maxLevel: maxLevel, newKeys: pending})
+		pending = nil
+	}
+	return steps, nil
+}
+
+// productSchedule enumerates the cartesian product of per-pattern
+// sub-partition choices — Algorithm 2 verbatim. Product elements are
+// visited in ascending order of their deepest level so answers still
+// arrive coarse-to-fine; elements whose union adds no unvisited
+// sub-partition are skipped (their EQA result is already contained in the
+// accumulator, Algorithm 3 line 2).
+func (p *Processor) productSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
+	total := 1
+	for _, candidates := range hl {
+		total *= len(candidates)
+		if total > productCap {
+			return nil, fmt.Errorf("ping: product of %d slices exceeds cap %d; use a level strategy", total, productCap)
+		}
+	}
+
+	type combo struct {
+		maxLevel int
+		keys     []hpart.SubPartKey
+	}
+	combos := make([]combo, 0, total)
+	idx := make([]int, len(hl))
+	for {
+		c := combo{}
+		dedup := make(map[hpart.SubPartKey]bool, len(hl))
+		for i, j := range idx {
+			k := hl[i][j]
+			if !dedup[k] {
+				dedup[k] = true
+				c.keys = append(c.keys, k)
+			}
+			if k.Level > c.maxLevel {
+				c.maxLevel = k.Level
+			}
+		}
+		combos = append(combos, c)
+		// Advance the mixed-radix counter.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(hl[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	sort.SliceStable(combos, func(a, b int) bool { return combos[a].maxLevel < combos[b].maxLevel })
+
+	visited := make(map[hpart.SubPartKey]bool)
+	var steps []scheduledStep
+	for _, c := range combos {
+		var fresh []hpart.SubPartKey
+		for _, k := range c.keys {
+			if !visited[k] {
+				visited[k] = true
+				fresh = append(fresh, k)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		steps = append(steps, scheduledStep{maxLevel: c.maxLevel, newKeys: fresh})
+	}
+	return steps, nil
+}
+
+// evalState carries the accumulator C of Algorithms 2/3: the loaded
+// sub-partitions, the data-access counters, and the machinery to
+// re-evaluate the query on the accumulated data.
+type evalState struct {
+	p         *Processor
+	q         *sparql.Query
+	hl        [][]hpart.SubPartKey
+	hlSet     []map[hpart.SubPartKey]bool
+	hlPath    [][]hpart.SubPartKey
+	hlPathSet []map[hpart.SubPartKey]bool
+
+	loaded map[hpart.SubPartKey][]hpart.Pair
+
+	rowsLoadedStep int64
+	rowsLoadedCum  int64
+	prevAnswers    int
+	lastStats      *engine.Stats
+}
+
+func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey) *evalState {
+	toSets := func(lists [][]hpart.SubPartKey) []map[hpart.SubPartKey]bool {
+		sets := make([]map[hpart.SubPartKey]bool, len(lists))
+		for i, candidates := range lists {
+			sets[i] = make(map[hpart.SubPartKey]bool, len(candidates))
+			for _, k := range candidates {
+				sets[i][k] = true
+			}
+		}
+		return sets
+	}
+	return &evalState{
+		p:         p,
+		q:         q,
+		hl:        hl,
+		hlSet:     toSets(hl),
+		hlPath:    hlPaths,
+		hlPathSet: toSets(hlPaths),
+		loaded:    make(map[hpart.SubPartKey][]hpart.Pair),
+	}
+}
+
+// load reads the given sub-partitions from storage, skipping ones already
+// in the accumulator (Algorithm 3, lines 2-3).
+func (st *evalState) load(keys []hpart.SubPartKey) error {
+	st.rowsLoadedStep = 0
+	for _, k := range keys {
+		if _, ok := st.loaded[k]; ok {
+			continue
+		}
+		pairs, err := st.p.layout.ReadSubPartition(k)
+		if err != nil {
+			return err
+		}
+		st.loaded[k] = pairs
+		st.rowsLoadedStep += int64(len(pairs))
+	}
+	st.rowsLoadedCum += st.rowsLoadedStep
+	return nil
+}
+
+// evaluate runs the query on the accumulated slices: each pattern sees
+// exactly the loaded sub-partitions belonging to its HL(t). Answers are
+// returned as a distinct relation so progressive accumulation is a set
+// union, matching the answer-counting semantics of the paper's coverage
+// metric.
+func (st *evalState) evaluate() (*engine.Relation, error) {
+	// Deterministic group order: sort the loaded keys in each pattern's
+	// candidate set.
+	loadedGroups := func(set map[hpart.SubPartKey]bool) []engine.PropGroup {
+		var keys []hpart.SubPartKey
+		for k := range st.loaded {
+			if set[k] {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].Level != keys[b].Level {
+				return keys[a].Level < keys[b].Level
+			}
+			return keys[a].Prop < keys[b].Prop
+		})
+		groups := make([]engine.PropGroup, 0, len(keys))
+		for _, k := range keys {
+			groups = append(groups, engine.PropGroup{Prop: k.Prop, Rows: st.loaded[k]})
+		}
+		return groups
+	}
+	inputs := make([]engine.PatternInput, len(st.q.Patterns))
+	for i, pat := range st.q.Patterns {
+		inputs[i] = engine.PatternInput{Pattern: pat, Groups: loadedGroups(st.hlSet[i])}
+	}
+	pathInputs := make([]engine.PathInput, len(st.q.Paths))
+	for i, pat := range st.q.Paths {
+		pathInputs[i] = engine.PathInput{Pattern: pat, Groups: loadedGroups(st.hlPathSet[i])}
+	}
+	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.p.layout.Dict, engine.Options{
+		Context:    st.p.ctx,
+		Partitions: st.p.opts.Partitions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.lastStats = stats
+	return rel.Distinct(), nil
+}

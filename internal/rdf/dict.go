@@ -1,0 +1,143 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ID is a dense dictionary identifier for a term. IDs start at 0 and grow
+// contiguously in insertion order, so they can index slices directly.
+type ID = uint32
+
+// NoID is returned by lookups for terms absent from the dictionary.
+const NoID ID = ^ID(0)
+
+// Dict is a bidirectional mapping between terms (keyed by their N-Triples
+// surface form) and dense uint32 IDs. It is safe for concurrent readers
+// interleaved with a single writer when guarded by the embedded mutex via
+// Encode; Lookup and Term take read locks only.
+type Dict struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+	terms []Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byKey: make(map[string]ID)}
+}
+
+// Len returns the number of distinct terms interned.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// Encode interns the term and returns its ID, allocating a new ID on first
+// sight.
+func (d *Dict) Encode(t Term) ID {
+	key := t.String()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byKey[key]; ok {
+		return id
+	}
+	id = ID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID of a term, or NoID if it has never been interned.
+func (d *Dict) Lookup(t Term) ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id, ok := d.byKey[t.String()]; ok {
+		return id
+	}
+	return NoID
+}
+
+// LookupIRI is shorthand for Lookup(NewIRI(iri)).
+func (d *Dict) LookupIRI(iri string) ID { return d.Lookup(NewIRI(iri)) }
+
+// EncodeIRI is shorthand for Encode(NewIRI(iri)).
+func (d *Dict) EncodeIRI(iri string) ID { return d.Encode(NewIRI(iri)) }
+
+// Term returns the term for an ID. It panics on out-of-range IDs, which
+// always indicate a programming error (IDs only come from this dictionary).
+func (d *Dict) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id]
+}
+
+// TermString returns the N-Triples surface form for an ID.
+func (d *Dict) TermString(id ID) string { return d.Term(id).String() }
+
+// WriteTo serializes the dictionary as one surface-form per line, preceded
+// by a count header. IDs are implicit in line order.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "%d\n", len(d.terms))
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, t := range d.terms {
+		k, err = fmt.Fprintf(bw, "%s\n", t.String())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDict parses a dictionary previously written by WriteTo.
+func ReadDict(r io.Reader) (*Dict, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("rdf: dict header: %w", err)
+	}
+	count, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || count < 0 {
+		return nil, fmt.Errorf("rdf: bad dict count %q", strings.TrimSpace(header))
+	}
+	d := &Dict{
+		byKey: make(map[string]ID, count),
+		terms: make([]Term, 0, count),
+	}
+	for i := 0; i < count; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, fmt.Errorf("rdf: dict line %d: %w", i, err)
+		}
+		line = strings.TrimRight(line, "\n")
+		t, rest, err := parseTerm(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: dict line %d: %w", i, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("rdf: dict line %d: trailing data %q", i, rest)
+		}
+		d.byKey[t.String()] = ID(len(d.terms))
+		d.terms = append(d.terms, t)
+	}
+	return d, nil
+}

@@ -1,0 +1,68 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestTurtleNTriplesEquivalence: any graph serialized as N-Triples must
+// parse identically through both parsers (N-Triples is a subset of
+// Turtle).
+func TestTurtleNTriplesEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		for i := 0; i < 300; i++ {
+			g.Add(randomTerm(rng, 0), randomTerm(rng, 1), randomTerm(rng, 2))
+		}
+		var buf bytes.Buffer
+		if _, err := WriteNTriples(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		doc := buf.Bytes()
+		nt, err := ParseNTriples(bytes.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ttl, err := ParseTurtle(bytes.NewReader(doc))
+		if err != nil {
+			t.Fatalf("seed %d: turtle rejected valid N-Triples: %v", seed, err)
+		}
+		if nt.Len() != ttl.Len() {
+			t.Fatalf("seed %d: N-Triples parsed %d, Turtle %d", seed, nt.Len(), ttl.Len())
+		}
+		for i := range nt.Triples {
+			a, b := nt.Triples[i], ttl.Triples[i]
+			if nt.Dict.TermString(a.S) != ttl.Dict.TermString(b.S) ||
+				nt.Dict.TermString(a.P) != ttl.Dict.TermString(b.P) ||
+				nt.Dict.TermString(a.O) != ttl.Dict.TermString(b.O) {
+				t.Fatalf("seed %d: triple %d differs between parsers", seed, i)
+			}
+		}
+	}
+}
+
+// TestDictIDsAreDense checks the dictionary invariant higher layers rely
+// on for slice-indexed structures: IDs are handed out contiguously from 0.
+func TestDictIDsAreDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDict()
+	var max ID
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := d.Encode(randomTerm(rng, i%3))
+		seen[id] = true
+		if id > max {
+			max = id
+		}
+	}
+	if int(max)+1 != d.Len() {
+		t.Fatalf("max ID %d but Len %d", max, d.Len())
+	}
+	for i := ID(0); i <= max; i++ {
+		if !seen[i] {
+			t.Fatalf("ID %d skipped", i)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNTriples checks the parser never panics and that everything it
+// accepts round-trips through the writer.
+func FuzzParseNTriples(f *testing.F) {
+	seeds := []string{
+		sampleNT,
+		`<a> <b> <c> .`,
+		`_:b <p> "lit"@en .`,
+		`<s> <p> "x\"y\\z" .`,
+		`<s> <p> "1"^^<http://www.w3.org/2001/XMLSchema#int> .`,
+		`# comment only`,
+		`<s> <p> `,
+		`"bad" <p> <o> .`,
+		strings.Repeat(`<s> <p> <o> .`+"\n", 5),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseNTriples(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip.
+		var buf strings.Builder
+		if _, err := WriteNTriples(&buf, g); err != nil {
+			t.Fatalf("write after parse: %v", err)
+		}
+		g2, err := ParseNTriples(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if g2.Len() != g.Len() {
+			t.Fatalf("round trip changed triple count: %d -> %d", g.Len(), g2.Len())
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Triple is a dictionary-encoded RDF triple: subject, property, object IDs.
+type Triple struct {
+	S, P, O ID
+}
+
+// SOPair is a (subject, object) row of a vertical partition — a triple
+// whose predicate is implied by the table it is stored in.
+type SOPair struct {
+	S, O ID
+}
+
+// Less imposes SPO lexicographic order, used for canonical sorting.
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}
+
+// Graph is an in-memory RDF graph: a dictionary plus a triple list. The
+// triple list may contain duplicates until Dedup is called; all PING
+// pipelines deduplicate at load time.
+type Graph struct {
+	Dict    *Dict
+	Triples []Triple
+}
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph {
+	return &Graph{Dict: NewDict()}
+}
+
+// Add encodes the three terms and appends the triple.
+func (g *Graph) Add(s, p, o Term) {
+	g.Triples = append(g.Triples, Triple{
+		S: g.Dict.Encode(s),
+		P: g.Dict.Encode(p),
+		O: g.Dict.Encode(o),
+	})
+}
+
+// AddID appends an already-encoded triple.
+func (g *Graph) AddID(t Triple) { g.Triples = append(g.Triples, t) }
+
+// Len returns the number of stored triples (including duplicates, if any).
+func (g *Graph) Len() int { return len(g.Triples) }
+
+// Sort orders the triples in SPO order in place.
+func (g *Graph) Sort() {
+	sort.Slice(g.Triples, func(i, j int) bool { return g.Triples[i].Less(g.Triples[j]) })
+}
+
+// Dedup sorts the triple list and removes duplicates in place.
+func (g *Graph) Dedup() {
+	if len(g.Triples) == 0 {
+		return
+	}
+	g.Sort()
+	out := g.Triples[:1]
+	for _, t := range g.Triples[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	g.Triples = out
+}
+
+// Subjects returns the distinct subject IDs, unordered.
+func (g *Graph) Subjects() []ID {
+	seen := make(map[ID]struct{})
+	for _, t := range g.Triples {
+		seen[t.S] = struct{}{}
+	}
+	out := make([]ID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Properties returns the distinct property IDs, unordered.
+func (g *Graph) Properties() []ID {
+	seen := make(map[ID]struct{})
+	for _, t := range g.Triples {
+		seen[t.P] = struct{}{}
+	}
+	out := make([]ID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the triple list sharing the dictionary.
+// Sharing is intentional: partitioning never mutates the dictionary's
+// existing entries, and a shared dictionary keeps IDs comparable across
+// the original graph and its partitions.
+func (g *Graph) Clone() *Graph {
+	ts := make([]Triple, len(g.Triples))
+	copy(ts, g.Triples)
+	return &Graph{Dict: g.Dict, Triples: ts}
+}

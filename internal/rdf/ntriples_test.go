@@ -1,0 +1,166 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleNT = `# a comment
+<http://x/Protein26474> <http://x/occursIn> <http://x/Organism7> .
+<http://x/Protein26474> <http://x/hasKeyword> <http://x/Keyword546> .
+
+<http://x/Protein43426> <http://x/reference> "Some article"@en .
+_:b0 <http://x/weight> "3.14"^^<http://www.w3.org/2001/XMLSchema#double> .
+<http://x/a> <http://x/says> "line1\nline2 \"quoted\"" .
+`
+
+func TestParseNTriples(t *testing.T) {
+	g, err := ParseNTriples(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("parsed %d triples, want 5", g.Len())
+	}
+	// Spot-check the blank-node triple.
+	found := false
+	for _, tr := range g.Triples {
+		s, o := g.Dict.Term(tr.S), g.Dict.Term(tr.O)
+		if s.Kind == Blank && s.Value == "b0" {
+			found = true
+			if o.Datatype != "http://www.w3.org/2001/XMLSchema#double" || o.Value != "3.14" {
+				t.Errorf("blank-node object = %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Error("blank node triple not parsed")
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/a> <http://x/p>`,                   // truncated
+		`<http://x/a> "lit" <http://x/o> .`,           // literal predicate
+		`"lit" <http://x/p> <http://x/o> .`,           // literal subject
+		`<http://x/a> <http://x/p> <http://x/o> junk`, // bad terminator
+		`<http://x/a <http://x/p> <http://x/o> .`,     // unterminated IRI
+		`<http://x/a> <http://x/p> "unterminated .`,   // unterminated literal
+		`<http://x/a> <http://x/p> "v"^^<broken .`,    // unterminated datatype
+		`<http://x/a> <http://x/p> "v"@ .`,            // empty language tag
+		`<http://x/a> <http://x/p> _: .`,              // empty blank label
+		`<http://x/a> <http://x/p> ! .`,               // junk term
+		`_ <http://x/p> <http://x/o> .`,               // malformed blank
+	}
+	for _, line := range bad {
+		if _, err := ParseNTriples(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseNTriples(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func randomTerm(rng *rand.Rand, pos int) Term {
+	switch k := rng.Intn(4); {
+	case pos == 1 || k == 0: // predicates must be IRIs
+		return NewIRI(fmt.Sprintf("http://ex.org/res%d", rng.Intn(50)))
+	case k == 1 && pos != 0: // literals only in object position
+		vals := []string{"plain", "with \"quotes\"", "multi\nline", "tab\there", `back\slash`}
+		return NewLiteral(vals[rng.Intn(len(vals))])
+	case k == 2 && pos != 0:
+		return NewLangLiteral("hello", "en")
+	default:
+		return NewBlank(fmt.Sprintf("b%d", rng.Intn(20)))
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGraph()
+	for i := 0; i < 500; i++ {
+		g.Add(randomTerm(rng, 0), randomTerm(rng, 1), randomTerm(rng, 2))
+	}
+	var buf bytes.Buffer
+	n, err := WriteNTriples(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteNTriples reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if sz := NTriplesSize(g); sz != n {
+		t.Errorf("NTriplesSize = %d, want %d", sz, n)
+	}
+	g2, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round-trip length %d != %d", g2.Len(), g.Len())
+	}
+	for i, tr := range g.Triples {
+		t2 := g2.Triples[i]
+		for _, pair := range [][2]Term{
+			{g.Dict.Term(tr.S), g2.Dict.Term(t2.S)},
+			{g.Dict.Term(tr.P), g2.Dict.Term(t2.P)},
+			{g.Dict.Term(tr.O), g2.Dict.Term(t2.O)},
+		} {
+			if pair[0] != pair[1] {
+				t.Fatalf("triple %d differs: %+v vs %+v", i, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+func TestGraphDedup(t *testing.T) {
+	g := NewGraph()
+	a, p, b := NewIRI("a"), NewIRI("p"), NewIRI("b")
+	g.Add(a, p, b)
+	g.Add(a, p, b)
+	g.Add(b, p, a)
+	g.Dedup()
+	if g.Len() != 2 {
+		t.Fatalf("Dedup left %d triples, want 2", g.Len())
+	}
+	for i := 1; i < g.Len(); i++ {
+		if !g.Triples[i-1].Less(g.Triples[i]) {
+			t.Error("Dedup output not strictly sorted")
+		}
+	}
+}
+
+func TestGraphSubjectsProperties(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewIRI("s1"), NewIRI("p1"), NewIRI("o1"))
+	g.Add(NewIRI("s1"), NewIRI("p2"), NewIRI("o2"))
+	g.Add(NewIRI("s2"), NewIRI("p1"), NewIRI("o1"))
+	if got := len(g.Subjects()); got != 2 {
+		t.Errorf("Subjects = %d, want 2", got)
+	}
+	if got := len(g.Properties()); got != 2 {
+		t.Errorf("Properties = %d, want 2", got)
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewIRI("s"), NewIRI("p"), NewIRI("o"))
+	c := g.Clone()
+	c.Add(NewIRI("s2"), NewIRI("p"), NewIRI("o"))
+	if g.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: g=%d c=%d", g.Len(), c.Len())
+	}
+	if c.Dict != g.Dict {
+		t.Error("clone must share the dictionary")
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	g := NewGraph()
+	g.Dedup() // must not panic
+	if g.Len() != 0 {
+		t.Error("empty graph changed by Dedup")
+	}
+}

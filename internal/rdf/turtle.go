@@ -1,0 +1,350 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseTurtle reads a document in the Turtle subset most datasets use:
+//
+//	@prefix ns: <iri> .          (and SPARQL-style "PREFIX ns: <iri>")
+//	@base <iri> .
+//	ns:subj ns:p ns:o ; ns:q "lit", "lit2"@en .
+//	<full> a ns:Type .           ('a' = rdf:type)
+//	_:b ns:p 42 .                (integer/decimal/boolean shorthand)
+//	# comments
+//
+// Blank-node property lists, collections, and multiline literals are not
+// supported; the parser fails with a position on anything outside the
+// subset rather than guessing.
+func ParseTurtle(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := ParseTurtleInto(r, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseTurtleInto parses Turtle, appending to an existing graph.
+func ParseTurtleInto(r io.Reader, g *Graph) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return fmt.Errorf("rdf: %w", err)
+	}
+	p := &turtleParser{
+		in:       string(data),
+		g:        g,
+		prefixes: map[string]string{"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#"},
+	}
+	return p.run()
+}
+
+type turtleParser struct {
+	in       string
+	pos      int
+	g        *Graph
+	prefixes map[string]string
+	base     string
+}
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	line := 1 + strings.Count(p.in[:p.pos], "\n")
+	return fmt.Errorf("rdf: turtle line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// skipWS advances past whitespace and comments.
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.in) && p.in[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) eof() bool {
+	p.skipWS()
+	return p.pos >= len(p.in)
+}
+
+// peekWord returns the next bare word without consuming it.
+func (p *turtleParser) peekWord() string {
+	p.skipWS()
+	j := p.pos
+	for j < len(p.in) && !isTurtleBreak(p.in[j]) {
+		j++
+	}
+	return p.in[p.pos:j]
+}
+
+func isTurtleBreak(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '<', '"', ';', ',', '.', '#':
+		return true
+	}
+	return false
+}
+
+func (p *turtleParser) run() error {
+	for !p.eof() {
+		word := p.peekWord()
+		switch {
+		case word == "@prefix" || strings.EqualFold(word, "PREFIX"):
+			p.pos += len(word)
+			if err := p.parsePrefix(word == "@prefix"); err != nil {
+				return err
+			}
+		case word == "@base" || strings.EqualFold(word, "BASE"):
+			p.pos += len(word)
+			p.skipWS()
+			iri, err := p.parseIRIRef()
+			if err != nil {
+				return err
+			}
+			p.base = iri
+			if word == "@base" {
+				if err := p.expectDot(); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := p.parseStatement(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *turtleParser) parsePrefix(requireDot bool) error {
+	p.skipWS()
+	j := p.pos
+	for j < len(p.in) && p.in[j] != ':' {
+		if isTurtleBreak(p.in[j]) {
+			return p.errf("malformed prefix name")
+		}
+		j++
+	}
+	if j >= len(p.in) {
+		return p.errf("malformed prefix declaration")
+	}
+	name := p.in[p.pos:j]
+	p.pos = j + 1
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	if requireDot {
+		return p.expectDot()
+	}
+	return nil
+}
+
+func (p *turtleParser) expectDot() error {
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != '.' {
+		return p.errf("expected '.'")
+	}
+	p.pos++
+	return nil
+}
+
+// parseStatement parses subject predicateObjectList '.'.
+func (p *turtleParser) parseStatement() error {
+	subj, err := p.parseTerm(false)
+	if err != nil {
+		return err
+	}
+	if subj.Kind == Literal {
+		return p.errf("literal subject")
+	}
+	for {
+		pred, err := p.parsePredicateTerm()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseTerm(true)
+			if err != nil {
+				return err
+			}
+			p.g.Add(subj, pred, obj)
+			p.skipWS()
+			if p.pos < len(p.in) && p.in[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.pos < len(p.in) && p.in[p.pos] == ';' {
+			p.pos++
+			p.skipWS()
+			// A dangling ';' before '.' is legal Turtle.
+			if p.pos < len(p.in) && p.in[p.pos] == '.' {
+				break
+			}
+			continue
+		}
+		break
+	}
+	return p.expectDot()
+}
+
+func (p *turtleParser) parsePredicateTerm() (Term, error) {
+	p.skipWS()
+	if p.peekWord() == "a" {
+		p.pos += 1
+		return NewIRI(RDFType), nil
+	}
+	t, err := p.parseTerm(false)
+	if err != nil {
+		return Term{}, err
+	}
+	if t.Kind != IRI {
+		return Term{}, p.errf("predicate must be an IRI")
+	}
+	return t, nil
+}
+
+// parseIRIRef parses <...> applying @base to relative IRIs.
+func (p *turtleParser) parseIRIRef() (string, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) || p.in[p.pos] != '<' {
+		return "", p.errf("expected <iri>")
+	}
+	j := strings.IndexByte(p.in[p.pos:], '>')
+	if j < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.in[p.pos+1 : p.pos+j]
+	p.pos += j + 1
+	if p.base != "" && !strings.Contains(iri, "://") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+// parseTerm parses a subject or object term.
+func (p *turtleParser) parseTerm(allowLiteral bool) (Term, error) {
+	p.skipWS()
+	if p.pos >= len(p.in) {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	c := p.in[p.pos]
+	switch {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case c == '_':
+		if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+			return Term{}, p.errf("malformed blank node")
+		}
+		j := p.pos + 2
+		for j < len(p.in) && !isTurtleBreak(p.in[j]) {
+			j++
+		}
+		label := p.in[p.pos+2 : j]
+		if label == "" {
+			return Term{}, p.errf("empty blank node label")
+		}
+		p.pos = j
+		return NewBlank(label), nil
+	case c == '"':
+		if !allowLiteral {
+			return Term{}, p.errf("literal not allowed here")
+		}
+		return p.parseLiteralTerm()
+	default:
+		word := p.peekWord()
+		if word == "" {
+			return Term{}, p.errf("unexpected character %q", c)
+		}
+		// Numeric / boolean shorthand.
+		if allowLiteral {
+			if word == "true" || word == "false" {
+				p.pos += len(word)
+				return NewTypedLiteral(word, "http://www.w3.org/2001/XMLSchema#boolean"), nil
+			}
+			if word[0] >= '0' && word[0] <= '9' || (word[0] == '-' || word[0] == '+') && len(word) > 1 {
+				p.pos += len(word)
+				dt := "http://www.w3.org/2001/XMLSchema#integer"
+				if strings.ContainsAny(word, ".eE") {
+					dt = "http://www.w3.org/2001/XMLSchema#decimal"
+				}
+				return NewTypedLiteral(word, dt), nil
+			}
+		}
+		// Prefixed name.
+		i := strings.IndexByte(word, ':')
+		if i < 0 {
+			return Term{}, p.errf("cannot parse term %q", word)
+		}
+		base, ok := p.prefixes[word[:i]]
+		if !ok {
+			return Term{}, p.errf("undeclared prefix %q", word[:i])
+		}
+		p.pos += len(word)
+		return NewIRI(base + word[i+1:]), nil
+	}
+}
+
+// parseLiteralTerm parses "..." with optional @lang or ^^type.
+func (p *turtleParser) parseLiteralTerm() (Term, error) {
+	// Reuse the N-Triples literal machinery on the rest of the input.
+	term, rest, err := parseTerm(p.in[p.pos:])
+	if err != nil {
+		return Term{}, p.errf("%v", err)
+	}
+	consumed := len(p.in) - p.pos - len(rest)
+	p.pos += consumed
+	if term.Kind == Literal && term.Datatype == "" && term.Lang == "" {
+		// Check for ^^prefixed:type which parseTerm does not handle.
+		if strings.HasPrefix(rest, "^^") && !strings.HasPrefix(rest, "^^<") {
+			p.pos += 2
+			dt, err := p.parseTerm(false)
+			if err != nil {
+				return Term{}, err
+			}
+			if dt.Kind != IRI {
+				return Term{}, p.errf("datatype must be an IRI")
+			}
+			return NewTypedLiteral(term.Value, dt.Value), nil
+		}
+	}
+	return term, nil
+}
+
+// DetectFormat guesses the serialization of an RDF file from its name:
+// ".ttl"/".turtle" parse as Turtle, everything else as N-Triples (which is
+// also valid Turtle, so misdetection of .nt files is harmless).
+func DetectFormat(filename string) string {
+	lower := strings.ToLower(filename)
+	if strings.HasSuffix(lower, ".ttl") || strings.HasSuffix(lower, ".turtle") {
+		return "turtle"
+	}
+	return "ntriples"
+}
+
+// ParseFile parses a reader as the named format ("turtle" or "ntriples").
+func ParseFile(r io.Reader, format string) (*Graph, error) {
+	if format == "turtle" {
+		return ParseTurtle(r)
+	}
+	return ParseNTriples(r)
+}

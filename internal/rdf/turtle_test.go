@@ -1,0 +1,179 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTTL = `# A Turtle document in the supported subset.
+@prefix up: <http://uniprot.example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+up:Protein26474 a up:Protein ;
+    up:occursIn up:Organism7 ;
+    up:hasKeyword up:Keyword546 , up:Keyword99 .
+
+up:Protein43426 up:reference "Some article"@en ;
+    up:mass "3.14"^^xsd:double ;
+    up:reviewed true ;
+    up:citations 42 .
+
+_:b0 up:interacts up:Protein26474 .
+`
+
+func TestParseTurtleBasics(t *testing.T) {
+	g, err := ParseTurtle(strings.NewReader(sampleTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 triples for Protein26474 (a + occursIn + 2 keywords),
+	// 4 for Protein43426, 1 blank node.
+	if g.Len() != 9 {
+		t.Fatalf("parsed %d triples, want 9", g.Len())
+	}
+	find := func(pred string) []Triple {
+		id := g.Dict.LookupIRI("http://uniprot.example.org/" + pred)
+		var out []Triple
+		for _, tr := range g.Triples {
+			if tr.P == id {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	if got := find("hasKeyword"); len(got) != 2 {
+		t.Errorf("comma list produced %d keyword triples, want 2", len(got))
+	}
+	// 'a' expands to rdf:type.
+	typeID := g.Dict.LookupIRI(RDFType)
+	found := false
+	for _, tr := range g.Triples {
+		if tr.P == typeID {
+			found = true
+			if g.Dict.Term(tr.O).Value != "http://uniprot.example.org/Protein" {
+				t.Errorf("type object = %v", g.Dict.Term(tr.O))
+			}
+		}
+	}
+	if !found {
+		t.Error("'a' triple missing")
+	}
+	// Typed literal via prefixed datatype.
+	if got := find("mass"); len(got) != 1 {
+		t.Fatal("mass triple missing")
+	} else if o := g.Dict.Term(got[0].O); o.Datatype != "http://www.w3.org/2001/XMLSchema#double" {
+		t.Errorf("mass datatype = %q", o.Datatype)
+	}
+	// Boolean and integer shorthand.
+	if got := find("reviewed"); len(got) != 1 {
+		t.Fatal("reviewed triple missing")
+	} else if o := g.Dict.Term(got[0].O); o.Value != "true" || !strings.HasSuffix(o.Datatype, "boolean") {
+		t.Errorf("boolean literal = %+v", o)
+	}
+	if got := find("citations"); len(got) != 1 {
+		t.Fatal("citations triple missing")
+	} else if o := g.Dict.Term(got[0].O); o.Value != "42" || !strings.HasSuffix(o.Datatype, "integer") {
+		t.Errorf("integer literal = %+v", o)
+	}
+	// Blank node subject.
+	if got := find("interacts"); len(got) != 1 {
+		t.Fatal("blank node triple missing")
+	} else if s := g.Dict.Term(got[0].S); s.Kind != Blank || s.Value != "b0" {
+		t.Errorf("blank subject = %+v", s)
+	}
+}
+
+func TestParseTurtleSparqlPrefixAndBase(t *testing.T) {
+	g, err := ParseTurtle(strings.NewReader(`
+PREFIX ex: <http://ex.org/>
+BASE <http://base.org/>
+ex:a ex:p <relative> .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if o := g.Dict.Term(g.Triples[0].O); o.Value != "http://base.org/relative" {
+		t.Errorf("base not applied: %q", o.Value)
+	}
+}
+
+func TestParseTurtleDanglingSemicolon(t *testing.T) {
+	g, err := ParseTurtle(strings.NewReader(`
+@prefix ex: <http://ex.org/> .
+ex:s ex:p ex:o ; .
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseTurtleNTriplesCompatible(t *testing.T) {
+	// Any N-Triples document is valid Turtle.
+	g, err := ParseTurtle(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseNTriples(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != g2.Len() {
+		t.Errorf("turtle parsed %d, ntriples %d", g.Len(), g2.Len())
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`@prefix ex <http://x/> .`,                  // missing colon
+		`@prefix ex: <http://x/>`,                   // missing dot
+		`ex:s ex:p ex:o .`,                          // undeclared prefix
+		`@prefix ex: <http://x/> . ex:s "l" ex:o .`, // literal predicate
+		`@prefix ex: <http://x/> . "l" ex:p ex:o .`, // literal subject
+		`@prefix ex: <http://x/> . ex:s ex:p ex:o`,  // missing final dot
+		`@prefix ex: <http://x/> . ex:s ex:p <unterminated .`,
+		`@prefix ex: <http://x/> . _: ex:p ex:o .`, // empty blank label
+	}
+	for _, in := range bad {
+		if _, err := ParseTurtle(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseTurtle(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseTurtleErrorHasLineNumber(t *testing.T) {
+	_, err := ParseTurtle(strings.NewReader("@prefix ex: <http://x/> .\n\nex:s unknown:p ex:o .\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error = %v, want line 3", err)
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]string{
+		"data.ttl":    "turtle",
+		"DATA.TURTLE": "turtle",
+		"data.nt":     "ntriples",
+		"data":        "ntriples",
+	}
+	for name, want := range cases {
+		if got := DetectFormat(name); got != want {
+			t.Errorf("DetectFormat(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestParseFileDispatch(t *testing.T) {
+	g, err := ParseFile(strings.NewReader(sampleTTL), "turtle")
+	if err != nil || g.Len() == 0 {
+		t.Errorf("turtle dispatch: %v", err)
+	}
+	g2, err := ParseFile(strings.NewReader(sampleNT), "ntriples")
+	if err != nil || g2.Len() == 0 {
+		t.Errorf("ntriples dispatch: %v", err)
+	}
+}

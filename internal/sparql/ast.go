@@ -1,0 +1,243 @@
+// Package sparql implements the SPARQL fragment used by PING: SELECT
+// queries over basic graph patterns (BGPs), with PREFIX declarations,
+// DISTINCT, and LIMIT. This is the fragment the paper evaluates (§3.2);
+// it is monotone, which is what makes progressive answering sound
+// (Lemma 4.3).
+//
+// The package also classifies queries into the paper's three workload
+// shapes — star, chain, and complex — which drive the Fig. 6 experiments.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ping/internal/rdf"
+)
+
+// TriplePattern is one pattern of a BGP. Each position holds an rdf.Term;
+// variables are rdf.Variable terms.
+type TriplePattern struct {
+	S, P, O rdf.Term
+}
+
+// String renders the pattern in SPARQL surface syntax.
+func (t TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// Vars returns the distinct variable names of the pattern, in SPO order.
+func (t TriplePattern) Vars() []string {
+	var out []string
+	seen := make(map[string]bool, 3)
+	for _, term := range []rdf.Term{t.S, t.P, t.O} {
+		if term.IsVar() && !seen[term.Value] {
+			seen[term.Value] = true
+			out = append(out, term.Value)
+		}
+	}
+	return out
+}
+
+// Symbols returns the concrete (non-variable) terms of the pattern, in SPO
+// order. These are the "query symbols" of Def. 4.1 whose index lookups
+// determine slice safety.
+func (t TriplePattern) Symbols() []rdf.Term {
+	var out []rdf.Term
+	for _, term := range []rdf.Term{t.S, t.P, t.O} {
+		if term.IsConcrete() {
+			out = append(out, term)
+		}
+	}
+	return out
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	// Vars are the projected variable names; empty means SELECT *.
+	Vars []string
+	// Distinct is true for SELECT DISTINCT.
+	Distinct bool
+	// Patterns is the BGP.
+	Patterns []TriplePattern
+	// Paths holds the property-path patterns (§6.2 navigational
+	// extension); empty for plain BGP queries.
+	Paths []PathPattern
+	// Filters holds FILTER expressions; each row of the joined solution
+	// must satisfy all of them.
+	Filters []Expr
+	// Limit caps the number of results; 0 means no limit.
+	Limit int
+}
+
+// AllVars returns the distinct variables across the whole BGP in first-use
+// order; this is the SELECT * projection.
+func (q *Query) AllVars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range q.Patterns {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	for _, p := range q.Paths {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Projection returns the effective projected variables: Vars if explicit,
+// otherwise all BGP variables.
+func (q *Query) Projection() []string {
+	if len(q.Vars) > 0 {
+		return q.Vars
+	}
+	return q.AllVars()
+}
+
+// Symbols returns the distinct concrete terms across the BGP, including
+// the property IRIs and endpoint constants of path patterns.
+func (q *Query) Symbols() []rdf.Term {
+	var out []rdf.Term
+	seen := make(map[string]bool)
+	add := func(s rdf.Term) {
+		if key := s.String(); !seen[key] {
+			seen[key] = true
+			out = append(out, s)
+		}
+	}
+	for _, p := range q.Patterns {
+		for _, s := range p.Symbols() {
+			add(s)
+		}
+	}
+	for _, p := range q.Paths {
+		if p.S.IsConcrete() {
+			add(p.S)
+		}
+		if p.O.IsConcrete() {
+			add(p.O)
+		}
+		for _, iri := range p.Path.IRIs(nil) {
+			add(iri)
+		}
+	}
+	return out
+}
+
+// String renders the query in SPARQL surface syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(q.Vars) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range q.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteByte('?')
+			b.WriteString(v)
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, p := range q.Patterns {
+		b.WriteString("  ")
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	for _, p := range q.Paths {
+		b.WriteString("  ")
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range q.Filters {
+		fmt.Fprintf(&b, "  FILTER (%s)\n", f.String())
+	}
+	b.WriteString("}")
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}
+
+// Shape is the workload classification used throughout the evaluation.
+type Shape uint8
+
+const (
+	// ShapeStar marks queries whose patterns all share one subject variable.
+	ShapeStar Shape = iota
+	// ShapeChain marks queries whose patterns form a subject-object path.
+	ShapeChain
+	// ShapeComplex marks every other BGP (mixed star+chain, trees, cycles).
+	ShapeComplex
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeStar:
+		return "star"
+	case ShapeChain:
+		return "chain"
+	case ShapeComplex:
+		return "complex"
+	default:
+		return fmt.Sprintf("Shape(%d)", uint8(s))
+	}
+}
+
+// Classify returns the workload shape of the query per the paper's §3.2
+// definitions: star queries share the same subject variable across all
+// patterns; chain queries thread each pattern's object variable into the
+// next pattern's subject; everything else is complex.
+func Classify(q *Query) Shape {
+	if len(q.Paths) > 0 || len(q.Patterns) == 0 {
+		// Navigational queries are their own beast; the evaluation
+		// buckets them with complex queries.
+		return ShapeComplex
+	}
+	if isStar(q.Patterns) {
+		return ShapeStar
+	}
+	if isChain(q.Patterns) {
+		return ShapeChain
+	}
+	return ShapeComplex
+}
+
+func isStar(ps []TriplePattern) bool {
+	first := ps[0].S
+	if !first.IsVar() {
+		return false
+	}
+	for _, p := range ps {
+		if !p.S.IsVar() || p.S.Value != first.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func isChain(ps []TriplePattern) bool {
+	if len(ps) < 2 {
+		return false
+	}
+	for i := 0; i+1 < len(ps); i++ {
+		o, s := ps[i].O, ps[i+1].S
+		if !o.IsVar() || !s.IsVar() || o.Value != s.Value {
+			return false
+		}
+	}
+	return true
+}

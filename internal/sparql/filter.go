@@ -1,0 +1,275 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ping/internal/rdf"
+)
+
+// FILTER support for the monotone fragment: a filter is a selection over
+// the bindings of a solution, so adding one never breaks PQA soundness —
+// a filtered partial answer is still a subset of the filtered exact
+// answer. The supported expression grammar is
+//
+//	expr   := and ('||' and)*
+//	and    := prim ('&&' prim)*
+//	prim   := '(' expr ')' | '!' prim | term cmp term
+//	cmp    := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	term   := ?var | literal | IRI | prefixed name
+//
+// Comparisons between numeric literals (xsd:integer/decimal/double or
+// plain numerals) are numeric; everything else compares by term kind and
+// lexical form.
+
+// Expr is a boolean filter expression evaluated against one binding row.
+type Expr interface {
+	// Eval reports whether the row satisfies the expression. lookup
+	// resolves a variable name to its bound term.
+	Eval(lookup func(string) (rdf.Term, bool)) bool
+	// String renders the expression in SPARQL surface syntax.
+	String() string
+	// Vars appends the variable names the expression references.
+	Vars(acc []string) []string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// Comparison is term-vs-term comparison; either side may be a variable.
+type Comparison struct {
+	Left  rdf.Term
+	Op    CmpOp
+	Right rdf.Term
+}
+
+// Eval resolves both sides and compares. Unbound variables make the
+// comparison false (SPARQL type errors eliminate the solution).
+func (c Comparison) Eval(lookup func(string) (rdf.Term, bool)) bool {
+	l, ok := resolve(c.Left, lookup)
+	if !ok {
+		return false
+	}
+	r, ok := resolve(c.Right, lookup)
+	if !ok {
+		return false
+	}
+	cmp, comparable := compareTerms(l, r)
+	if !comparable {
+		// Incomparable terms only support (in)equality on identity.
+		switch c.Op {
+		case OpEq:
+			return l == r
+		case OpNe:
+			return l != r
+		default:
+			return false
+		}
+	}
+	switch c.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+func (c Comparison) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// Vars appends the comparison's variable references.
+func (c Comparison) Vars(acc []string) []string {
+	if c.Left.IsVar() {
+		acc = append(acc, c.Left.Value)
+	}
+	if c.Right.IsVar() {
+		acc = append(acc, c.Right.Value)
+	}
+	return acc
+}
+
+// And is conjunction.
+type And struct {
+	Parts []Expr
+}
+
+// Eval reports whether every part holds.
+func (a And) Eval(lookup func(string) (rdf.Term, bool)) bool {
+	for _, p := range a.Parts {
+		if !p.Eval(lookup) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a And) String() string { return joinExprs(a.Parts, " && ") }
+
+// Vars appends every part's variables.
+func (a And) Vars(acc []string) []string {
+	for _, p := range a.Parts {
+		acc = p.Vars(acc)
+	}
+	return acc
+}
+
+// Or is disjunction.
+type Or struct {
+	Parts []Expr
+}
+
+// Eval reports whether any part holds.
+func (o Or) Eval(lookup func(string) (rdf.Term, bool)) bool {
+	for _, p := range o.Parts {
+		if p.Eval(lookup) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o Or) String() string { return joinExprs(o.Parts, " || ") }
+
+// Vars appends every part's variables.
+func (o Or) Vars(acc []string) []string {
+	for _, p := range o.Parts {
+		acc = p.Vars(acc)
+	}
+	return acc
+}
+
+// Not is negation of a sub-expression. Note that negation of a *filter*
+// keeps the overall query monotone in the data: the filter applies to
+// each candidate row independently.
+type Not struct {
+	Sub Expr
+}
+
+// Eval negates the sub-expression.
+func (n Not) Eval(lookup func(string) (rdf.Term, bool)) bool {
+	return !n.Sub.Eval(lookup)
+}
+
+func (n Not) String() string { return "!(" + n.Sub.String() + ")" }
+
+// Vars appends the sub-expression's variables.
+func (n Not) Vars(acc []string) []string { return n.Sub.Vars(acc) }
+
+func joinExprs(parts []Expr, sep string) string {
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(out, sep)
+}
+
+func resolve(t rdf.Term, lookup func(string) (rdf.Term, bool)) (rdf.Term, bool) {
+	if t.IsVar() {
+		return lookup(t.Value)
+	}
+	return t, true
+}
+
+// compareTerms orders two terms. Numeric literals compare numerically;
+// same-kind terms compare lexically; different kinds are incomparable.
+func compareTerms(a, b rdf.Term) (int, bool) {
+	if a.Kind == rdf.Literal && b.Kind == rdf.Literal {
+		if av, aok := numericValue(a); aok {
+			if bv, bok := numericValue(b); bok {
+				switch {
+				case av < bv:
+					return -1, true
+				case av > bv:
+					return 1, true
+				default:
+					return 0, true
+				}
+			}
+		}
+		return strings.Compare(a.Value, b.Value), true
+	}
+	if a.Kind != b.Kind {
+		return 0, false
+	}
+	return strings.Compare(a.Value, b.Value), true
+}
+
+// numericValue parses a literal as a number when its datatype (or
+// lexical form) is numeric.
+func numericValue(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.Literal || t.Lang != "" {
+		return 0, false
+	}
+	switch t.Datatype {
+	case "", "http://www.w3.org/2001/XMLSchema#integer",
+		"http://www.w3.org/2001/XMLSchema#decimal",
+		"http://www.w3.org/2001/XMLSchema#double",
+		"http://www.w3.org/2001/XMLSchema#float",
+		"http://www.w3.org/2001/XMLSchema#int",
+		"http://www.w3.org/2001/XMLSchema#long":
+		v, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return 0, false
+		}
+		if t.Datatype == "" && !looksNumeric(t.Value) {
+			return 0, false
+		}
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+func lookupFrom(m map[string]rdf.Term) func(string) (rdf.Term, bool) {
+	return func(name string) (rdf.Term, bool) {
+		t, ok := m[name]
+		return t, ok
+	}
+}
+
+func TestParseFilterComparisons(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?x <price> ?p .
+		FILTER (?p < 100)
+	}`)
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Filters))
+	}
+	cmp, ok := q.Filters[0].(Comparison)
+	if !ok {
+		t.Fatalf("filter is %T", q.Filters[0])
+	}
+	if cmp.Op != OpLt || !cmp.Left.IsVar() || cmp.Left.Value != "p" {
+		t.Errorf("comparison = %+v", cmp)
+	}
+	if cmp.Right.Datatype != "http://www.w3.org/2001/XMLSchema#integer" || cmp.Right.Value != "100" {
+		t.Errorf("bare numeral parsed as %+v", cmp.Right)
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	five := rdf.NewTypedLiteral("5", "http://www.w3.org/2001/XMLSchema#integer")
+	cases := []struct {
+		op   CmpOp
+		l, r string
+		want bool
+	}{
+		{OpEq, "5", "5", true},
+		{OpEq, "5", "6", false},
+		{OpNe, "5", "6", true},
+		{OpLt, "5", "6", true},
+		{OpLt, "6", "5", false},
+		{OpLe, "5", "5", true},
+		{OpGt, "10", "9", true},
+		{OpGe, "9", "9", true},
+	}
+	for _, c := range cases {
+		cmp := Comparison{
+			Left:  rdf.NewTypedLiteral(c.l, five.Datatype),
+			Op:    c.op,
+			Right: rdf.NewTypedLiteral(c.r, five.Datatype),
+		}
+		if got := cmp.Eval(lookupFrom(nil)); got != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestFilterNumericVsLexical(t *testing.T) {
+	// Numeric comparison: "9" < "10" numerically (lexically it is not).
+	cmp := Comparison{
+		Left:  rdf.NewTypedLiteral("9", "http://www.w3.org/2001/XMLSchema#integer"),
+		Op:    OpLt,
+		Right: rdf.NewTypedLiteral("10", "http://www.w3.org/2001/XMLSchema#integer"),
+	}
+	if !cmp.Eval(lookupFrom(nil)) {
+		t.Error("9 < 10 numerically must hold")
+	}
+	// Non-numeric strings compare lexically.
+	cmp2 := Comparison{
+		Left:  rdf.NewLiteral("apple"),
+		Op:    OpLt,
+		Right: rdf.NewLiteral("banana"),
+	}
+	if !cmp2.Eval(lookupFrom(nil)) {
+		t.Error("apple < banana lexically must hold")
+	}
+	// Plain numeric-looking literals still compare numerically.
+	cmp3 := Comparison{
+		Left:  rdf.NewLiteral("9"),
+		Op:    OpLt,
+		Right: rdf.NewLiteral("10"),
+	}
+	if !cmp3.Eval(lookupFrom(nil)) {
+		t.Error("plain '9' < '10' must compare numerically")
+	}
+}
+
+func TestFilterVariablesAndUnbound(t *testing.T) {
+	env := map[string]rdf.Term{
+		"p": rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+	}
+	cmp := Comparison{Left: rdf.NewVar("p"), Op: OpGt, Right: rdf.NewTypedLiteral("40", "http://www.w3.org/2001/XMLSchema#integer")}
+	if !cmp.Eval(lookupFrom(env)) {
+		t.Error("?p > 40 with ?p=42 must hold")
+	}
+	unbound := Comparison{Left: rdf.NewVar("zz"), Op: OpEq, Right: rdf.NewVar("zz")}
+	if unbound.Eval(lookupFrom(env)) {
+		t.Error("comparison over unbound variable must be false")
+	}
+}
+
+func TestFilterIRIEquality(t *testing.T) {
+	env := map[string]rdf.Term{"x": rdf.NewIRI("http://x/a")}
+	eq := Comparison{Left: rdf.NewVar("x"), Op: OpEq, Right: rdf.NewIRI("http://x/a")}
+	if !eq.Eval(lookupFrom(env)) {
+		t.Error("IRI equality must hold")
+	}
+	// IRI vs literal: incomparable; only != can hold.
+	ne := Comparison{Left: rdf.NewVar("x"), Op: OpNe, Right: rdf.NewLiteral("http://x/a")}
+	if !ne.Eval(lookupFrom(env)) {
+		t.Error("IRI != literal must hold")
+	}
+	lt := Comparison{Left: rdf.NewVar("x"), Op: OpLt, Right: rdf.NewLiteral("zzz")}
+	if lt.Eval(lookupFrom(env)) {
+		t.Error("IRI < literal must be false (incomparable)")
+	}
+}
+
+func TestFilterBooleanStructure(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?x <p> ?v .
+		FILTER (?v > 10 && ?v < 20 || ?v = 99)
+	}`)
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Filters))
+	}
+	or, ok := q.Filters[0].(Or)
+	if !ok {
+		t.Fatalf("top-level expr is %T, want Or", q.Filters[0])
+	}
+	if len(or.Parts) != 2 {
+		t.Fatalf("or parts = %d", len(or.Parts))
+	}
+	if _, ok := or.Parts[0].(And); !ok {
+		t.Errorf("left or-part is %T, want And", or.Parts[0])
+	}
+	check := func(v string, want bool) {
+		env := map[string]rdf.Term{"v": rdf.NewTypedLiteral(v, "http://www.w3.org/2001/XMLSchema#integer")}
+		if got := q.Filters[0].Eval(lookupFrom(env)); got != want {
+			t.Errorf("filter(%s) = %v, want %v", v, got, want)
+		}
+	}
+	check("15", true)
+	check("5", false)
+	check("25", false)
+	check("99", true)
+}
+
+func TestFilterNegationAndParens(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p> ?v . FILTER (!(?v = 3)) }`)
+	not, ok := q.Filters[0].(Not)
+	if !ok {
+		t.Fatalf("expr is %T", q.Filters[0])
+	}
+	env3 := map[string]rdf.Term{"v": rdf.NewTypedLiteral("3", "http://www.w3.org/2001/XMLSchema#integer")}
+	if not.Eval(lookupFrom(env3)) {
+		t.Error("!(3 = 3) must be false")
+	}
+	env4 := map[string]rdf.Term{"v": rdf.NewTypedLiteral("4", "http://www.w3.org/2001/XMLSchema#integer")}
+	if !not.Eval(lookupFrom(env4)) {
+		t.Error("!(4 = 3) must be true")
+	}
+}
+
+func TestFilterStringRoundTrip(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p> ?v . FILTER (?v >= 10 && !(?v = 15)) }`)
+	s := q.String()
+	if !strings.Contains(s, "FILTER") {
+		t.Fatalf("String() dropped FILTER: %s", s)
+	}
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(q2.Filters) != 1 {
+		t.Errorf("round trip lost filters")
+	}
+}
+
+func TestFilterVars(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <p> ?v . FILTER (?v > 1 || ?w < 2) }`)
+	vars := q.Filters[0].Vars(nil)
+	if len(vars) != 2 || vars[0] != "v" || vars[1] != "w" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * WHERE { ?x <p> ?v . FILTER ?v > 1 }`,            // missing parens
+		`SELECT * WHERE { ?x <p> ?v . FILTER (?v > ) }`,           // missing rhs
+		`SELECT * WHERE { ?x <p> ?v . FILTER (?v >) }`,            // missing rhs
+		`SELECT * WHERE { ?x <p> ?v . FILTER (?v ~ 3) }`,          // bad operator
+		`SELECT * WHERE { ?x <p> ?v . FILTER (?v > 1 }`,           // unclosed
+		`SELECT * WHERE { ?x <p> ?v . FILTER (?v > 1 | ?v < 2) }`, // single pipe
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLessThanOperatorVsIRI(t *testing.T) {
+	// The tokenizer must distinguish '<' as operator from '<' opening an
+	// IRI, even when an IRI appears later on the same line.
+	q := MustParse(`SELECT * WHERE { ?x <p> ?v . FILTER (?v < 5) . ?x <q> ?w }`)
+	if len(q.Patterns) != 2 || len(q.Filters) != 1 {
+		t.Fatalf("patterns=%d filters=%d", len(q.Patterns), len(q.Filters))
+	}
+	q2 := MustParse(`SELECT * WHERE { ?x <p> ?v . FILTER (?v <= 5) }`)
+	if cmp := q2.Filters[0].(Comparison); cmp.Op != OpLe {
+		t.Errorf("<= parsed as %v", cmp.Op)
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the SPARQL parser never panics and that every accepted
+// query's rendering re-parses to an equivalent AST.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT * WHERE { ?x <p> ?y }`,
+		`SELECT DISTINCT ?a WHERE { ?a <p> "v"@en . ?a <q> ?b } LIMIT 3`,
+		`PREFIX x: <http://x/> SELECT * WHERE { ?s x:p ?o ; x:q ?o2 , ?o3 . }`,
+		`SELECT * WHERE { ?x <p>+/<q> ?y . FILTER (?y > 10 && !(?y = 15)) }`,
+		`SELECT * WHERE { ?x (<a>|<b>)* ?y }`,
+		`SELECT`,
+		`SELECT * WHERE {`,
+		`SELECT * WHERE { ?x <p ?y }`,
+		`SELECT * WHERE { ?x a ?t . FILTER (?t != <http://x/T>) }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of own rendering failed: %v\nrendering:\n%s", err, rendered)
+		}
+		if len(q2.Patterns) != len(q.Patterns) || len(q2.Paths) != len(q.Paths) ||
+			len(q2.Filters) != len(q.Filters) || q2.Distinct != q.Distinct || q2.Limit != q.Limit {
+			t.Fatalf("round trip changed the query:\n%s\nvs\n%s", rendered, q2.String())
+		}
+	})
+}

@@ -1,0 +1,657 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ping/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT query in the fragment PING supports:
+//
+//	PREFIX ns: <iri>            (any number)
+//	SELECT [DISTINCT] (*|?v..)  projection
+//	WHERE { tp . tp . ... }     basic graph pattern
+//	[LIMIT n]
+//
+// Triple-pattern terms may be IRIs (<...> or prefixed names), literals,
+// blank nodes, variables, or the keyword 'a' (rdf:type) in the predicate
+// position.
+func Parse(input string) (*Query, error) {
+	p := &parser{toks: tokenize(input)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("sparql: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests, examples,
+// and generated workloads that are correct by construction.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type token struct {
+	text string
+	pos  int
+}
+
+// tokenize splits the input into tokens. IRIs and literals are kept whole;
+// punctuation characters {, }, ., ;, and , are their own tokens.
+func tokenize(in string) []token {
+	var toks []token
+	i := 0
+	for i < len(in) {
+		c := in[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#': // comment to end of line
+			for i < len(in) && in[i] != '\n' {
+				i++
+			}
+		case c == '<':
+			// '<' opens an IRI unless whitespace intervenes before '>',
+			// in which case it is the less-than operator (FILTER).
+			j := strings.IndexByte(in[i:], '>')
+			ws := strings.IndexAny(in[i:], " \t\n\r")
+			if j < 0 || (ws >= 0 && ws < j) {
+				if i+1 < len(in) && in[i+1] == '=' {
+					toks = append(toks, token{"<=", i})
+					i += 2
+				} else {
+					toks = append(toks, token{"<", i})
+					i++
+				}
+			} else {
+				toks = append(toks, token{in[i : i+j+1], i})
+				i += j + 1
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(in) {
+				if in[j] == '\\' {
+					j += 2
+					continue
+				}
+				if in[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(in) {
+				toks = append(toks, token{in[i:], i})
+				i = len(in)
+				break
+			}
+			j++ // past closing quote
+			// Absorb @lang or ^^<datatype>.
+			if j < len(in) && in[j] == '@' {
+				for j < len(in) && !isDelim(in[j]) && in[j] != ' ' {
+					j++
+				}
+			} else if strings.HasPrefix(in[j:], "^^<") {
+				if k := strings.IndexByte(in[j:], '>'); k >= 0 {
+					j += k + 1
+				} else {
+					j = len(in)
+				}
+			}
+			toks = append(toks, token{in[i:j], i})
+			i = j
+		case c == '{' || c == '}' || c == '.' || c == ';' || c == ',' ||
+			c == '(' || c == ')' || c == '|' || c == '/' || c == '+' || c == '*':
+			toks = append(toks, token{string(c), i})
+			i++
+		default:
+			j := i
+			for j < len(in) && !isBreak(in[j]) {
+				j++
+			}
+			toks = append(toks, token{in[i:j], i})
+			i = j
+		}
+	}
+	return toks
+}
+
+func isDelim(c byte) bool {
+	return c == '{' || c == '}' || c == '.' || c == ';' || c == ',' ||
+		c == '(' || c == ')' || c == '|' || c == '/' || c == '+' || c == '*' ||
+		c == '\t' || c == '\n' || c == '\r'
+}
+
+func isBreak(c byte) bool {
+	return c == ' ' || c == '<' || c == '"' || isDelim(c)
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(text string) error {
+	t, ok := p.next()
+	if !ok {
+		return fmt.Errorf("expected %q, got end of query", text)
+	}
+	if !strings.EqualFold(t.text, text) {
+		return fmt.Errorf("expected %q at offset %d, got %q", text, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	p.prefixes = map[string]string{
+		"rdf": "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("empty query")
+		}
+		if !strings.EqualFold(t.text, "PREFIX") {
+			break
+		}
+		p.pos++
+		if err := p.parsePrefix(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if t, ok := p.peek(); ok && strings.EqualFold(t.text, "DISTINCT") {
+		q.Distinct = true
+		p.pos++
+	}
+	// Projection.
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("unexpected end of query in projection")
+		}
+		if t.text == "*" {
+			if len(q.Vars) > 0 {
+				return nil, fmt.Errorf("cannot mix * with explicit variables")
+			}
+			p.pos++
+			break
+		}
+		if strings.HasPrefix(t.text, "?") || strings.HasPrefix(t.text, "$") {
+			if len(t.text) < 2 {
+				return nil, fmt.Errorf("empty variable at offset %d", t.pos)
+			}
+			q.Vars = append(q.Vars, t.text[1:])
+			p.pos++
+			continue
+		}
+		if strings.EqualFold(t.text, "WHERE") {
+			if len(q.Vars) == 0 {
+				return nil, fmt.Errorf("empty projection")
+			}
+			break
+		}
+		return nil, fmt.Errorf("unexpected token %q in projection", t.text)
+	}
+	if t, ok := p.peek(); ok && strings.EqualFold(t.text, "WHERE") {
+		p.pos++
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	if err := p.parseBGP(q); err != nil {
+		return nil, err
+	}
+	// Optional LIMIT.
+	if t, ok := p.peek(); ok && strings.EqualFold(t.text, "LIMIT") {
+		p.pos++
+		lt, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("LIMIT without a value")
+		}
+		var n int
+		if _, err := fmt.Sscanf(lt.text, "%d", &n); err != nil || n < 0 {
+			return nil, fmt.Errorf("bad LIMIT value %q", lt.text)
+		}
+		q.Limit = n
+	}
+	if t, ok := p.peek(); ok {
+		return nil, fmt.Errorf("unexpected trailing token %q at offset %d", t.text, t.pos)
+	}
+	if len(q.Patterns) == 0 && len(q.Paths) == 0 {
+		return nil, fmt.Errorf("empty basic graph pattern")
+	}
+	return q, nil
+}
+
+// parseFilter parses FILTER '(' expr ')'.
+func (p *parser) parseFilter() (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseFilterOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return expr, nil
+}
+
+// parseFilterOr parses and ('||' and)*. The tokenizer emits '|' as single
+// characters, so '||' arrives as two adjacent tokens.
+func (p *parser) parseFilterOr() (Expr, error) {
+	first, err := p.parseFilterAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for {
+		t1, ok1 := p.peek()
+		if !ok1 || t1.text != "|" {
+			break
+		}
+		if p.pos+1 >= len(p.toks) || p.toks[p.pos+1].text != "|" {
+			return nil, fmt.Errorf("single '|' in filter expression at offset %d", t1.pos)
+		}
+		p.pos += 2
+		next, err := p.parseFilterAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Or{Parts: parts}, nil
+}
+
+// parseFilterAnd parses prim ('&&' prim)*.
+func (p *parser) parseFilterAnd() (Expr, error) {
+	first, err := p.parseFilterPrim()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.text != "&&" {
+			break
+		}
+		p.pos++
+		next, err := p.parseFilterPrim()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return And{Parts: parts}, nil
+}
+
+// parseFilterPrim parses '(' expr ')', '!' prim, or a comparison.
+func (p *parser) parseFilterPrim() (Expr, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("unexpected end of query in filter")
+	}
+	switch t.text {
+	case "(":
+		p.pos++
+		inner, err := p.parseFilterOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case "!":
+		p.pos++
+		inner, err := p.parseFilterPrim()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Sub: inner}, nil
+	}
+	left, err := p.parseFilterTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("filter comparison missing operator")
+	}
+	var op CmpOp
+	switch opTok.text {
+	case "=", "==":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return nil, fmt.Errorf("unknown filter operator %q", opTok.text)
+	}
+	right, err := p.parseFilterTerm()
+	if err != nil {
+		return nil, err
+	}
+	return Comparison{Left: left, Op: op, Right: right}, nil
+}
+
+// parseFilterTerm parses a variable, literal, bare numeral, IRI, or
+// prefixed name inside a filter.
+func (p *parser) parseFilterTerm() (rdf.Term, error) {
+	t, ok := p.peek()
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("unexpected end of query in filter term")
+	}
+	// Bare numerals become xsd:integer / xsd:double typed literals.
+	if len(t.text) > 0 && (t.text[0] >= '0' && t.text[0] <= '9' || t.text[0] == '-' && len(t.text) > 1) {
+		p.pos++
+		dt := "http://www.w3.org/2001/XMLSchema#integer"
+		if strings.ContainsAny(t.text, ".eE") {
+			dt = "http://www.w3.org/2001/XMLSchema#double"
+		}
+		return rdf.NewTypedLiteral(t.text, dt), nil
+	}
+	return p.parsePatternTerm(posObject)
+}
+
+// parsePredicate parses the predicate position: either a variable (term,
+// nil, nil), or a property path. A path consisting of a single bare IRI is
+// returned as a plain term so ordinary BGP patterns stay on the fast path.
+func (p *parser) parsePredicate() (rdf.Term, Path, error) {
+	if t, ok := p.peek(); ok && (strings.HasPrefix(t.text, "?") || strings.HasPrefix(t.text, "$")) {
+		term, err := p.parsePatternTerm(posPredicate)
+		return term, nil, err
+	}
+	path, err := p.parsePathAlt()
+	if err != nil {
+		return rdf.Term{}, nil, err
+	}
+	if iri, ok := path.(PathIRI); ok {
+		return iri.IRI, nil, nil
+	}
+	return rdf.Term{}, path, nil
+}
+
+// parsePathAlt parses seq ('|' seq)*.
+func (p *parser) parsePathAlt() (Path, error) {
+	first, err := p.parsePathSeq()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Path{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.text != "|" {
+			break
+		}
+		p.pos++
+		next, err := p.parsePathSeq()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return PathAlt{Parts: parts}, nil
+}
+
+// parsePathSeq parses unary ('/' unary)*.
+func (p *parser) parsePathSeq() (Path, error) {
+	first, err := p.parsePathUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Path{first}
+	for {
+		t, ok := p.peek()
+		if !ok || t.text != "/" {
+			break
+		}
+		p.pos++
+		next, err := p.parsePathUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return PathSeq{Parts: parts}, nil
+}
+
+// parsePathUnary parses primary ('+' | '*')?.
+func (p *parser) parsePathUnary() (Path, error) {
+	prim, err := p.parsePathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := p.peek(); ok {
+		switch t.text {
+		case "+":
+			p.pos++
+			return PathPlus{Sub: prim}, nil
+		case "*":
+			p.pos++
+			return PathStar{Sub: prim}, nil
+		}
+	}
+	return prim, nil
+}
+
+// parsePathPrimary parses an IRI, prefixed name, 'a', or parenthesized
+// path.
+func (p *parser) parsePathPrimary() (Path, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("unexpected end of query in property path")
+	}
+	if t.text == "(" {
+		p.pos++
+		inner, err := p.parsePathAlt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	term, err := p.parsePatternTerm(posPredicate)
+	if err != nil {
+		return nil, err
+	}
+	if term.Kind != rdf.IRI {
+		return nil, fmt.Errorf("property path step must be an IRI, got %s", term.Kind)
+	}
+	return PathIRI{IRI: term}, nil
+}
+
+func (p *parser) parsePrefix() error {
+	name, ok := p.next()
+	if !ok {
+		return fmt.Errorf("PREFIX without a name")
+	}
+	if !strings.HasSuffix(name.text, ":") {
+		return fmt.Errorf("prefix name %q must end with ':'", name.text)
+	}
+	iri, ok := p.next()
+	if !ok {
+		return fmt.Errorf("PREFIX %s without an IRI", name.text)
+	}
+	if !strings.HasPrefix(iri.text, "<") || !strings.HasSuffix(iri.text, ">") {
+		return fmt.Errorf("PREFIX %s: expected <iri>, got %q", name.text, iri.text)
+	}
+	p.prefixes[strings.TrimSuffix(name.text, ":")] = iri.text[1 : len(iri.text)-1]
+	return nil
+}
+
+// parseBGP parses triple patterns up to the closing brace, supporting '.'
+// separators plus ';' (same subject) and ',' (same subject and predicate)
+// continuation lists.
+func (p *parser) parseBGP(q *Query) error {
+	var curS, curP rdf.Term
+	haveS, haveP := false, false
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("unterminated BGP: missing '}'")
+		}
+		if t.text == "}" {
+			p.pos++
+			return nil
+		}
+		if strings.EqualFold(t.text, "FILTER") {
+			p.pos++
+			expr, err := p.parseFilter()
+			if err != nil {
+				return err
+			}
+			q.Filters = append(q.Filters, expr)
+			// Optional '.' after a filter.
+			if sep, ok := p.peek(); ok && sep.text == "." {
+				p.pos++
+			}
+			haveS, haveP = false, false
+			continue
+		}
+		var s, pr, o rdf.Term
+		var path Path
+		var err error
+		if haveS {
+			s = curS
+		} else {
+			if s, err = p.parsePatternTerm(posSubject); err != nil {
+				return err
+			}
+		}
+		if haveP {
+			pr = curP
+		} else {
+			pr, path, err = p.parsePredicate()
+			if err != nil {
+				return err
+			}
+		}
+		if o, err = p.parsePatternTerm(posObject); err != nil {
+			return err
+		}
+		if path != nil {
+			q.Paths = append(q.Paths, PathPattern{S: s, Path: path, O: o})
+		} else {
+			q.Patterns = append(q.Patterns, TriplePattern{S: s, P: pr, O: o})
+		}
+		sep, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("unterminated BGP: missing '}'")
+		}
+		switch sep.text {
+		case ".":
+			p.pos++
+			haveS, haveP = false, false
+		case ";":
+			p.pos++
+			curS, haveS, haveP = s, true, false
+		case ",":
+			if path != nil {
+				return fmt.Errorf("',' continuation after a property path is not supported")
+			}
+			p.pos++
+			curS, curP, haveS, haveP = s, pr, true, true
+		case "}":
+			haveS, haveP = false, false
+		default:
+			return fmt.Errorf("expected '.', ';', ',' or '}' after pattern, got %q", sep.text)
+		}
+	}
+}
+
+type termPos int
+
+const (
+	posSubject termPos = iota
+	posPredicate
+	posObject
+)
+
+func (p *parser) parsePatternTerm(pos termPos) (rdf.Term, error) {
+	t, ok := p.next()
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("unexpected end of query in triple pattern")
+	}
+	txt := t.text
+	switch {
+	case strings.HasPrefix(txt, "?") || strings.HasPrefix(txt, "$"):
+		if len(txt) < 2 {
+			return rdf.Term{}, fmt.Errorf("empty variable at offset %d", t.pos)
+		}
+		return rdf.NewVar(txt[1:]), nil
+	case strings.HasPrefix(txt, "<") && strings.HasSuffix(txt, ">"):
+		return rdf.NewIRI(txt[1 : len(txt)-1]), nil
+	case txt == "a" && pos == posPredicate:
+		return rdf.NewIRI(rdf.RDFType), nil
+	case strings.HasPrefix(txt, "_:"):
+		if pos == posPredicate {
+			return rdf.Term{}, fmt.Errorf("blank node in predicate position at offset %d", t.pos)
+		}
+		return rdf.NewBlank(txt[2:]), nil
+	case strings.HasPrefix(txt, `"`):
+		if pos != posObject {
+			return rdf.Term{}, fmt.Errorf("literal outside object position at offset %d", t.pos)
+		}
+		term, rest, err := rdf.ParseTermString(txt)
+		if err != nil || strings.TrimSpace(rest) != "" {
+			return rdf.Term{}, fmt.Errorf("malformed literal %q at offset %d", txt, t.pos)
+		}
+		return term, nil
+	case strings.Contains(txt, ":"):
+		i := strings.IndexByte(txt, ':')
+		base, ok := p.prefixes[txt[:i]]
+		if !ok {
+			return rdf.Term{}, fmt.Errorf("undeclared prefix %q at offset %d", txt[:i], t.pos)
+		}
+		return rdf.NewIRI(base + txt[i+1:]), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("cannot parse term %q at offset %d", txt, t.pos)
+	}
+}

@@ -1,0 +1,224 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	// The intro query from Example 1 of the paper.
+	q, err := Parse(`SELECT * WHERE {
+	   ?x <http://x/occursIn> ?b.
+	   ?x <http://x/hasKeyword> ?d.
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(q.Patterns))
+	}
+	if got := q.Projection(); len(got) != 3 || got[0] != "x" || got[1] != "b" || got[2] != "d" {
+		t.Errorf("Projection = %v", got)
+	}
+	if Classify(q) != ShapeStar {
+		t.Errorf("shape = %v, want star", Classify(q))
+	}
+}
+
+func TestParseQ55(t *testing.T) {
+	// The DBpedia Q55 query from §5.7.
+	q, err := Parse(`PREFIX dbo: <http://dbpedia.org/ontology/>
+PREFIX dbr: <http://dbpedia.org/resource/>
+SELECT * WHERE {
+    ?company rdf:type ?company_type.
+    ?company dbo:foundationPlace dbr:California.
+    ?product dbo:developer ?company.
+    ?product rdf:type ?product_type. }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(q.Patterns))
+	}
+	if got := q.Patterns[1].P.Value; got != "http://dbpedia.org/ontology/foundationPlace" {
+		t.Errorf("prefixed predicate expanded to %q", got)
+	}
+	if got := q.Patterns[1].O.Value; got != "http://dbpedia.org/resource/California" {
+		t.Errorf("prefixed object expanded to %q", got)
+	}
+	if got := q.Patterns[0].P.Value; got != rdf.RDFType {
+		t.Errorf("rdf:type expanded to %q", got)
+	}
+	if Classify(q) != ShapeComplex {
+		t.Errorf("shape = %v, want complex", Classify(q))
+	}
+	syms := q.Symbols()
+	if len(syms) != 4 { // rdf:type, foundationPlace, California, developer
+		t.Errorf("Symbols = %d (%v), want 4", len(syms), syms)
+	}
+}
+
+func TestParseProjectionDistinctLimit(t *testing.T) {
+	q, err := Parse(`SELECT DISTINCT ?a ?c WHERE { ?a <http://x/p> ?b . ?b <http://x/q> ?c } LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct || q.Limit != 10 {
+		t.Errorf("Distinct=%v Limit=%d", q.Distinct, q.Limit)
+	}
+	if got := q.Projection(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Projection = %v", got)
+	}
+	if Classify(q) != ShapeChain {
+		t.Errorf("shape = %v, want chain", Classify(q))
+	}
+}
+
+func TestParseSemicolonComma(t *testing.T) {
+	q, err := Parse(`SELECT * WHERE {
+		?s <http://x/p> ?a ; <http://x/q> ?b , ?c .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Patterns))
+	}
+	for i, p := range q.Patterns {
+		if !p.S.IsVar() || p.S.Value != "s" {
+			t.Errorf("pattern %d subject = %v, want ?s", i, p.S)
+		}
+	}
+	if q.Patterns[1].P != q.Patterns[2].P {
+		t.Error("comma continuation changed the predicate")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q, err := Parse(`SELECT ?s WHERE {
+		?s <http://x/name> "Alice" .
+		?s <http://x/bio> "multi word \"quoted\""@en .
+		?s <http://x/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Patterns[0].O; got.Kind != rdf.Literal || got.Value != "Alice" {
+		t.Errorf("plain literal = %+v", got)
+	}
+	if got := q.Patterns[1].O; got.Lang != "en" || got.Value != `multi word "quoted"` {
+		t.Errorf("lang literal = %+v", got)
+	}
+	if got := q.Patterns[2].O; got.Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("typed literal = %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT * { }`,
+		`SELECT * WHERE { ?s <p> }`,
+		`SELECT * WHERE { ?s <p> ?o`,
+		`SELECT ?x * WHERE { ?s <p> ?o }`,
+		`SELECT WHERE { ?s <p> ?o }`,
+		`SELECT * WHERE { ?s unknown:p ?o }`,
+		`SELECT * WHERE { "lit" <p> ?o }`, // literal subject is fine in spec? we reject in predicate only
+		`SELECT * WHERE { ?s "lit" ?o }`,  // literal predicate
+		`SELECT * WHERE { ?s _:b ?o }`,    // blank predicate
+		`SELECT * WHERE { ?s <p> ?o } LIMIT x`,
+		`SELECT * WHERE { ?s <p> ?o } trailing`,
+		`PREFIX broken SELECT * WHERE { ?s <p> ?o }`,
+		`PREFIX x: nope SELECT * WHERE { ?s <p> ?o }`,
+		`SELECT * WHERE { ?s <p> ?o ?extra }`,
+	}
+	for _, in := range bad {
+		if in == `SELECT * WHERE { "lit" <p> ?o }` {
+			continue // literal subjects are tolerated by the grammar layer
+		}
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not a query")
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT ?a WHERE { ?a <http://x/p> "v" . } LIMIT 5`)
+	s := q.String()
+	for _, want := range []string{"SELECT DISTINCT ?a", "<http://x/p>", `"v"`, "LIMIT 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// A rendered query must re-parse to the same AST.
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if q2.String() != s {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", s, q2.String())
+	}
+}
+
+func TestClassifyEdgeCases(t *testing.T) {
+	cases := []struct {
+		in    string
+		shape Shape
+	}{
+		{`SELECT * WHERE { ?x <http://x/p> ?y }`, ShapeStar},
+		{`SELECT * WHERE { <http://x/s> <http://x/p> ?y }`, ShapeComplex}, // constant subject
+		{`SELECT * WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?z . ?z <http://x/r> ?w }`, ShapeChain},
+		{`SELECT * WHERE { ?x <http://x/p> ?y . ?x <http://x/q> ?z . ?z <http://x/r> ?w }`, ShapeComplex},
+		{`SELECT * WHERE { ?x <http://x/p> ?y . ?z <http://x/q> ?w }`, ShapeComplex},
+	}
+	for _, c := range cases {
+		if got := Classify(MustParse(c.in)); got != c.shape {
+			t.Errorf("Classify(%s) = %v, want %v", c.in, got, c.shape)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeStar.String() != "star" || ShapeChain.String() != "chain" || ShapeComplex.String() != "complex" {
+		t.Error("Shape.String mismatch")
+	}
+	if !strings.Contains(Shape(9).String(), "9") {
+		t.Error("unknown shape rendering")
+	}
+}
+
+func TestPatternVarsSymbols(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <http://x/p> ?x }`)
+	p := q.Patterns[0]
+	if got := p.Vars(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Vars = %v", got)
+	}
+	if got := p.Symbols(); len(got) != 1 || got[0].Value != "http://x/p" {
+		t.Errorf("Symbols = %v", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q, err := Parse(`# leading comment
+SELECT * WHERE { # inline
+ ?s <http://x/p> ?o . # after pattern
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 1 {
+		t.Errorf("patterns = %d, want 1", len(q.Patterns))
+	}
+}
