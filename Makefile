@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check build vet fmt test race bench
+
+# check is the full gate: build, vet, formatting, and the race-enabled
+# test suite. CI and pre-commit should run `make check`.
+check: build vet fmt race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -17,6 +17,8 @@ import (
 	"ping/internal/bloom"
 	"ping/internal/columnar"
 	"ping/internal/dataflow"
+	"ping/internal/dfs"
+	"ping/internal/faults"
 	"ping/internal/gmark"
 	"ping/internal/harness"
 	"ping/internal/hpart"
@@ -220,6 +222,49 @@ func BenchmarkEQA(b *testing.B) {
 		if _, _, err := proc.EQA(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFailover measures query latency under injected read-error
+// rates at Replication 2, quantifying the cost of checksum verification,
+// replica failover, and retries on the PQA hot path. Backoff sleeping is
+// disabled so the numbers isolate the mechanical recovery overhead.
+func BenchmarkFailover(b *testing.B) {
+	for _, rate := range []float64{0, 0.01, 0.10} {
+		b.Run(fmt.Sprintf("errRate=%g", rate), func(b *testing.B) {
+			data := gmark.Shop().Generate(0.2, 7)
+			fs := dfs.New(dfs.Config{
+				BlockSize:   4096,
+				DataNodes:   4,
+				Replication: 2,
+				MaxRetries:  3,
+				RetryBase:   -1,
+			})
+			lay, err := hpart.Partition(data.Graph, hpart.Options{FS: fs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := faults.Plan{Seed: 42, Nodes: make(map[int]faults.NodePlan)}
+			for n := 0; n < 4; n++ {
+				plan.Nodes[n] = faults.NodePlan{ReadErrorRate: rate}
+			}
+			faults.New(plan).Attach(fs)
+			q := sparql.MustParse(`SELECT * WHERE {
+				?u <` + data.Schema.PropertyIRI("likes") + `> ?p .
+				?u <` + data.Schema.PropertyIRI("follows") + `> ?v .
+			}`)
+			proc := ping.NewProcessor(lay, ping.Options{FailurePolicy: ping.Degrade})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := proc.PQA(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rate == 0 && !res.Exact {
+					b.Fatal("fault-free run degraded")
+				}
+			}
+		})
 	}
 }
 

@@ -7,9 +7,11 @@
 //	pingquery -store ./uniprot-store -query 'SELECT * WHERE { ?x <...p> ?y }'
 //	pingquery -store ./uniprot-store -file q.rq -exact
 //	pingquery -store ./uniprot-store -file q.rq -strategy largest
+//	pingquery -store ./uniprot-store -file q.rq -failure-policy degrade -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,9 @@ func main() {
 		maxRows  = flag.Int("rows", 20, "print at most this many result rows (0 = all)")
 		useBloom = flag.Bool("bloom", false, "use sub-partition Bloom filters for level pruning (store must be built with -blooms)")
 		explain  = flag.Bool("explain", false, "print the per-pattern slice plan (which sub-partitions each pattern touches) and exit")
+		policy   = flag.String("failure-policy", "failfast", "storage failure handling: failfast (abort on unreadable sub-partition) or degrade (skip it; answers stay a sound subset)")
+		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
+		timeout  = flag.Duration("timeout", 0, "overall query deadline, e.g. 30s (0 = none)")
 	)
 	flag.Parse()
 	if *store == "" || (*queryStr == "" && *file == "") {
@@ -58,6 +63,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fs.SetRetryPolicy(*retries, 500*time.Microsecond, 50*time.Millisecond)
 	lay, err := hpart.Load(fs, nil)
 	if err != nil {
 		fatal(err)
@@ -76,7 +82,22 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown strategy %q", *strategy))
 	}
+	switch *policy {
+	case "failfast":
+		opts.FailurePolicy = ping.FailFast
+	case "degrade":
+		opts.FailurePolicy = ping.Degrade
+	default:
+		fatal(fmt.Errorf("unknown failure policy %q (want failfast or degrade)", *policy))
+	}
 	proc := ping.NewProcessor(lay, opts)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fmt.Printf("query (%s, %d patterns) over %d levels:\n%s\n\n",
 		sparql.Classify(q), len(q.Patterns)+len(q.Paths), lay.NumLevels, q)
@@ -88,20 +109,29 @@ func main() {
 
 	if *exact {
 		start := time.Now()
-		rel, stats, err := proc.EQA(q)
+		res, err := proc.EQAFull(ctx, q)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("EQA: %d answers in %v (%d rows loaded, %d joins)\n\n",
-			rel.Card(), time.Since(start), stats.InputRows, stats.Joins)
-		printRelation(lay, rel, *maxRows)
+			res.Answers.Card(), time.Since(start), res.Stats.InputRows, res.Stats.Joins)
+		printRelation(lay, res.Answers, *maxRows)
+		if !res.Exact {
+			printDegradedBanner(res.MissingSubParts)
+		}
 		return
 	}
 
-	err = proc.PQASteps(q, func(st ping.StepResult) bool {
-		fmt.Printf("slice %d (levels up to %d): +%d sub-partitions, %d rows loaded, %d answers (+%d) in %v\n",
+	var last ping.StepResult
+	err = proc.PQAStepsCtx(ctx, q, func(st ping.StepResult) bool {
+		last = st
+		degraded := ""
+		if st.Degraded {
+			degraded = fmt.Sprintf(" [degraded: %d sub-partitions missing]", len(st.MissingSubParts))
+		}
+		fmt.Printf("slice %d (levels up to %d): +%d sub-partitions, %d rows loaded, %d answers (+%d) in %v%s\n",
 			st.Step, st.MaxLevel, len(st.NewSubParts), st.RowsLoadedCum,
-			st.Answers.Card(), st.NewAnswers, st.ElapsedCum)
+			st.Answers.Card(), st.NewAnswers, st.ElapsedCum, degraded)
 		if st.NewAnswers > 0 {
 			printRelation(lay, st.Answers, *maxRows)
 		}
@@ -110,6 +140,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if last.Degraded {
+		printDegradedBanner(last.MissingSubParts)
+	}
+}
+
+// printDegradedBanner warns that the answer is a sound subset, not the
+// exact result, and lists what could not be read.
+func printDegradedBanner(missing []hpart.SubPartKey) {
+	fmt.Println("*** DEGRADED ANSWER ***")
+	fmt.Println("some sub-partitions were unreadable after all retries; the answers above")
+	fmt.Println("are a sound subset of the exact result (Lemma 4.4), not the exact result.")
+	fmt.Printf("missing sub-partitions (%d):", len(missing))
+	for _, k := range missing {
+		fmt.Printf(" %s", k)
+	}
+	fmt.Println()
 }
 
 // printExplain shows the slice plan: per pattern, the candidate

@@ -1,0 +1,63 @@
+package dataflow
+
+import (
+	"context"
+	"testing"
+)
+
+func TestAttachContextStopsTaskScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewContext(1) // single worker: deterministic task order
+	detach := c.AttachContext(ctx)
+	defer detach()
+
+	d := Parallelize(c, make([]int, 100), 100)
+	ran := 0
+	out := Map(d, func(v int) int {
+		ran++
+		if ran == 3 {
+			cancel()
+		}
+		return v
+	})
+	if ran != 3 {
+		t.Errorf("ran %d tasks after cancellation, want 3", ran)
+	}
+	if out.Count() >= 100 {
+		t.Error("cancelled stage still produced complete output")
+	}
+	if c.Err() == nil {
+		t.Error("Err() should report the cancelled context")
+	}
+}
+
+func TestDetachRestoresPreviousContext(t *testing.T) {
+	c := NewContext(1)
+	if c.Err() != nil {
+		t.Fatal("fresh context should have no error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	detach := c.AttachContext(ctx)
+	if c.Err() == nil {
+		t.Fatal("attached cancelled context not visible")
+	}
+	detach()
+	if c.Err() != nil {
+		t.Fatal("detach did not restore the previous (nil) signal")
+	}
+
+	// Nested attach/detach: inner detach restores the outer signal.
+	outer, outerCancel := context.WithCancel(context.Background())
+	defer outerCancel()
+	d1 := c.AttachContext(outer)
+	d2 := c.AttachContext(ctx) // cancelled
+	if c.Err() == nil {
+		t.Fatal("inner cancelled context not visible")
+	}
+	d2()
+	if c.Err() != nil {
+		t.Fatal("inner detach did not restore outer live context")
+	}
+	d1()
+}

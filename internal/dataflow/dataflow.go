@@ -13,6 +13,7 @@
 package dataflow
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,13 @@ type Context struct {
 	rowsRead      atomic.Int64
 	rowsShuffled  atomic.Int64
 	rowsBroadcast atomic.Int64
+
+	// cancelCtx, when set, short-circuits task scheduling so a cancelled
+	// or timed-out query cannot keep the worker pool busy. Stages started
+	// after cancellation produce incomplete partitions; callers observe
+	// Err() and discard the results (ping does this after every
+	// evaluation).
+	cancelCtx atomic.Pointer[context.Context]
 }
 
 // NewContext creates a context with the given worker count; zero or
@@ -75,7 +83,29 @@ func (c *Context) ResetMetrics() {
 	c.rowsBroadcast.Store(0)
 }
 
-// runTasks executes f(0..n-1) on the worker pool and blocks until done.
+// AttachContext installs ctx as the cancellation signal for stages run on
+// this Context and returns a detach function restoring the previous
+// signal. While attached, workers stop claiming tasks once ctx is done;
+// the in-flight query must then discard its (partial) results — ping
+// checks Err after every evaluation. Queries sharing one Context share
+// the signal, so attach per logical query run.
+func (c *Context) AttachContext(ctx context.Context) (detach func()) {
+	prev := c.cancelCtx.Swap(&ctx)
+	return func() { c.cancelCtx.Store(prev) }
+}
+
+// Err reports the attached context's error: non-nil once the current
+// query run is cancelled or past its deadline.
+func (c *Context) Err() error {
+	if p := c.cancelCtx.Load(); p != nil {
+		return (*p).Err()
+	}
+	return nil
+}
+
+// runTasks executes f(0..n-1) on the worker pool and blocks until done,
+// or until the attached context is cancelled (remaining tasks are
+// skipped — results are then partial and must be discarded).
 func (c *Context) runTasks(n int, f func(i int)) {
 	c.stages.Add(1)
 	c.tasks.Add(int64(n))
@@ -85,6 +115,9 @@ func (c *Context) runTasks(n int, f func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if c.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -96,6 +129,9 @@ func (c *Context) runTasks(n int, f func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if c.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

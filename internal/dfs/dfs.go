@@ -5,6 +5,15 @@
 // provided: in-memory (default, used by tests and benchmarks) and on-disk
 // (used by the CLI tools so partitions persist between runs).
 //
+// Like HDFS, the read path is fault tolerant: every block carries a CRC32
+// checksum verified on read, and a failed or corrupt read fails over to
+// the remaining replicas with capped exponential backoff between rounds.
+// Corrupt replicas can optionally be re-written from a healthy copy
+// (read-repair). Per-node health counters are surfaced through Usage so
+// callers can observe which nodes are misbehaving. The faults package
+// interposes on the BlockStore interface to inject deterministic failures
+// for chaos testing.
+//
 // The partitioner writes level sub-partitions and indexes here; the query
 // processor reads them back, and the harness uses the byte accounting for
 // the storage-footprint (reduction factor) experiments.
@@ -12,16 +21,37 @@ package dfs
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// Config controls block placement.
+// Typed read-path errors. Failures returned by block reads wrap one of
+// these so callers can distinguish corruption from unavailability with
+// errors.Is.
+var (
+	// ErrBlockCorrupt marks a replica whose payload failed checksum
+	// verification.
+	ErrBlockCorrupt = errors.New("dfs: block corrupt")
+	// ErrNodeDown marks a replica read rejected because the data node is
+	// unavailable (used by fault injectors; a real backend surfaces its
+	// own I/O errors, treated the same way by the failover loop).
+	ErrNodeDown = errors.New("dfs: node down")
+	// ErrNoHealthyReplica is returned when every replica of a block
+	// failed after all retries.
+	ErrNoHealthyReplica = errors.New("dfs: no healthy replica")
+)
+
+// Config controls block placement and the read retry policy.
 type Config struct {
 	// BlockSize is the maximum block payload size in bytes (default 1 MiB).
 	BlockSize int64
@@ -31,6 +61,20 @@ type Config struct {
 	// DataNodes is the number of simulated data nodes (default 4, matching
 	// the paper's 4-machine cluster).
 	DataNodes int
+
+	// MaxRetries is the number of extra failover rounds after the first
+	// pass over the replicas fails (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBase is the backoff before the first retry round; it doubles
+	// every round up to RetryMax, with deterministic jitter (default
+	// 500µs, capped at 50ms). Zero RetryBase keeps the defaults; retries
+	// without sleeping require a negative RetryBase.
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff (default 50ms).
+	RetryMax time.Duration
+	// ReadRepair re-writes replicas that failed checksum verification
+	// from a healthy copy encountered during the same read.
+	ReadRepair bool
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +90,21 @@ func (c Config) withDefaults() Config {
 	if c.Replication > c.DataNodes {
 		c.Replication = c.DataNodes
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 500 * time.Microsecond
+	}
+	if c.RetryBase < 0 {
+		c.RetryBase = 0
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -56,19 +115,32 @@ type FileInfo struct {
 	Blocks int
 }
 
-// Usage summarizes cluster storage state.
+// Usage summarizes cluster storage state and read-path health.
 type Usage struct {
 	Files         int
 	LogicalBytes  int64   // sum of file sizes
 	PhysicalBytes int64   // logical × replication actually placed
 	NodeBytes     []int64 // bytes per data node
+
+	// NodeReads counts block read attempts per data node (including
+	// failed ones); NodeReadErrors counts the failed or corrupt ones.
+	NodeReads      []int64
+	NodeReadErrors []int64
+	// BlocksRepaired counts corrupt replicas re-written from a healthy
+	// copy (read-repair).
+	BlocksRepaired int64
+	// FailedBlockReads counts block reads that exhausted every replica
+	// and every retry.
+	FailedBlockReads int64
 }
 
-// blockStore abstracts where block payloads live.
-type blockStore interface {
-	put(node int, id uint64, data []byte) error
-	get(node int, id uint64) ([]byte, error)
-	del(node int, id uint64) error
+// BlockStore abstracts where block payloads live. Implementations must be
+// safe for concurrent use. The faults package wraps a BlockStore to
+// inject deterministic failures.
+type BlockStore interface {
+	Put(node int, id uint64, data []byte) error
+	Get(node int, id uint64) ([]byte, error)
+	Del(node int, id uint64) error
 }
 
 type fileMeta struct {
@@ -80,30 +152,35 @@ type blockMeta struct {
 	id    uint64
 	size  int64
 	nodes []int // replica placements
+	// crc is the CRC32 (IEEE) of the payload; hasCRC distinguishes a
+	// genuine checksum from a pre-checksum manifest entry (legacy stores
+	// reopened from disk are read unverified).
+	crc    uint32
+	hasCRC bool
 }
 
 // FS is the namenode plus its block store. All methods are safe for
 // concurrent use.
 type FS struct {
 	cfg   Config
-	store blockStore
+	store BlockStore
 
 	mu        sync.RWMutex
 	files     map[string]fileMeta
 	nextBlock uint64
 	nodeBytes []int64
-	bytesRead int64
+
+	bytesRead   atomic.Int64
+	nodeReads   []atomic.Int64
+	nodeErrs    []atomic.Int64
+	repaired    atomic.Int64
+	failedReads atomic.Int64
 }
 
 // New returns an in-memory file system.
 func New(cfg Config) *FS {
 	cfg = cfg.withDefaults()
-	return &FS{
-		cfg:       cfg,
-		store:     newMemStore(cfg.DataNodes),
-		files:     make(map[string]fileMeta),
-		nodeBytes: make([]int64, cfg.DataNodes),
-	}
+	return newFS(cfg, newMemStore(cfg.DataNodes))
 }
 
 // NewOnDisk returns a file system whose blocks are persisted under dir,
@@ -114,12 +191,47 @@ func NewOnDisk(dir string, cfg Config) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newFS(cfg, ds), nil
+}
+
+func newFS(cfg Config, store BlockStore) *FS {
 	return &FS{
 		cfg:       cfg,
-		store:     ds,
+		store:     store,
 		files:     make(map[string]fileMeta),
 		nodeBytes: make([]int64, cfg.DataNodes),
-	}, nil
+		nodeReads: make([]atomic.Int64, cfg.DataNodes),
+		nodeErrs:  make([]atomic.Int64, cfg.DataNodes),
+	}
+}
+
+// WrapStore replaces the block store with wrap(current store). It exists
+// so fault injectors can interpose on block I/O; call it before the FS is
+// shared between goroutines.
+func (f *FS) WrapStore(wrap func(BlockStore) BlockStore) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.store = wrap(f.store)
+}
+
+// SetRetryPolicy overrides the read retry policy of an existing FS (the
+// CLI uses it after reopening a store whose manifest carries the build-
+// time configuration). maxRetries < 0 disables retries; base < 0 retries
+// without sleeping.
+func (f *FS) SetRetryPolicy(maxRetries int, base, max time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.MaxRetries = maxRetries
+	if f.cfg.MaxRetries < 0 {
+		f.cfg.MaxRetries = 0
+	}
+	f.cfg.RetryBase = base
+	if f.cfg.RetryBase < 0 {
+		f.cfg.RetryBase = 0
+	}
+	if max > 0 {
+		f.cfg.RetryMax = max
+	}
 }
 
 func cleanPath(p string) string {
@@ -140,10 +252,16 @@ func (f *FS) WriteFile(path string, data []byte) error {
 }
 
 // ReadFile returns the whole content of path. It bypasses the streaming
-// reader: blocks are assembled into one pre-sized buffer and the byte
-// accounting takes a single lock, which matters for workloads that open
-// many small sub-partition files.
+// reader: blocks are assembled into one pre-sized buffer, which matters
+// for workloads that open many small sub-partition files.
 func (f *FS) ReadFile(path string) ([]byte, error) {
+	return f.ReadFileCtx(context.Background(), path)
+}
+
+// ReadFileCtx is ReadFile honouring context cancellation: a cancelled or
+// expired ctx aborts the read (including retry backoff sleeps) with
+// ctx.Err(), so a stuck store cannot hang the caller past its deadline.
+func (f *FS) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
 	path = cleanPath(path)
 	f.mu.RLock()
 	meta, ok := f.files[path]
@@ -153,16 +271,109 @@ func (f *FS) ReadFile(path string) ([]byte, error) {
 	}
 	buf := make([]byte, 0, meta.size)
 	for _, b := range meta.blocks {
-		data, err := f.store.get(b.nodes[0], b.id)
+		data, err := f.readBlock(ctx, b)
 		if err != nil {
-			return nil, fmt.Errorf("dfs: block %d: %w", b.id, err)
+			return nil, err
 		}
 		buf = append(buf, data...)
 	}
-	f.mu.Lock()
-	f.bytesRead += int64(len(buf))
-	f.mu.Unlock()
+	f.bytesRead.Add(int64(len(buf)))
 	return buf, nil
+}
+
+// readBlock reads one block, verifying its checksum and failing over
+// across replicas. Replicas are tried round-robin starting from a
+// different offset each retry round; between rounds the backoff doubles
+// from RetryBase up to RetryMax with deterministic jitter keyed by the
+// block id, so concurrent readers of different blocks do not retry in
+// lockstep.
+func (f *FS) readBlock(ctx context.Context, b blockMeta) ([]byte, error) {
+	f.mu.RLock()
+	cfg := f.cfg
+	store := f.store
+	f.mu.RUnlock()
+
+	var lastErr error
+	var corrupt []int // replica indexes that served corrupt data
+	for round := 0; round <= cfg.MaxRetries; round++ {
+		if round > 0 {
+			if err := sleepBackoff(ctx, cfg, b.id, round); err != nil {
+				return nil, err
+			}
+		}
+		for i := range b.nodes {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			node := b.nodes[(i+round)%len(b.nodes)]
+			f.nodeReads[node].Add(1)
+			data, err := store.Get(node, b.id)
+			if err != nil {
+				f.nodeErrs[node].Add(1)
+				lastErr = err
+				continue
+			}
+			if b.hasCRC && crc32.ChecksumIEEE(data) != b.crc {
+				f.nodeErrs[node].Add(1)
+				lastErr = fmt.Errorf("node %d: %w", node, ErrBlockCorrupt)
+				corrupt = append(corrupt, node)
+				continue
+			}
+			if cfg.ReadRepair {
+				f.repairReplicas(store, b, corrupt, data)
+			}
+			return data, nil
+		}
+	}
+	f.failedReads.Add(1)
+	if lastErr == nil {
+		return nil, fmt.Errorf("dfs: block %d: %w", b.id, ErrNoHealthyReplica)
+	}
+	return nil, fmt.Errorf("dfs: block %d: %w (last error: %w)", b.id, ErrNoHealthyReplica, lastErr)
+}
+
+// repairReplicas re-writes replicas that served corrupt data with a
+// verified copy. Repair failures are ignored: the node may be down, and
+// the next read will fail over again.
+func (f *FS) repairReplicas(store BlockStore, b blockMeta, corrupt []int, good []byte) {
+	for _, node := range corrupt {
+		if err := store.Put(node, b.id, good); err == nil {
+			f.repaired.Add(1)
+		}
+	}
+}
+
+// sleepBackoff sleeps for the round's backoff duration or until ctx is
+// done. The jitter is deterministic — a hash of the block id and round —
+// so retry schedules are reproducible under fault injection.
+func sleepBackoff(ctx context.Context, cfg Config, id uint64, round int) error {
+	d := cfg.RetryBase << (round - 1)
+	if d > cfg.RetryMax {
+		d = cfg.RetryMax
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	// Jitter in [d/2, d]: full backoff minus a deterministic slice.
+	half := d / 2
+	d = half + time.Duration(mix64(id*0x9e3779b97f4a7c15+uint64(round))%uint64(half+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
 }
 
 // Create opens path for writing. The file becomes visible atomically when
@@ -237,13 +448,20 @@ func (f *FS) placeBlock(data []byte) (blockMeta, error) {
 	for _, n := range nodes {
 		f.nodeBytes[n] += int64(len(data))
 	}
+	store := f.store
 	f.mu.Unlock()
 	for _, n := range nodes {
-		if err := f.store.put(n, id, data); err != nil {
+		if err := store.Put(n, id, data); err != nil {
 			return blockMeta{}, err
 		}
 	}
-	return blockMeta{id: id, size: int64(len(data)), nodes: nodes}, nil
+	return blockMeta{
+		id:     id,
+		size:   int64(len(data)),
+		nodes:  nodes,
+		crc:    crc32.ChecksumIEEE(data),
+		hasCRC: true,
+	}, nil
 }
 
 func (f *FS) commit(path string, meta fileMeta) {
@@ -259,7 +477,7 @@ func (f *FS) commit(path string, meta fileMeta) {
 func (f *FS) releaseBlocks(meta fileMeta) {
 	for _, b := range meta.blocks {
 		for _, n := range b.nodes {
-			_ = f.store.del(n, b.id)
+			_ = f.store.Del(n, b.id)
 			f.mu.Lock()
 			f.nodeBytes[n] -= b.size
 			f.mu.Unlock()
@@ -267,7 +485,8 @@ func (f *FS) releaseBlocks(meta fileMeta) {
 	}
 }
 
-// Open returns a reader over the file at path.
+// Open returns a reader over the file at path. The reader fails over
+// across replicas like ReadFile; it reads with a background context.
 func (f *FS) Open(path string) (io.ReadCloser, error) {
 	path = cleanPath(path)
 	f.mu.RLock()
@@ -290,9 +509,7 @@ func (r *fileReader) Read(p []byte) (int, error) {
 	for {
 		if r.cur != nil && r.cur.Len() > 0 {
 			n, _ := r.cur.Read(p)
-			r.fs.mu.Lock()
-			r.fs.bytesRead += int64(n)
-			r.fs.mu.Unlock()
+			r.fs.bytesRead.Add(int64(n))
 			return n, nil
 		}
 		if r.idx >= len(r.meta.blocks) {
@@ -300,11 +517,9 @@ func (r *fileReader) Read(p []byte) (int, error) {
 		}
 		b := r.meta.blocks[r.idx]
 		r.idx++
-		// Read from the first replica; replicas are identical by
-		// construction, this just models HDFS short-circuit reads.
-		data, err := r.fs.store.get(b.nodes[0], b.id)
+		data, err := r.fs.readBlock(context.Background(), b)
 		if err != nil {
-			return 0, fmt.Errorf("dfs: block %d: %w", b.id, err)
+			return 0, err
 		}
 		r.cur = bytes.NewReader(data)
 	}
@@ -361,26 +576,32 @@ func (f *FS) Remove(path string) error {
 	return nil
 }
 
-// Usage returns cluster storage statistics.
+// Usage returns cluster storage statistics and read-path health counters.
 func (f *FS) Usage() Usage {
 	f.mu.RLock()
-	defer f.mu.RUnlock()
 	u := Usage{Files: len(f.files), NodeBytes: append([]int64(nil), f.nodeBytes...)}
 	for _, meta := range f.files {
 		u.LogicalBytes += meta.size
 	}
+	f.mu.RUnlock()
 	for _, nb := range u.NodeBytes {
 		u.PhysicalBytes += nb
 	}
+	u.NodeReads = make([]int64, len(f.nodeReads))
+	u.NodeReadErrors = make([]int64, len(f.nodeErrs))
+	for i := range f.nodeReads {
+		u.NodeReads[i] = f.nodeReads[i].Load()
+		u.NodeReadErrors[i] = f.nodeErrs[i].Load()
+	}
+	u.BlocksRepaired = f.repaired.Load()
+	u.FailedBlockReads = f.failedReads.Load()
 	return u
 }
 
 // BytesRead returns the cumulative bytes served to readers, an I/O metric
 // surfaced by the benchmark harness.
 func (f *FS) BytesRead() int64 {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.bytesRead
+	return f.bytesRead.Load()
 }
 
 // memStore keeps blocks in per-node maps.
@@ -397,7 +618,7 @@ func newMemStore(n int) *memStore {
 	return s
 }
 
-func (s *memStore) put(node int, id uint64, data []byte) error {
+func (s *memStore) Put(node int, id uint64, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.mu.Lock()
@@ -406,7 +627,7 @@ func (s *memStore) put(node int, id uint64, data []byte) error {
 	return nil
 }
 
-func (s *memStore) get(node int, id uint64) ([]byte, error) {
+func (s *memStore) Get(node int, id uint64) ([]byte, error) {
 	s.mu.RLock()
 	data, ok := s.nodes[node][id]
 	s.mu.RUnlock()
@@ -416,7 +637,7 @@ func (s *memStore) get(node int, id uint64) ([]byte, error) {
 	return data, nil
 }
 
-func (s *memStore) del(node int, id uint64) error {
+func (s *memStore) Del(node int, id uint64) error {
 	s.mu.Lock()
 	delete(s.nodes[node], id)
 	s.mu.Unlock()
@@ -437,22 +658,47 @@ func newDiskStore(dir string, n int) (*diskStore, error) {
 	return &diskStore{dir: dir}, nil
 }
 
-func (s *diskStore) path(node int, id uint64) string {
+// BlockPath returns where a replica of block id on node lives on disk.
+// Exposed so corruption tests and offline tooling can reach block files.
+func (s *diskStore) BlockPath(node int, id uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("node%d", node), fmt.Sprintf("%016x.blk", id))
 }
 
-func (s *diskStore) put(node int, id uint64, data []byte) error {
-	return os.WriteFile(s.path(node, id), data, 0o644)
+func (s *diskStore) Put(node int, id uint64, data []byte) error {
+	return os.WriteFile(s.BlockPath(node, id), data, 0o644)
 }
 
-func (s *diskStore) get(node int, id uint64) ([]byte, error) {
-	return os.ReadFile(s.path(node, id))
+func (s *diskStore) Get(node int, id uint64) ([]byte, error) {
+	return os.ReadFile(s.BlockPath(node, id))
 }
 
-func (s *diskStore) del(node int, id uint64) error {
-	err := os.Remove(s.path(node, id))
+func (s *diskStore) Del(node int, id uint64) error {
+	err := os.Remove(s.BlockPath(node, id))
 	if os.IsNotExist(err) {
 		return nil
 	}
 	return err
+}
+
+// BlockLocations returns, for every block of path, the on-disk file of
+// each replica. It only applies to disk-backed stores and exists for
+// corruption tests and offline tooling.
+func (f *FS) BlockLocations(path string) ([][]string, error) {
+	f.mu.RLock()
+	ds, ok := f.store.(*diskStore)
+	meta, found := f.files[cleanPath(path)]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: BlockLocations requires an on-disk store")
+	}
+	if !found {
+		return nil, &os.PathError{Op: "stat", Path: path, Err: os.ErrNotExist}
+	}
+	out := make([][]string, len(meta.blocks))
+	for i, b := range meta.blocks {
+		for _, n := range b.nodes {
+			out[i] = append(out[i], ds.BlockPath(n, b.id))
+		}
+	}
+	return out, nil
 }

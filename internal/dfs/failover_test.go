@@ -1,0 +1,333 @@
+package dfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// flakyStore is a test double that makes chosen nodes unavailable or
+// corrupt without touching the wrapped store's data.
+type flakyStore struct {
+	inner   BlockStore
+	down    map[int]bool
+	corrupt map[int]bool
+}
+
+func (s *flakyStore) Put(node int, id uint64, data []byte) error {
+	if s.down[node] {
+		return fmt.Errorf("flaky: %w", ErrNodeDown)
+	}
+	return s.inner.Put(node, id, data)
+}
+
+func (s *flakyStore) Get(node int, id uint64) ([]byte, error) {
+	if s.down[node] {
+		return nil, fmt.Errorf("flaky: %w", ErrNodeDown)
+	}
+	data, err := s.inner.Get(node, id)
+	if err != nil {
+		return nil, err
+	}
+	if s.corrupt[node] {
+		cp := append([]byte(nil), data...)
+		if len(cp) > 0 {
+			cp[len(cp)/2] ^= 0xff
+		}
+		return cp, nil
+	}
+	return data, nil
+}
+
+func (s *flakyStore) Del(node int, id uint64) error {
+	return s.inner.Del(node, id)
+}
+
+// fastRetry keeps tests quick: retries without sleeping.
+var fastRetry = Config{MaxRetries: 1, RetryBase: -1}
+
+func wrapFlaky(fs *FS) *flakyStore {
+	fl := &flakyStore{down: map[int]bool{}, corrupt: map[int]bool{}}
+	fs.WrapStore(func(inner BlockStore) BlockStore {
+		fl.inner = inner
+		return fl
+	})
+	return fl
+}
+
+func TestFailoverOnNodeDown(t *testing.T) {
+	cfg := fastRetry
+	cfg.BlockSize = 64
+	cfg.DataNodes = 3
+	cfg.Replication = 2
+	fs := New(cfg)
+	want := make([]byte, 1000)
+	rand.New(rand.NewSource(1)).Read(want)
+	if err := fs.WriteFile("f.bin", want); err != nil {
+		t.Fatal(err)
+	}
+
+	fl := wrapFlaky(fs)
+	fl.down[0] = true
+	got, err := fs.ReadFile("f.bin")
+	if err != nil {
+		t.Fatalf("read with node 0 down: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch after failover")
+	}
+	u := fs.Usage()
+	if u.NodeReadErrors[0] == 0 {
+		t.Error("expected read errors recorded against node 0")
+	}
+	if u.FailedBlockReads != 0 {
+		t.Errorf("FailedBlockReads = %d, want 0", u.FailedBlockReads)
+	}
+}
+
+func TestChecksumCatchesCorruptReplica(t *testing.T) {
+	cfg := fastRetry
+	cfg.BlockSize = 128
+	cfg.DataNodes = 2
+	cfg.Replication = 2
+	fs := New(cfg)
+	want := make([]byte, 700)
+	rand.New(rand.NewSource(2)).Read(want)
+	if err := fs.WriteFile("c.bin", want); err != nil {
+		t.Fatal(err)
+	}
+
+	fl := wrapFlaky(fs)
+	fl.corrupt[0] = true
+	got, err := fs.ReadFile("c.bin")
+	if err != nil {
+		t.Fatalf("read with node 0 corrupt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("checksum failed to reject corrupt replica")
+	}
+	if u := fs.Usage(); u.NodeReadErrors[0] == 0 {
+		t.Error("expected corrupt reads recorded against node 0")
+	}
+}
+
+func TestNoHealthyReplica(t *testing.T) {
+	cfg := fastRetry
+	cfg.DataNodes = 2
+	cfg.Replication = 1
+	fs := New(cfg)
+	if err := fs.WriteFile("x.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	fl := wrapFlaky(fs)
+	fl.down[0] = true
+	fl.down[1] = true
+	_, err := fs.ReadFile("x.bin")
+	if !errors.Is(err, ErrNoHealthyReplica) {
+		t.Fatalf("err = %v, want ErrNoHealthyReplica", err)
+	}
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want wrapped ErrNodeDown", err)
+	}
+	if u := fs.Usage(); u.FailedBlockReads == 0 {
+		t.Error("expected a failed block read recorded")
+	}
+}
+
+func TestCorruptionErrorSurfacesWithoutReplica(t *testing.T) {
+	cfg := fastRetry
+	cfg.DataNodes = 1
+	cfg.Replication = 1
+	fs := New(cfg)
+	if err := fs.WriteFile("x.bin", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	fl := wrapFlaky(fs)
+	fl.corrupt[0] = true
+	_, err := fs.ReadFile("x.bin")
+	if !errors.Is(err, ErrBlockCorrupt) {
+		t.Fatalf("err = %v, want wrapped ErrBlockCorrupt", err)
+	}
+}
+
+func TestReadRepairFixesCorruptReplica(t *testing.T) {
+	cfg := fastRetry
+	cfg.BlockSize = 1 << 20
+	cfg.DataNodes = 2
+	cfg.Replication = 2
+	cfg.ReadRepair = true
+	fs := New(cfg)
+	want := []byte("read-repair payload")
+	if err := fs.WriteFile("r.bin", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt node 0's copy in place, then clear the fault: the repair
+	// writes through to the inner store.
+	mem := fs.store.(*memStore)
+	var blockID uint64
+	for id, data := range mem.nodes[0] {
+		blockID = id
+		data[0] ^= 0xff
+	}
+
+	got, err := fs.ReadFile("r.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch")
+	}
+	if u := fs.Usage(); u.BlocksRepaired != 1 {
+		t.Errorf("BlocksRepaired = %d, want 1", u.BlocksRepaired)
+	}
+	fixed, err := mem.Get(0, blockID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, want) {
+		t.Error("read-repair did not rewrite the corrupt replica")
+	}
+}
+
+func TestReadFileCtxCancelled(t *testing.T) {
+	cfg := Config{DataNodes: 2, Replication: 1, MaxRetries: 100, RetryBase: time.Hour}
+	fs := New(cfg)
+	if err := fs.WriteFile("slow.bin", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	fl := wrapFlaky(fs)
+	fl.down[0] = true
+	fl.down[1] = true
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fs.ReadFileCtx(ctx, "slow.bin")
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled read did not return (stuck in retry backoff)")
+	}
+}
+
+// TestOnDiskCorruptionAndTruncation covers the on-disk satellite: a
+// truncated replica and a bit-flipped replica are both caught by the
+// checksum and served from the healthy copy.
+func TestOnDiskCorruptionAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastRetry
+	cfg.BlockSize = 256
+	cfg.DataNodes = 2
+	cfg.Replication = 2
+	fs, err := NewOnDisk(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 2000)
+	rand.New(rand.NewSource(3)).Read(want)
+	if err := fs.WriteFile("part/level1.pcol", want); err != nil {
+		t.Fatal(err)
+	}
+
+	locs, err := fs.BlockLocations("part/level1.pcol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) < 2 {
+		t.Fatalf("expected >=2 blocks, got %d", len(locs))
+	}
+	// Truncate the first replica of block 0.
+	if err := os.Truncate(locs[0][0], 3); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-flip the first replica of block 1.
+	data, err := os.ReadFile(locs[1][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x01
+	if err := os.WriteFile(locs[1][0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := fs.ReadFile("part/level1.pcol")
+	if err != nil {
+		t.Fatalf("read over corrupt replicas: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch after on-disk corruption failover")
+	}
+	u := fs.Usage()
+	var errs int64
+	for _, e := range u.NodeReadErrors {
+		errs += e
+	}
+	if errs < 2 {
+		t.Errorf("NodeReadErrors sum = %d, want >= 2 (truncation + bit flip)", errs)
+	}
+
+	// With every replica of a block corrupted, the checksum must refuse
+	// to serve the data rather than return garbage.
+	for _, p := range locs[0] {
+		if err := os.Truncate(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.ReadFile("part/level1.pcol"); !errors.Is(err, ErrNoHealthyReplica) {
+		t.Fatalf("err = %v, want ErrNoHealthyReplica", err)
+	}
+}
+
+// TestManifestPreservesChecksums ensures CRCs round-trip through the
+// manifest so reopened stores still verify reads.
+func TestManifestPreservesChecksums(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fastRetry
+	cfg.BlockSize = 128
+	cfg.DataNodes = 2
+	cfg.Replication = 1
+	fs, err := NewOnDisk(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 500)
+	rand.New(rand.NewSource(4)).Read(want)
+	if err := fs.WriteFile("a.bin", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SaveManifest(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenOnDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs, err := re.BlockLocations("a.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(locs[0][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(locs[0][0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.ReadFile("a.bin"); !errors.Is(err, ErrBlockCorrupt) {
+		t.Fatalf("reopened store err = %v, want wrapped ErrBlockCorrupt", err)
+	}
+}

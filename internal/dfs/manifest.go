@@ -21,6 +21,11 @@ type manifestBlock struct {
 	ID    uint64 `json:"id"`
 	Size  int64  `json:"size"`
 	Nodes []int  `json:"nodes"`
+	// CRC is the block payload checksum; HasCRC distinguishes a real
+	// checksum from a manifest written before checksums existed (those
+	// blocks are read unverified).
+	CRC    uint32 `json:"crc,omitempty"`
+	HasCRC bool   `json:"has_crc,omitempty"`
 }
 
 type manifest struct {
@@ -41,7 +46,10 @@ func (f *FS) SaveManifest() error {
 	for path, meta := range f.files {
 		mf := manifestFile{Path: path, Size: meta.size}
 		for _, b := range meta.blocks {
-			mf.Blocks = append(mf.Blocks, manifestBlock{ID: b.id, Size: b.size, Nodes: b.nodes})
+			mf.Blocks = append(mf.Blocks, manifestBlock{
+				ID: b.id, Size: b.size, Nodes: b.nodes,
+				CRC: b.crc, HasCRC: b.hasCRC,
+			})
 		}
 		m.Files = append(m.Files, mf)
 	}
@@ -72,7 +80,10 @@ func OpenOnDisk(dir string) (*FS, error) {
 	for _, mf := range m.Files {
 		meta := fileMeta{size: mf.Size}
 		for _, b := range mf.Blocks {
-			meta.blocks = append(meta.blocks, blockMeta{id: b.ID, size: b.Size, nodes: b.Nodes})
+			meta.blocks = append(meta.blocks, blockMeta{
+				id: b.ID, size: b.Size, nodes: b.Nodes,
+				crc: b.CRC, hasCRC: b.HasCRC,
+			})
 			for _, n := range b.Nodes {
 				if n < 0 || n >= len(fs.nodeBytes) {
 					return nil, fmt.Errorf("dfs: manifest references node %d of %d", n, len(fs.nodeBytes))

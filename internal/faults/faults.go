@@ -1,0 +1,206 @@
+// Package faults is a deterministic fault injector for the dfs block
+// store. It wraps any dfs.BlockStore and perturbs reads according to a
+// declarative, seeded Plan: per-node read-error rates, payload
+// corruption, node-down windows, and injected latency. Every random
+// decision is a pure hash of (seed, node, block id, per-node operation
+// count), so a plan replays identically across runs regardless of
+// goroutine interleaving — the property the chaos tests rely on.
+//
+// The injector only ever corrupts copies of the payload; the wrapped
+// store's data is never modified, so clearing a fault restores healthy
+// reads (and read-repair writes go through to the real store).
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ping/internal/dfs"
+)
+
+// NodePlan declares the faults of one data node.
+type NodePlan struct {
+	// ReadErrorRate is the probability in [0,1] that a Get fails with an
+	// error wrapping dfs.ErrNodeDown.
+	ReadErrorRate float64
+	// CorruptRate is the probability in [0,1] that a Get returns a
+	// bit-flipped copy of the payload (caught by the dfs checksum).
+	CorruptRate float64
+	// Latency is added to every Get on this node.
+	Latency time.Duration
+	// DownFrom/DownUntil bound a half-open window of per-node read
+	// operations [DownFrom, DownUntil) during which the node rejects all
+	// I/O — a crash-and-recover episode. Both zero means no window.
+	DownFrom, DownUntil int64
+	// Down marks the node permanently unavailable (until Revive).
+	Down bool
+}
+
+// Plan declares faults for a cluster. The zero value injects nothing.
+type Plan struct {
+	// Seed drives every probabilistic decision.
+	Seed int64
+	// Nodes maps data-node index to its fault plan.
+	Nodes map[int]NodePlan
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	InjectedErrors      int64 // failed Gets (rate-based)
+	InjectedCorruptions int64 // bit-flipped payloads
+	DownRejections      int64 // I/O rejected while a node was down
+}
+
+// Injector implements dfs.BlockStore over an inner store, injecting the
+// plan's faults on the read path. Writes and deletes only fail while a
+// node is down. Safe for concurrent use.
+type Injector struct {
+	plan  Plan
+	inner dfs.BlockStore
+
+	mu    sync.Mutex
+	ops   map[int]int64 // per-node read-operation counter
+	dead  map[int]bool  // runtime Kill/Revive overrides
+	stats Stats
+}
+
+// New builds an injector for plan. Attach it to a file system with
+// Attach (or dfs.FS.WrapStore) before reading.
+func New(plan Plan) *Injector {
+	return &Injector{
+		plan: plan,
+		ops:  make(map[int]int64),
+		dead: make(map[int]bool),
+	}
+}
+
+// Attach interposes the injector on fs's block store.
+func (in *Injector) Attach(fs *dfs.FS) {
+	fs.WrapStore(func(inner dfs.BlockStore) dfs.BlockStore {
+		in.inner = inner
+		return in
+	})
+}
+
+// Wrap interposes the injector on an arbitrary store and returns it.
+func (in *Injector) Wrap(inner dfs.BlockStore) dfs.BlockStore {
+	in.inner = inner
+	return in
+}
+
+// KillNode marks node permanently down, overriding the plan.
+func (in *Injector) KillNode(node int) {
+	in.mu.Lock()
+	in.dead[node] = true
+	in.mu.Unlock()
+}
+
+// ReviveNode clears a KillNode override and any plan-declared permanent
+// Down flag for node.
+func (in *Injector) ReviveNode(node int) {
+	in.mu.Lock()
+	delete(in.dead, node)
+	if np, ok := in.plan.Nodes[node]; ok {
+		np.Down = false
+		in.plan.Nodes[node] = np
+	}
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// admit checks node availability for one operation and, for reads,
+// advances the per-node op counter. It returns the op number and whether
+// the operation may proceed.
+func (in *Injector) admit(node int, read bool) (int64, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	op := in.ops[node]
+	if read {
+		in.ops[node]++
+	}
+	np := in.plan.Nodes[node]
+	down := in.dead[node] || np.Down ||
+		(np.DownUntil > np.DownFrom && op >= np.DownFrom && op < np.DownUntil)
+	if down {
+		in.stats.DownRejections++
+		return op, false
+	}
+	return op, true
+}
+
+// count mutates the fault counters under the lock.
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	f(&in.stats)
+	in.mu.Unlock()
+}
+
+// roll returns a deterministic pseudo-random float64 in [0,1) for one
+// decision, keyed by the plan seed, the node, the block id, the per-node
+// op count, and a decision discriminator.
+func (in *Injector) roll(node int, id uint64, op int64, which uint64) float64 {
+	x := uint64(in.plan.Seed)
+	x = mix64(x ^ uint64(node)*0x9e3779b97f4a7c15)
+	x = mix64(x ^ id*0xc2b2ae3d27d4eb4f)
+	x = mix64(x ^ uint64(op)*0x165667b19e3779f9)
+	x = mix64(x ^ which)
+	return float64(x>>11) / float64(1<<53)
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (in *Injector) Get(node int, id uint64) ([]byte, error) {
+	op, ok := in.admit(node, true)
+	if !ok {
+		return nil, fmt.Errorf("faults: node %d: %w", node, dfs.ErrNodeDown)
+	}
+	np := in.plan.Nodes[node]
+	if np.Latency > 0 {
+		time.Sleep(np.Latency)
+	}
+	if np.ReadErrorRate > 0 && in.roll(node, id, op, 1) < np.ReadErrorRate {
+		in.count(func(s *Stats) { s.InjectedErrors++ })
+		return nil, fmt.Errorf("faults: injected read error on node %d: %w", node, dfs.ErrNodeDown)
+	}
+	data, err := in.inner.Get(node, id)
+	if err != nil {
+		return nil, err
+	}
+	if np.CorruptRate > 0 && len(data) > 0 && in.roll(node, id, op, 2) < np.CorruptRate {
+		in.count(func(s *Stats) { s.InjectedCorruptions++ })
+		cp := append([]byte(nil), data...)
+		bit := in.roll(node, id, op, 3)
+		i := int(bit * float64(len(cp)))
+		cp[i] ^= 1 << (uint(i) % 8)
+		return cp, nil
+	}
+	return data, nil
+}
+
+func (in *Injector) Put(node int, id uint64, data []byte) error {
+	if _, ok := in.admit(node, false); !ok {
+		return fmt.Errorf("faults: node %d: %w", node, dfs.ErrNodeDown)
+	}
+	return in.inner.Put(node, id, data)
+}
+
+func (in *Injector) Del(node int, id uint64) error {
+	if _, ok := in.admit(node, false); !ok {
+		return fmt.Errorf("faults: node %d: %w", node, dfs.ErrNodeDown)
+	}
+	return in.inner.Del(node, id)
+}

@@ -1,0 +1,131 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ping/internal/dfs"
+)
+
+// newFaultyFS builds an in-memory FS with content and attaches an
+// injector for plan.
+func newFaultyFS(t *testing.T, cfg dfs.Config, plan Plan) (*dfs.FS, *Injector, []byte) {
+	t.Helper()
+	fs := dfs.New(cfg)
+	data := make([]byte, 4000)
+	rand.New(rand.NewSource(7)).Read(data)
+	if err := fs.WriteFile("data.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	in := New(plan)
+	in.Attach(fs)
+	return fs, in, data
+}
+
+func TestPermanentlyDownNodeFailsOver(t *testing.T) {
+	cfg := dfs.Config{BlockSize: 256, DataNodes: 3, Replication: 2, MaxRetries: 1, RetryBase: -1}
+	fs, in, want := newFaultyFS(t, cfg, Plan{Nodes: map[int]NodePlan{0: {Down: true}}})
+	got, err := fs.ReadFile("data.bin")
+	if err != nil {
+		t.Fatalf("read with node 0 down: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch")
+	}
+	if s := in.Stats(); s.DownRejections == 0 {
+		t.Error("expected down rejections counted")
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	cfg := dfs.Config{DataNodes: 1, Replication: 1, MaxRetries: 0, RetryBase: -1}
+	fs, in, want := newFaultyFS(t, cfg, Plan{})
+	in.KillNode(0)
+	if _, err := fs.ReadFile("data.bin"); !errors.Is(err, dfs.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	in.ReviveNode(0)
+	got, err := fs.ReadFile("data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch after revive")
+	}
+}
+
+func TestDownWindowRecovers(t *testing.T) {
+	cfg := dfs.Config{DataNodes: 1, Replication: 1, MaxRetries: -1, RetryBase: -1}
+	// Down for read ops [0, 2): the first two Gets fail, later ones work.
+	// Retries are disabled so each ReadFile sees exactly one Get.
+	fs, _, want := newFaultyFS(t, cfg, Plan{Nodes: map[int]NodePlan{0: {DownFrom: 0, DownUntil: 2}}})
+	if _, err := fs.ReadFile("data.bin"); err == nil {
+		t.Fatal("expected failure inside the down window")
+	}
+	if _, err := fs.ReadFile("data.bin"); err == nil {
+		t.Fatal("expected failure inside the down window")
+	}
+	got, err := fs.ReadFile("data.bin")
+	if err != nil {
+		t.Fatalf("read after window: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("content mismatch after recovery")
+	}
+}
+
+func TestCorruptionIsCaughtByChecksum(t *testing.T) {
+	cfg := dfs.Config{BlockSize: 512, DataNodes: 2, Replication: 2, MaxRetries: 2, RetryBase: -1}
+	fs, in, want := newFaultyFS(t, cfg, Plan{Seed: 11, Nodes: map[int]NodePlan{
+		0: {CorruptRate: 1},
+	}})
+	got, err := fs.ReadFile("data.bin")
+	if err != nil {
+		t.Fatalf("read with node 0 corrupting: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("corrupt payload leaked through the checksum")
+	}
+	if s := in.Stats(); s.InjectedCorruptions == 0 {
+		t.Error("expected injected corruptions counted")
+	}
+}
+
+func TestReadErrorRateIsDeterministic(t *testing.T) {
+	run := func() ([]byte, error, Stats) {
+		cfg := dfs.Config{BlockSize: 128, DataNodes: 2, Replication: 1, MaxRetries: 3, RetryBase: -1}
+		fs := dfs.New(cfg)
+		data := make([]byte, 2000)
+		rand.New(rand.NewSource(9)).Read(data)
+		if err := fs.WriteFile("d.bin", data); err != nil {
+			t.Fatal(err)
+		}
+		in := New(Plan{Seed: 42, Nodes: map[int]NodePlan{
+			0: {ReadErrorRate: 0.5},
+			1: {ReadErrorRate: 0.5},
+		}})
+		in.Attach(fs)
+		got, err := fs.ReadFile("d.bin")
+		return got, err, in.Stats()
+	}
+	g1, e1, s1 := run()
+	g2, e2, s2 := run()
+	if (e1 == nil) != (e2 == nil) || !bytes.Equal(g1, g2) || s1 != s2 {
+		t.Fatalf("same plan diverged: err1=%v err2=%v stats1=%+v stats2=%+v", e1, e2, s1, s2)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	cfg := dfs.Config{DataNodes: 1, Replication: 1, MaxRetries: 0, RetryBase: -1}
+	fs, _, _ := newFaultyFS(t, cfg, Plan{Nodes: map[int]NodePlan{0: {Latency: 5 * time.Millisecond}}})
+	start := time.Now()
+	if _, err := fs.ReadFile("data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 5*time.Millisecond {
+		t.Errorf("read took %v, want >= 5ms of injected latency", el)
+	}
+}

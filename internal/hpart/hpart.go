@@ -16,6 +16,7 @@
 package hpart
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -216,7 +217,15 @@ func (l *Layout) HasSubPartition(key SubPartKey) bool {
 // storage. Every call re-reads the file, so callers' row accounting
 // reflects real data access.
 func (l *Layout) ReadSubPartition(key SubPartKey) ([]Pair, error) {
-	data, err := l.fs.ReadFile(subPartPath(key))
+	return l.ReadSubPartitionCtx(context.Background(), key)
+}
+
+// ReadSubPartitionCtx is ReadSubPartition honouring context cancellation:
+// the dfs read (including its failover retries) aborts with ctx.Err()
+// once ctx is done, so a stuck storage node cannot hang a query past its
+// deadline.
+func (l *Layout) ReadSubPartitionCtx(ctx context.Context, key SubPartKey) ([]Pair, error) {
+	data, err := l.fs.ReadFileCtx(ctx, subPartPath(key))
 	if err != nil {
 		return nil, fmt.Errorf("hpart: open %s: %w", key, err)
 	}

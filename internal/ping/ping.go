@@ -11,9 +11,19 @@
 // the accumulated data, and reports the (sound, Lemma 4.4) partial
 // answers. The final step evaluates the maximal slice and therefore the
 // exact result (Theorem 4.5).
+//
+// Storage failures are handled per Options.FailurePolicy. Under FailFast
+// (default) an unreadable sub-partition aborts the query. Under Degrade
+// it is skipped: by Lemma 4.4 any answer computed on a subset of a safe
+// slice's sub-partitions is still a sound subset of the exact answer, so
+// the run keeps delivering answers and marks its steps Degraded (and the
+// final Result not Exact). Context cancellation is threaded through the
+// storage reads and the dataflow worker pool, so a stuck replica cannot
+// hang a query past its deadline.
 package ping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -57,6 +67,31 @@ func (s SliceStrategy) String() string {
 	}
 }
 
+// FailurePolicy selects how query answering reacts to a sub-partition
+// read that still fails after all dfs retries and replica failover.
+type FailurePolicy int
+
+const (
+	// FailFast aborts the query on the first unreadable sub-partition.
+	FailFast FailurePolicy = iota
+	// Degrade skips unreadable sub-partitions and keeps answering: every
+	// delivered answer is computed on a subset of the slice's
+	// sub-partitions and is therefore still sound (Lemma 4.4). The
+	// affected steps are marked Degraded and the final answer not Exact.
+	Degrade
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("FailurePolicy(%d)", int(p))
+	}
+}
+
 // Options configures a Processor.
 type Options struct {
 	// Context supplies the dataflow executor (nil: single worker).
@@ -79,6 +114,9 @@ type Options struct {
 	// layout built with hpart.Options.BuildBlooms (or
 	// Layout.BuildBlooms); silently inactive otherwise.
 	UseBloomPruning bool
+	// FailurePolicy selects FailFast (zero value) or Degrade handling of
+	// unreadable sub-partitions.
+	FailurePolicy FailurePolicy
 }
 
 // Processor answers queries over one partitioned layout.
@@ -291,6 +329,13 @@ type StepResult struct {
 	// Elapsed / ElapsedCum time this step and the run so far.
 	Elapsed    time.Duration
 	ElapsedCum time.Duration
+	// Degraded reports that at least one candidate sub-partition could
+	// not be read so far (FailurePolicy Degrade only); the answers remain
+	// a sound subset of the exact result (Lemma 4.4).
+	Degraded bool
+	// MissingSubParts lists the sub-partitions skipped so far
+	// (cumulative, in skip order).
+	MissingSubParts []hpart.SubPartKey
 }
 
 // Result is a completed PQA run.
@@ -300,6 +345,10 @@ type Result struct {
 	// Final is the exact answer relation (the last step's answers), or an
 	// empty relation when the query is unsafe on every slice.
 	Final *engine.Relation
+	// Exact reports whether Final is the exact answer. It is false only
+	// when FailurePolicy Degrade skipped unreadable sub-partitions, in
+	// which case Final is a sound subset of the exact answer.
+	Exact bool
 }
 
 // Coverage returns |answers after step i| / |final answers| — the paper's
@@ -316,8 +365,13 @@ func (r *Result) Coverage(step int) float64 {
 // step. It is equivalent to PQASteps with a callback that always
 // continues.
 func (p *Processor) PQA(q *sparql.Query) (*Result, error) {
-	res := &Result{}
-	err := p.PQASteps(q, func(s StepResult) bool {
+	return p.PQACtx(context.Background(), q)
+}
+
+// PQACtx is PQA honouring ctx cancellation and deadline.
+func (p *Processor) PQACtx(ctx context.Context, q *sparql.Query) (*Result, error) {
+	res := &Result{Exact: true}
+	err := p.PQAStepsCtx(ctx, q, func(s StepResult) bool {
 		res.Steps = append(res.Steps, s)
 		return true
 	})
@@ -325,7 +379,9 @@ func (p *Processor) PQA(q *sparql.Query) (*Result, error) {
 		return nil, err
 	}
 	if len(res.Steps) > 0 {
-		res.Final = res.Steps[len(res.Steps)-1].Answers
+		last := res.Steps[len(res.Steps)-1]
+		res.Final = last.Answers
+		res.Exact = !last.Degraded
 	} else {
 		res.Final = &engine.Relation{Vars: q.Projection()}
 	}
@@ -336,6 +392,13 @@ func (p *Processor) PQA(q *sparql.Query) (*Result, error) {
 // slice. Returning false from fn stops the run early (the user has seen
 // enough answers); all delivered answers remain sound by Lemma 4.4.
 func (p *Processor) PQASteps(q *sparql.Query, fn func(StepResult) bool) error {
+	return p.PQAStepsCtx(context.Background(), q, fn)
+}
+
+// PQAStepsCtx is PQASteps honouring ctx: cancellation aborts storage
+// reads (including failover retries) and drains the dataflow worker
+// pool, returning ctx.Err().
+func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(StepResult) bool) error {
 	if len(q.Patterns)+len(q.Paths) == 0 {
 		return fmt.Errorf("ping: query has no patterns")
 	}
@@ -359,30 +422,43 @@ func (p *Processor) PQASteps(q *sparql.Query, fn func(StepResult) bool) error {
 		return err
 	}
 
+	detach := p.ctx.AttachContext(ctx)
+	defer detach()
+
 	state := newEvalState(p, q, hl, hlPaths)
 	start := time.Now()
 	var cum time.Duration
 	for i, step := range steps {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t0 := time.Now()
-		if err := state.load(step.newKeys); err != nil {
+		if err := state.load(ctx, step.newKeys); err != nil {
 			return err
 		}
 		answers, err := state.evaluate()
 		if err != nil {
 			return err
 		}
+		// A cancellation mid-evaluation leaves partial dataflow output;
+		// discard it rather than deliver an unsound step.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		el := time.Since(t0)
 		cum = time.Since(start)
 		sr := StepResult{
-			Step:           i + 1,
-			MaxLevel:       step.maxLevel,
-			NewSubParts:    step.newKeys,
-			RowsLoadedStep: state.rowsLoadedStep,
-			RowsLoadedCum:  state.rowsLoadedCum,
-			Answers:        answers,
-			NewAnswers:     answers.Card() - state.prevAnswers,
-			Elapsed:        el,
-			ElapsedCum:     cum,
+			Step:            i + 1,
+			MaxLevel:        step.maxLevel,
+			NewSubParts:     step.newKeys,
+			RowsLoadedStep:  state.rowsLoadedStep,
+			RowsLoadedCum:   state.rowsLoadedCum,
+			Answers:         answers,
+			NewAnswers:      answers.Card() - state.prevAnswers,
+			Elapsed:         el,
+			ElapsedCum:      cum,
+			Degraded:        len(state.missing) > 0,
+			MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
 		}
 		state.prevAnswers = answers.Card()
 		if !fn(sr) {
@@ -392,25 +468,56 @@ func (p *Processor) PQASteps(q *sparql.Query, fn func(StepResult) bool) error {
 	return nil
 }
 
+// ExactResult is the answer of EQAFull plus degradation metadata.
+type ExactResult struct {
+	// Answers is the result relation.
+	Answers *engine.Relation
+	// Stats are the engine counters of the evaluation.
+	Stats *engine.Stats
+	// Exact is false only when FailurePolicy Degrade skipped unreadable
+	// sub-partitions; Answers is then a sound subset (Lemma 4.4).
+	Exact bool
+	// MissingSubParts lists the skipped sub-partitions.
+	MissingSubParts []hpart.SubPartKey
+}
+
 // EQA evaluates the query directly on its maximal slice: each pattern
 // loads exactly the sub-partitions its symbols allow, in one shot. This
 // is the mode compared against S2RDF and WORQ in §5.6.
 func (p *Processor) EQA(q *sparql.Query) (*engine.Relation, *engine.Stats, error) {
+	r, err := p.EQAFull(context.Background(), q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.Answers, r.Stats, nil
+}
+
+// EQAFull is EQA honouring ctx and reporting degradation metadata.
+func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult, error) {
 	if len(q.Patterns)+len(q.Paths) == 0 {
-		return nil, nil, fmt.Errorf("ping: query has no patterns")
+		return nil, fmt.Errorf("ping: query has no patterns")
 	}
 	hl := p.QuerySlices(q)
 	hlPaths := p.QueryPathSlices(q)
+	empty := &ExactResult{
+		Answers: &engine.Relation{Vars: q.Projection()},
+		Stats:   &engine.Stats{},
+		Exact:   true,
+	}
 	for _, candidates := range hl {
 		if len(candidates) == 0 {
-			return &engine.Relation{Vars: q.Projection()}, &engine.Stats{}, nil
+			return empty, nil
 		}
 	}
 	for _, candidates := range hlPaths {
 		if len(candidates) == 0 {
-			return &engine.Relation{Vars: q.Projection()}, &engine.Stats{}, nil
+			return empty, nil
 		}
 	}
+
+	detach := p.ctx.AttachContext(ctx)
+	defer detach()
+
 	state := newEvalState(p, q, hl, hlPaths)
 	var all []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)
@@ -422,14 +529,22 @@ func (p *Processor) EQA(q *sparql.Query) (*engine.Relation, *engine.Stats, error
 			}
 		}
 	}
-	if err := state.load(all); err != nil {
-		return nil, nil, err
+	if err := state.load(ctx, all); err != nil {
+		return nil, err
 	}
 	answers, err := state.evaluate()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	stats := state.lastStats
 	stats.InputRows = state.rowsLoadedCum
-	return answers, stats, nil
+	return &ExactResult{
+		Answers:         answers,
+		Stats:           stats,
+		Exact:           len(state.missing) == 0,
+		MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
+	}, nil
 }

@@ -1,6 +1,7 @@
 package ping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -216,6 +217,10 @@ type evalState struct {
 	hlPathSet []map[hpart.SubPartKey]bool
 
 	loaded map[hpart.SubPartKey][]hpart.Pair
+	// missing accumulates sub-partitions skipped because their reads
+	// failed under FailurePolicy Degrade; missingSet guards re-attempts.
+	missing    []hpart.SubPartKey
+	missingSet map[hpart.SubPartKey]bool
 
 	rowsLoadedStep int64
 	rowsLoadedCum  int64
@@ -235,26 +240,42 @@ func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKe
 		return sets
 	}
 	return &evalState{
-		p:         p,
-		q:         q,
-		hl:        hl,
-		hlSet:     toSets(hl),
-		hlPath:    hlPaths,
-		hlPathSet: toSets(hlPaths),
-		loaded:    make(map[hpart.SubPartKey][]hpart.Pair),
+		p:          p,
+		q:          q,
+		hl:         hl,
+		hlSet:      toSets(hl),
+		hlPath:     hlPaths,
+		hlPathSet:  toSets(hlPaths),
+		loaded:     make(map[hpart.SubPartKey][]hpart.Pair),
+		missingSet: make(map[hpart.SubPartKey]bool),
 	}
 }
 
 // load reads the given sub-partitions from storage, skipping ones already
-// in the accumulator (Algorithm 3, lines 2-3).
-func (st *evalState) load(keys []hpart.SubPartKey) error {
+// in the accumulator (Algorithm 3, lines 2-3). Under FailurePolicy
+// Degrade a read that fails after all dfs retries marks the
+// sub-partition missing and continues — the evaluation then runs on a
+// subset of the slice, which stays sound by Lemma 4.4. Context
+// cancellation always aborts, regardless of policy.
+func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 	st.rowsLoadedStep = 0
 	for _, k := range keys {
 		if _, ok := st.loaded[k]; ok {
 			continue
 		}
-		pairs, err := st.p.layout.ReadSubPartition(k)
+		if st.missingSet[k] {
+			continue
+		}
+		pairs, err := st.p.layout.ReadSubPartitionCtx(ctx, k)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			if st.p.opts.FailurePolicy == Degrade {
+				st.missingSet[k] = true
+				st.missing = append(st.missing, k)
+				continue
+			}
 			return err
 		}
 		st.loaded[k] = pairs
