@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench
+# Minimum statement coverage (%) for internal/obs enforced by `make cover`.
+OBS_COVER_MIN ?= 80
+
+.PHONY: check build vet fmt test race bench bench-json cover
 
 # check is the full gate: build, vet, formatting, and the race-enabled
 # test suite. CI and pre-commit should run `make check`.
@@ -26,3 +29,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-json writes machine-readable per-query trajectories (step
+# latencies, coverage curve, exact-answer time) as bench/BENCH_<ds>.json.
+bench-json:
+	$(GO) run ./cmd/pingbench -exp none -json-out bench -datasets uniprot,shop -scale 0.5
+
+# cover enforces a minimum statement coverage on the observability layer
+# (the rest of the suite is gated by correctness properties, not lines).
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/obs/
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total% (min $(OBS_COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(OBS_COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "coverage below minimum"; exit 1; }

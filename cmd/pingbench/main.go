@@ -5,31 +5,50 @@
 //
 //	pingbench -exp fig6 -datasets uniprot,shop
 //	pingbench -exp all -md -out EXPERIMENTS.md
+//	pingbench -exp none -json-out bench/ -datasets uniprot,shop
 //
-// Experiments: table1, fig5, fig6, fig7, fig8, fig9, table2, ablation, all.
+// Experiments: table1, fig5, fig6, fig7, fig8, fig9, table2, ablation,
+// all, or none (skip the tables; useful with -json-out).
+//
+// -json-out DIR additionally writes one machine-readable
+// BENCH_<dataset>.json per dataset: the per-query step latencies,
+// coverage curve, and exact-answer time. -metrics-addr exposes the
+// run's metrics (/metrics, /debug/vars, pprof) while it executes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ping/internal/harness"
+	"ping/internal/obs"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(harness.ExperimentIDs, ", ")+" or all)")
-		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default: all)")
-		workers   = flag.Int("workers", 4, "dataflow workers (simulated cluster cores)")
-		perBucket = flag.Int("queries", 5, "queries per star/chain/complex bucket")
-		scale     = flag.Float64("scale", 1, "dataset scale multiplier")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		md        = flag.Bool("md", false, "render as EXPERIMENTS.md markdown")
-		out       = flag.String("out", "", "write output to a file instead of stdout")
+		exp         = flag.String("exp", "all", "experiment id ("+strings.Join(harness.ExperimentIDs, ", ")+", all, or none)")
+		datasets    = flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+		workers     = flag.Int("workers", 4, "dataflow workers (simulated cluster cores)")
+		perBucket   = flag.Int("queries", 5, "queries per star/chain/complex bucket")
+		scale       = flag.Float64("scale", 1, "dataset scale multiplier")
+		seed        = flag.Int64("seed", 42, "generator seed")
+		md          = flag.Bool("md", false, "render as EXPERIMENTS.md markdown")
+		out         = flag.String("out", "", "write output to a file instead of stdout")
+		jsonOut     = flag.String("json-out", "", "directory to write machine-readable BENCH_<dataset>.json reports into")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while running (e.g. :9090)")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		_, lnAddr, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", lnAddr)
+	}
 
 	suite := harness.NewSuite(*workers, *perBucket, *scale, *seed)
 	var names []string
@@ -39,9 +58,13 @@ func main() {
 
 	var reports []*harness.Report
 	var err error
-	if *exp == "all" {
+	switch *exp {
+	case "none":
+		// Tables skipped: -json-out (or just the metrics endpoint) is the
+		// only output.
+	case "all":
 		reports, err = suite.RunAll(names)
-	} else {
+	default:
 		var r *harness.Report
 		r, err = suite.Run(*exp, names)
 		if r != nil {
@@ -49,8 +72,40 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pingbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	if *jsonOut != "" {
+		if err := os.MkdirAll(*jsonOut, 0o755); err != nil {
+			fatal(err)
+		}
+		jsonNames := names
+		if len(jsonNames) == 0 {
+			jsonNames = harness.AllDatasetNames
+		}
+		for _, name := range jsonNames {
+			rep, err := suite.BenchJSON(name)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			path := filepath.Join(*jsonOut, "BENCH_"+name+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			err = rep.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d queries)\n", path, len(rep.Queries))
+		}
+	}
+
+	if *exp == "none" {
+		return
 	}
 
 	var text string
@@ -66,11 +121,15 @@ func main() {
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pingbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 		return
 	}
 	fmt.Print(text)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pingbench: %v\n", err)
+	os.Exit(1)
 }

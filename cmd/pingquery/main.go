@@ -8,6 +8,7 @@
 //	pingquery -store ./uniprot-store -file q.rq -exact
 //	pingquery -store ./uniprot-store -file q.rq -strategy largest
 //	pingquery -store ./uniprot-store -file q.rq -failure-policy degrade -timeout 30s
+//	pingquery -store ./uniprot-store -file q.rq -metrics-addr :0 -trace-out trace.json
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"ping/internal/dfs"
 	"ping/internal/engine"
 	"ping/internal/hpart"
+	"ping/internal/obs"
 	"ping/internal/ping"
 	"ping/internal/sparql"
 )
@@ -40,6 +42,10 @@ func main() {
 		policy   = flag.String("failure-policy", "failfast", "storage failure handling: failfast (abort on unreadable sub-partition) or degrade (skip it; answers stay a sound subset)")
 		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
 		timeout  = flag.Duration("timeout", 0, "overall query deadline, e.g. 30s (0 = none)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the query runs (e.g. :9090 or :0)")
+		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the query finishes (for scraping short queries)")
+		traceOut    = flag.String("trace-out", "", "write the query's span tree as indented JSON to this file")
 	)
 	flag.Parse()
 	if *store == "" || (*queryStr == "" && *file == "") {
@@ -97,6 +103,41 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *metricsAddr != "" {
+		_, lnAddr, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", lnAddr)
+		if *metricsHold > 0 {
+			defer func() {
+				fmt.Fprintf(os.Stderr, "holding metrics endpoint for %v\n", *metricsHold)
+				time.Sleep(*metricsHold)
+			}()
+		}
+	}
+
+	var root *obs.Span
+	if *traceOut != "" {
+		ctx, root = obs.NewTrace(ctx, "pingquery")
+		root.SetAttr("store", *store)
+		defer func() {
+			root.End()
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			err = root.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}()
 	}
 
 	fmt.Printf("query (%s, %d patterns) over %d levels:\n%s\n\n",

@@ -4,20 +4,36 @@
 // The server never joins — that burden falls on a smart client, which is
 // exactly the architecture the paper contrasts PING against.
 //
+// The process also exposes /metrics (Prometheus text format),
+// /debug/vars, and the pprof handlers on the same listener, logs every
+// request, and shuts down gracefully on SIGINT/SIGTERM (in-flight
+// fragment requests get up to 5s to drain).
+//
 // Usage:
 //
 //	tpfserver -in uniprot.nt -addr :8080 -page 100
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ping/internal/baseline/tpf"
+	"ping/internal/obs"
 	"ping/internal/rdf"
 )
+
+// shutdownGrace bounds how long in-flight requests may drain after a
+// termination signal.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	var (
@@ -41,11 +57,41 @@ func main() {
 	}
 	g.Dedup()
 	srv := tpf.NewServer(g, *page)
+
+	logger := log.New(os.Stderr, "tpfserver: ", log.LstdFlags)
+	mux := http.NewServeMux()
+	mux.Handle("/fragment", obs.Instrument(obs.Default, "/fragment", logger.Printf, srv.Handler()))
+	mux.Handle("/", obs.Handler(obs.Default))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
 	fmt.Printf("serving %d triples on %s (page size %d)\n", g.Len(), *addr, *page)
-	fmt.Printf("try: curl '%s/fragment?p=%%3C...%%3E'\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	fmt.Printf("try: curl '%s/fragment?p=%%3C...%%3E'   metrics: curl '%s/metrics'\n", *addr, *addr)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining for up to %v", shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+		httpSrv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	logger.Printf("shut down cleanly")
 }
 
 func fatal(err error) {

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"ping/internal/obs"
 )
 
 // Metrics aggregates execution counters across all stages run on a
@@ -46,8 +48,35 @@ type Context struct {
 	// or timed-out query cannot keep the worker pool busy. Stages started
 	// after cancellation produce incomplete partitions; callers observe
 	// Err() and discard the results (ping does this after every
-	// evaluation).
+	// evaluation). It also carries the active trace span, under which
+	// runTasks nests per-stage spans.
 	cancelCtx atomic.Pointer[context.Context]
+
+	// obsMetrics mirrors the counters into named obs series; swapped
+	// atomically by SetMetricsRegistry.
+	obsMetrics atomic.Pointer[ctxMetrics]
+}
+
+// ctxMetrics holds the resolved obs handles for the registry the context
+// publishes to.
+type ctxMetrics struct {
+	stages, tasks, shuffled, broadcast *obs.Counter
+}
+
+func newCtxMetrics(reg *obs.Registry) *ctxMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Describe("dataflow_stages_total", "transformations executed on the worker pool")
+	reg.Describe("dataflow_tasks_total", "partition-level tasks launched")
+	reg.Describe("dataflow_rows_shuffled_total", "rows moved across partitions by wide stages")
+	reg.Describe("dataflow_rows_broadcast_total", "small-side rows replicated to every partition")
+	return &ctxMetrics{
+		stages:    reg.Counter("dataflow_stages_total", nil),
+		tasks:     reg.Counter("dataflow_tasks_total", nil),
+		shuffled:  reg.Counter("dataflow_rows_shuffled_total", nil),
+		broadcast: reg.Counter("dataflow_rows_broadcast_total", nil),
+	}
 }
 
 // NewContext creates a context with the given worker count; zero or
@@ -56,7 +85,15 @@ func NewContext(workers int) *Context {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Context{workers: workers, defaultParallelism: workers * 2}
+	c := &Context{workers: workers, defaultParallelism: workers * 2}
+	c.obsMetrics.Store(newCtxMetrics(obs.Default))
+	return c
+}
+
+// SetMetricsRegistry redirects the context's named metrics to reg (nil
+// disables them). New contexts default to obs.Default.
+func (c *Context) SetMetricsRegistry(reg *obs.Registry) {
+	c.obsMetrics.Store(newCtxMetrics(reg))
 }
 
 // Workers returns the executor pool size.
@@ -109,6 +146,17 @@ func (c *Context) Err() error {
 func (c *Context) runTasks(n int, f func(i int)) {
 	c.stages.Add(1)
 	c.tasks.Add(int64(n))
+	if m := c.obsMetrics.Load(); m != nil {
+		m.stages.Inc()
+		m.tasks.Add(int64(n))
+	}
+	// Nest a stage span under the query's span when one is attached.
+	if p := c.cancelCtx.Load(); p != nil {
+		if _, sp := obs.StartSpan(*p, "dataflow.stage"); sp != nil {
+			sp.SetAttr("tasks", n)
+			defer sp.End()
+		}
+	}
 	workers := c.workers
 	if workers > n {
 		workers = n
@@ -290,6 +338,9 @@ func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], numParts int, h hasher
 		}
 		d.ctx.rowsRead.Add(int64(len(d.parts[i])))
 		d.ctx.rowsShuffled.Add(int64(len(d.parts[i])))
+		if m := d.ctx.obsMetrics.Load(); m != nil {
+			m.shuffled.Add(int64(len(d.parts[i])))
+		}
 		local[i] = buckets
 	})
 	// ...then buckets are concatenated per target partition.
@@ -380,6 +431,9 @@ func BroadcastJoin[K comparable, A, B any](left *Dataset[Pair[K, A]], small []Pa
 		table[row.Key] = append(table[row.Key], row.Value)
 	}
 	left.ctx.rowsBroadcast.Add(int64(len(small)) * int64(len(left.parts)))
+	if m := left.ctx.obsMetrics.Load(); m != nil {
+		m.broadcast.Add(int64(len(small)) * int64(len(left.parts)))
+	}
 	out := make([][]Pair[K, JoinRow[A, B]], len(left.parts))
 	left.ctx.runTasks(len(left.parts), func(i int) {
 		in := left.parts[i]

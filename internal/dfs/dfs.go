@@ -29,10 +29,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ping/internal/obs"
 )
 
 // Typed read-path errors. Failures returned by block reads wrap one of
@@ -115,7 +118,13 @@ type FileInfo struct {
 	Blocks int
 }
 
-// Usage summarizes cluster storage state and read-path health.
+// Usage summarizes cluster storage state and read-path health. The
+// health counters (NodeReads, NodeReadErrors, BlocksRepaired,
+// FailedBlockReads) are snapshot together under one lock, and each read
+// attempt records its outcome in the same critical section, so a
+// snapshot is consistent across nodes: it never shows an attempt whose
+// success/failure outcome is missing, and NodeReadErrors[i] <=
+// NodeReads[i] always holds.
 type Usage struct {
 	Files         int
 	LogicalBytes  int64   // sum of file sizes
@@ -170,11 +179,65 @@ type FS struct {
 	nextBlock uint64
 	nodeBytes []int64
 
-	bytesRead   atomic.Int64
-	nodeReads   []atomic.Int64
-	nodeErrs    []atomic.Int64
-	repaired    atomic.Int64
-	failedReads atomic.Int64
+	bytesRead atomic.Int64
+
+	// healthMu guards the read-path health counters as one unit so Usage
+	// snapshots are consistent across nodes (see Usage).
+	healthMu    sync.Mutex
+	nodeReads   []int64
+	nodeErrs    []int64
+	repaired    int64
+	failedReads int64
+
+	// metrics mirrors the health counters into named obs series; swapped
+	// atomically by SetMetrics.
+	metrics atomic.Pointer[fsMetrics]
+}
+
+// fsMetrics holds the resolved obs handles for one registry, so hot-path
+// recording is a single atomic add per event.
+type fsMetrics struct {
+	nodeReads   []*obs.Counter
+	nodeErrs    []*obs.Counter
+	retryRounds *obs.Counter
+	failovers   *obs.Counter
+	failedReads *obs.Counter
+	repaired    *obs.Counter
+	bytesRead   *obs.Counter
+}
+
+func newFSMetrics(reg *obs.Registry, nodes int) *fsMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.Describe("dfs_node_reads_total", "block read attempts per data node")
+	reg.Describe("dfs_node_read_errors_total", "failed or corrupt block read attempts per data node")
+	reg.Describe("dfs_retry_rounds_total", "extra failover rounds entered after a full replica pass failed")
+	reg.Describe("dfs_failovers_total", "block reads that succeeded only after at least one replica attempt failed")
+	reg.Describe("dfs_failed_block_reads_total", "block reads that exhausted every replica and retry")
+	reg.Describe("dfs_blocks_repaired_total", "corrupt replicas re-written from a healthy copy")
+	reg.Describe("dfs_bytes_read_total", "payload bytes served to readers")
+	m := &fsMetrics{
+		nodeReads:   make([]*obs.Counter, nodes),
+		nodeErrs:    make([]*obs.Counter, nodes),
+		retryRounds: reg.Counter("dfs_retry_rounds_total", nil),
+		failovers:   reg.Counter("dfs_failovers_total", nil),
+		failedReads: reg.Counter("dfs_failed_block_reads_total", nil),
+		repaired:    reg.Counter("dfs_blocks_repaired_total", nil),
+		bytesRead:   reg.Counter("dfs_bytes_read_total", nil),
+	}
+	for i := 0; i < nodes; i++ {
+		labels := obs.Labels{"node": strconv.Itoa(i)}
+		m.nodeReads[i] = reg.Counter("dfs_node_reads_total", labels)
+		m.nodeErrs[i] = reg.Counter("dfs_node_read_errors_total", labels)
+	}
+	return m
+}
+
+// SetMetrics redirects the FS's named metrics to reg (nil disables
+// them). New file systems default to obs.Default.
+func (f *FS) SetMetrics(reg *obs.Registry) {
+	f.metrics.Store(newFSMetrics(reg, f.cfg.DataNodes))
 }
 
 // New returns an in-memory file system.
@@ -195,14 +258,16 @@ func NewOnDisk(dir string, cfg Config) (*FS, error) {
 }
 
 func newFS(cfg Config, store BlockStore) *FS {
-	return &FS{
+	f := &FS{
 		cfg:       cfg,
 		store:     store,
 		files:     make(map[string]fileMeta),
 		nodeBytes: make([]int64, cfg.DataNodes),
-		nodeReads: make([]atomic.Int64, cfg.DataNodes),
-		nodeErrs:  make([]atomic.Int64, cfg.DataNodes),
+		nodeReads: make([]int64, cfg.DataNodes),
+		nodeErrs:  make([]int64, cfg.DataNodes),
 	}
+	f.metrics.Store(newFSMetrics(obs.Default, cfg.DataNodes))
+	return f
 }
 
 // WrapStore replaces the block store with wrap(current store). It exists
@@ -263,22 +328,55 @@ func (f *FS) ReadFile(path string) ([]byte, error) {
 // ctx.Err(), so a stuck store cannot hang the caller past its deadline.
 func (f *FS) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
 	path = cleanPath(path)
+	_, sp := obs.StartSpan(ctx, "dfs.read")
+	defer sp.End()
+	sp.SetAttr("path", path)
 	f.mu.RLock()
 	meta, ok := f.files[path]
 	f.mu.RUnlock()
 	if !ok {
+		sp.SetAttr("error", "not found")
 		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
 	}
+	sp.SetAttr("blocks", len(meta.blocks))
 	buf := make([]byte, 0, meta.size)
 	for _, b := range meta.blocks {
 		data, err := f.readBlock(ctx, b)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return nil, err
 		}
 		buf = append(buf, data...)
 	}
-	f.bytesRead.Add(int64(len(buf)))
+	f.countBytesRead(int64(len(buf)))
+	sp.SetAttr("bytes", len(buf))
 	return buf, nil
+}
+
+// countBytesRead records served payload bytes in both the local
+// accounting and the named metric.
+func (f *FS) countBytesRead(n int64) {
+	f.bytesRead.Add(n)
+	if m := f.metrics.Load(); m != nil {
+		m.bytesRead.Add(n)
+	}
+}
+
+// recordAttempt records one replica read attempt and its outcome in a
+// single critical section, keeping Usage snapshots consistent.
+func (f *FS) recordAttempt(node int, failed bool) {
+	f.healthMu.Lock()
+	f.nodeReads[node]++
+	if failed {
+		f.nodeErrs[node]++
+	}
+	f.healthMu.Unlock()
+	if m := f.metrics.Load(); m != nil {
+		m.nodeReads[node].Inc()
+		if failed {
+			m.nodeErrs[node].Inc()
+		}
+	}
 }
 
 // readBlock reads one block, verifying its checksum and failing over
@@ -295,10 +393,14 @@ func (f *FS) readBlock(ctx context.Context, b blockMeta) ([]byte, error) {
 
 	var lastErr error
 	var corrupt []int // replica indexes that served corrupt data
+	failedAttempts := 0
 	for round := 0; round <= cfg.MaxRetries; round++ {
 		if round > 0 {
 			if err := sleepBackoff(ctx, cfg, b.id, round); err != nil {
 				return nil, err
+			}
+			if m := f.metrics.Load(); m != nil {
+				m.retryRounds.Inc()
 			}
 		}
 		for i := range b.nodes {
@@ -306,18 +408,27 @@ func (f *FS) readBlock(ctx context.Context, b blockMeta) ([]byte, error) {
 				return nil, err
 			}
 			node := b.nodes[(i+round)%len(b.nodes)]
-			f.nodeReads[node].Add(1)
 			data, err := store.Get(node, b.id)
 			if err != nil {
-				f.nodeErrs[node].Add(1)
+				f.recordAttempt(node, true)
+				failedAttempts++
 				lastErr = err
 				continue
 			}
 			if b.hasCRC && crc32.ChecksumIEEE(data) != b.crc {
-				f.nodeErrs[node].Add(1)
+				f.recordAttempt(node, true)
+				failedAttempts++
 				lastErr = fmt.Errorf("node %d: %w", node, ErrBlockCorrupt)
 				corrupt = append(corrupt, node)
 				continue
+			}
+			f.recordAttempt(node, false)
+			if failedAttempts > 0 {
+				// Success only after failover to another replica (or a
+				// later retry round).
+				if m := f.metrics.Load(); m != nil {
+					m.failovers.Inc()
+				}
 			}
 			if cfg.ReadRepair {
 				f.repairReplicas(store, b, corrupt, data)
@@ -325,7 +436,12 @@ func (f *FS) readBlock(ctx context.Context, b blockMeta) ([]byte, error) {
 			return data, nil
 		}
 	}
-	f.failedReads.Add(1)
+	f.healthMu.Lock()
+	f.failedReads++
+	f.healthMu.Unlock()
+	if m := f.metrics.Load(); m != nil {
+		m.failedReads.Inc()
+	}
 	if lastErr == nil {
 		return nil, fmt.Errorf("dfs: block %d: %w", b.id, ErrNoHealthyReplica)
 	}
@@ -338,7 +454,12 @@ func (f *FS) readBlock(ctx context.Context, b blockMeta) ([]byte, error) {
 func (f *FS) repairReplicas(store BlockStore, b blockMeta, corrupt []int, good []byte) {
 	for _, node := range corrupt {
 		if err := store.Put(node, b.id, good); err == nil {
-			f.repaired.Add(1)
+			f.healthMu.Lock()
+			f.repaired++
+			f.healthMu.Unlock()
+			if m := f.metrics.Load(); m != nil {
+				m.repaired.Inc()
+			}
 		}
 	}
 }
@@ -509,7 +630,7 @@ func (r *fileReader) Read(p []byte) (int, error) {
 	for {
 		if r.cur != nil && r.cur.Len() > 0 {
 			n, _ := r.cur.Read(p)
-			r.fs.bytesRead.Add(int64(n))
+			r.fs.countBytesRead(int64(n))
 			return n, nil
 		}
 		if r.idx >= len(r.meta.blocks) {
@@ -576,7 +697,10 @@ func (f *FS) Remove(path string) error {
 	return nil
 }
 
-// Usage returns cluster storage statistics and read-path health counters.
+// Usage returns cluster storage statistics and read-path health
+// counters. The health counters are copied in one critical section of
+// the lock that also guards their updates, so the snapshot is consistent
+// across nodes (see the Usage type documentation).
 func (f *FS) Usage() Usage {
 	f.mu.RLock()
 	u := Usage{Files: len(f.files), NodeBytes: append([]int64(nil), f.nodeBytes...)}
@@ -587,14 +711,12 @@ func (f *FS) Usage() Usage {
 	for _, nb := range u.NodeBytes {
 		u.PhysicalBytes += nb
 	}
-	u.NodeReads = make([]int64, len(f.nodeReads))
-	u.NodeReadErrors = make([]int64, len(f.nodeErrs))
-	for i := range f.nodeReads {
-		u.NodeReads[i] = f.nodeReads[i].Load()
-		u.NodeReadErrors[i] = f.nodeErrs[i].Load()
-	}
-	u.BlocksRepaired = f.repaired.Load()
-	u.FailedBlockReads = f.failedReads.Load()
+	f.healthMu.Lock()
+	u.NodeReads = append([]int64(nil), f.nodeReads...)
+	u.NodeReadErrors = append([]int64(nil), f.nodeErrs...)
+	u.BlocksRepaired = f.repaired
+	u.FailedBlockReads = f.failedReads
+	f.healthMu.Unlock()
 	return u
 }
 

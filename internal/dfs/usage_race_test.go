@@ -1,0 +1,115 @@
+// External test package so the race test can drive the dfs read path
+// through the faults injector (faults imports dfs; an internal test would
+// cycle).
+package dfs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ping/internal/dfs"
+	"ping/internal/faults"
+)
+
+// TestUsageSnapshotConsistentUnderConcurrentReads hammers the read path
+// with injected failures from many goroutines while other goroutines
+// take Usage snapshots. Every snapshot must be internally consistent:
+// a read attempt and its outcome are recorded in one critical section,
+// so NodeReadErrors[i] <= NodeReads[i] must hold in every snapshot, and
+// counters must be monotone across snapshots. Run under -race this also
+// proves the health counters share one properly-locked home.
+func TestUsageSnapshotConsistentUnderConcurrentReads(t *testing.T) {
+	fs := dfs.New(dfs.Config{
+		BlockSize:   128,
+		DataNodes:   4,
+		Replication: 2,
+		MaxRetries:  1,
+		RetryBase:   -1,
+	})
+	var paths []string
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("f%d", i)
+		data := make([]byte, 1000+i*37)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		if err := fs.WriteFile(p, data); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// Replication 2 keeps every block readable, so reads succeed while
+	// still exercising the failure/failover accounting.
+	in := faults.New(faults.Plan{Seed: 99, Nodes: map[int]faults.NodePlan{
+		0: {ReadErrorRate: 0.5},
+		1: {CorruptRate: 0.3},
+		2: {ReadErrorRate: 0.2, CorruptRate: 0.2},
+	}})
+	in.Attach(fs)
+
+	const readers, snapshots, rounds = 8, 4, 50
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Errors are expected: the plan is aggressive enough that
+				// some reads exhaust every replica and retry. The test
+				// asserts accounting consistency, not read success.
+				p := paths[(r+i)%len(paths)]
+				_, _ = fs.ReadFile(p)
+			}
+		}(r)
+	}
+	for s := 0; s < snapshots; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prevReads, prevErrs, prevFailed int64
+			for i := 0; i < rounds; i++ {
+				u := fs.Usage()
+				if len(u.NodeReads) != 4 || len(u.NodeReadErrors) != 4 {
+					t.Errorf("snapshot has %d/%d node slots, want 4/4", len(u.NodeReads), len(u.NodeReadErrors))
+					return
+				}
+				var reads, errs int64
+				for n := range u.NodeReads {
+					if u.NodeReadErrors[n] > u.NodeReads[n] {
+						t.Errorf("node %d: %d errors > %d reads — snapshot tore", n, u.NodeReadErrors[n], u.NodeReads[n])
+						return
+					}
+					reads += u.NodeReads[n]
+					errs += u.NodeReadErrors[n]
+				}
+				// A failed block read implies at least that many failed
+				// attempts were recorded in the same snapshot.
+				if u.FailedBlockReads > errs {
+					t.Errorf("%d failed block reads > %d attempt errors — snapshot tore", u.FailedBlockReads, errs)
+					return
+				}
+				if reads < prevReads || errs < prevErrs || u.FailedBlockReads < prevFailed {
+					t.Errorf("counters went backwards: reads %d->%d errs %d->%d failed %d->%d",
+						prevReads, reads, prevErrs, errs, prevFailed, u.FailedBlockReads)
+					return
+				}
+				prevReads, prevErrs, prevFailed = reads, errs, u.FailedBlockReads
+			}
+		}()
+	}
+	wg.Wait()
+
+	u := fs.Usage()
+	var total, errs int64
+	for n := range u.NodeReads {
+		total += u.NodeReads[n]
+		errs += u.NodeReadErrors[n]
+	}
+	if total == 0 {
+		t.Fatal("no read attempts recorded")
+	}
+	if errs == 0 {
+		t.Fatal("fault plan injected no errors — test exercised nothing")
+	}
+}

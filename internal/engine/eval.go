@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"time"
+
 	"ping/internal/dataflow"
+	"ping/internal/obs"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
 )
@@ -31,6 +34,12 @@ type Options struct {
 	// every partition instead of shuffling both sides — Spark's broadcast
 	// hash join. 0 means the default (5000); negative disables.
 	BroadcastThreshold int
+	// Metrics receives the join counters and timing histograms (nil:
+	// obs.Default).
+	Metrics *obs.Registry
+	// Span, when non-nil, receives one child span per executed join with
+	// input/output cardinalities — the engine layer of a query trace.
+	Span *obs.Span
 }
 
 // defaultBroadcastThreshold mirrors Spark's autoBroadcastJoinThreshold
@@ -57,17 +66,40 @@ func Evaluate(q *sparql.Query, inputs []PatternInput, dict *rdf.Dict, opts Optio
 	return EvaluatePaths(q, inputs, nil, dict, opts)
 }
 
-// joinAll reduces the relation list to one via greedy hash joins.
+// joinAll reduces the relation list to one via greedy hash joins,
+// recording per-join timings into the options' registry and one child
+// span per join under the options' span.
 func joinAll(ctx *dataflow.Context, rels []*Relation, opts Options, stats *Stats) (*Relation, error) {
 	if len(rels) == 0 {
 		return &Relation{}, nil
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe("engine_joins_total", "binary joins executed")
+	reg.Describe("engine_join_seconds", "wall-clock duration of one binary join")
+	reg.Describe("engine_intermediate_rows_total", "rows materialized by joins")
+	joinsC := reg.Counter("engine_joins_total", nil)
+	joinSec := reg.Histogram("engine_join_seconds", obs.TimeBuckets, nil)
+	interRows := reg.Counter("engine_intermediate_rows_total", nil)
+
 	remaining := append([]*Relation(nil), rels...)
 	// Start with the smallest relation.
 	cur := popSmallest(&remaining, nil)
 	for len(remaining) > 0 {
 		next := popSmallest(&remaining, cur)
+		sp := opts.Span.StartChild("join")
+		sp.SetAttr("left_rows", cur.Card())
+		sp.SetAttr("right_rows", next.Card())
+		t0 := time.Now()
 		joined := join(ctx, cur, next, opts)
+		el := time.Since(t0)
+		sp.SetAttr("out_rows", joined.Card())
+		sp.End()
+		joinsC.Inc()
+		joinSec.Observe(el.Seconds())
+		interRows.Add(int64(joined.Card()))
 		stats.Joins++
 		stats.IntermediateRows += int64(joined.Card())
 		cur = joined

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"ping/internal/dfs"
+	"ping/internal/obs"
 )
 
 // NodePlan declares the faults of one data node.
@@ -63,15 +64,26 @@ type Injector struct {
 	ops   map[int]int64 // per-node read-operation counter
 	dead  map[int]bool  // runtime Kill/Revive overrides
 	stats Stats
+
+	// Mirrors of the Stats counters as named obs metrics, so injected
+	// faults show up on /metrics next to the dfs health counters.
+	mErrors, mCorruptions, mRejections *obs.Counter
 }
 
 // New builds an injector for plan. Attach it to a file system with
 // Attach (or dfs.FS.WrapStore) before reading.
 func New(plan Plan) *Injector {
+	reg := obs.Default
+	reg.Describe("faults_injected_errors_total", "rate-based injected read errors")
+	reg.Describe("faults_injected_corruptions_total", "injected bit-flipped payloads")
+	reg.Describe("faults_down_rejections_total", "I/O rejected while a node was down")
 	return &Injector{
-		plan: plan,
-		ops:  make(map[int]int64),
-		dead: make(map[int]bool),
+		plan:         plan,
+		ops:          make(map[int]int64),
+		dead:         make(map[int]bool),
+		mErrors:      reg.Counter("faults_injected_errors_total", nil),
+		mCorruptions: reg.Counter("faults_injected_corruptions_total", nil),
+		mRejections:  reg.Counter("faults_down_rejections_total", nil),
 	}
 }
 
@@ -130,6 +142,7 @@ func (in *Injector) admit(node int, read bool) (int64, bool) {
 		(np.DownUntil > np.DownFrom && op >= np.DownFrom && op < np.DownUntil)
 	if down {
 		in.stats.DownRejections++
+		in.mRejections.Inc()
 		return op, false
 	}
 	return op, true
@@ -174,6 +187,7 @@ func (in *Injector) Get(node int, id uint64) ([]byte, error) {
 	}
 	if np.ReadErrorRate > 0 && in.roll(node, id, op, 1) < np.ReadErrorRate {
 		in.count(func(s *Stats) { s.InjectedErrors++ })
+		in.mErrors.Inc()
 		return nil, fmt.Errorf("faults: injected read error on node %d: %w", node, dfs.ErrNodeDown)
 	}
 	data, err := in.inner.Get(node, id)
@@ -182,6 +196,7 @@ func (in *Injector) Get(node int, id uint64) ([]byte, error) {
 	}
 	if np.CorruptRate > 0 && len(data) > 0 && in.roll(node, id, op, 2) < np.CorruptRate {
 		in.count(func(s *Stats) { s.InjectedCorruptions++ })
+		in.mCorruptions.Inc()
 		cp := append([]byte(nil), data...)
 		bit := in.roll(node, id, op, 3)
 		i := int(bit * float64(len(cp)))

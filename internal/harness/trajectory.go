@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"time"
+
+	"ping/internal/ping"
+)
+
+// BenchStep is one PQA slice step of one benchmark query, in the
+// machine-readable BENCH_<dataset>.json format.
+type BenchStep struct {
+	Step         int     `json:"step"`
+	MaxLevel     int     `json:"max_level"`
+	NewSubParts  int     `json:"new_subparts"`
+	RowsLoaded   int64   `json:"rows_loaded_cum"`
+	Answers      int     `json:"answers"`
+	NewAnswers   int     `json:"new_answers"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+	ElapsedCumMs float64 `json:"elapsed_cum_ms"`
+	// Coverage is |answers after this step| / |final answers| — the
+	// paper's progressiveness metric (1 when the final answer is empty).
+	Coverage float64 `json:"coverage"`
+	Degraded bool    `json:"degraded,omitempty"`
+}
+
+// BenchQuery is the full progressive trajectory of one workload query:
+// the per-step latency/coverage curve plus the one-shot exact-answer
+// time it is compared against.
+type BenchQuery struct {
+	Shape        string      `json:"shape"`
+	Query        string      `json:"query"`
+	Steps        []BenchStep `json:"steps"`
+	FinalAnswers int         `json:"final_answers"`
+	PQATotalMs   float64     `json:"pqa_total_ms"`
+	// EQAMs is the exact-answer (one shot, Algorithm 3) wall-clock time.
+	EQAMs float64 `json:"eqa_ms"`
+	// FirstAnswerMs is the elapsed time of the first step that produced
+	// any answer (0 when no step did).
+	FirstAnswerMs float64 `json:"first_answer_ms,omitempty"`
+}
+
+// BenchReport is the machine-readable result of one dataset's workload —
+// what pingbench -json-out writes as BENCH_<dataset>.json.
+type BenchReport struct {
+	Dataset string       `json:"dataset"`
+	Triples int          `json:"triples"`
+	Levels  int          `json:"levels"`
+	Workers int          `json:"workers"`
+	Scale   float64      `json:"scale"`
+	Seed    int64        `json:"seed"`
+	Queries []BenchQuery `json:"queries"`
+}
+
+// BenchJSON runs the standard workload of one dataset progressively and
+// exactly, recording per-query trajectories.
+func (s *Suite) BenchJSON(name string) (*BenchReport, error) {
+	b, err := s.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	proc := s.Processor(b, ping.Options{})
+	rep := &BenchReport{
+		Dataset: name,
+		Triples: b.Data.Graph.Len(),
+		Levels:  b.Layout.NumLevels,
+		Workers: s.Workers,
+		Scale:   b.Spec.Scale * s.Scale,
+		Seed:    s.Seed,
+	}
+	for _, lq := range s.Workload(b).All() {
+		bq := BenchQuery{Shape: lq.Shape, Query: lq.Query.String()}
+
+		res, err := proc.PQACtx(context.Background(), lq.Query)
+		if err != nil {
+			return nil, err
+		}
+		for i, st := range res.Steps {
+			bq.Steps = append(bq.Steps, BenchStep{
+				Step:         st.Step,
+				MaxLevel:     st.MaxLevel,
+				NewSubParts:  len(st.NewSubParts),
+				RowsLoaded:   st.RowsLoadedCum,
+				Answers:      st.Answers.Card(),
+				NewAnswers:   st.NewAnswers,
+				ElapsedMs:    ms(st.Elapsed),
+				ElapsedCumMs: ms(st.ElapsedCum),
+				Coverage:     res.Coverage(i),
+				Degraded:     st.Degraded,
+			})
+			if bq.FirstAnswerMs == 0 && st.Answers.Card() > 0 {
+				bq.FirstAnswerMs = ms(st.ElapsedCum)
+			}
+		}
+		bq.FinalAnswers = res.Final.Card()
+		if n := len(res.Steps); n > 0 {
+			bq.PQATotalMs = ms(res.Steps[n-1].ElapsedCum)
+		}
+
+		t0 := time.Now()
+		if _, err := proc.EQAFull(context.Background(), lq.Query); err != nil {
+			return nil, err
+		}
+		bq.EQAMs = ms(time.Since(t0))
+
+		rep.Queries = append(rep.Queries, bq)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented, to w.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotBucket is one histogram bucket in a snapshot (non-cumulative).
+type SnapshotBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON renders the +Inf bound as the string "+Inf" (JSON numbers
+// cannot express infinity).
+func (b SnapshotBucket) MarshalJSON() ([]byte, error) {
+	le := any(b.LE)
+	if math.IsInf(b.LE, 1) {
+		le = "+Inf"
+	}
+	return json.Marshal(struct {
+		LE    any   `json:"le"`
+		Count int64 `json:"count"`
+	}{le, b.Count})
+}
+
+// UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
+func (b *SnapshotBucket) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if string(raw.LE) == `"+Inf"` {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}
+
+// SnapshotMetric is one series frozen at snapshot time.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries counter (integral) and gauge values.
+	Value float64 `json:"value,omitempty"`
+	// Count/Sum/Buckets carry histogram state.
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []SnapshotBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot freezes every series of the registry, sorted by name then
+// label signature, so exports are deterministic.
+func (r *Registry) Snapshot() []SnapshotMetric {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type frozenSeries struct {
+		fam *family
+		sig string
+		s   *series
+	}
+	var frozen []frozenSeries
+	for _, n := range names {
+		f := r.families[n]
+		sigs := append([]string(nil), f.order...)
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			frozen = append(frozen, frozenSeries{fam: f, sig: sig, s: f.series[sig]})
+		}
+	}
+	r.mu.Unlock()
+
+	out := make([]SnapshotMetric, 0, len(frozen))
+	for _, fr := range frozen {
+		m := SnapshotMetric{Name: fr.fam.name, Type: fr.fam.typ, Labels: parseLabels(fr.sig)}
+		switch {
+		case fr.s.counter != nil:
+			m.Value = float64(fr.s.counter.Value())
+		case fr.s.gauge != nil:
+			m.Value = fr.s.gauge.Value()
+		case fr.s.hist != nil:
+			h := fr.s.hist
+			m.Count = h.Count()
+			m.Sum = h.Sum()
+			counts := h.BucketCounts()
+			for i, b := range h.bounds {
+				m.Buckets = append(m.Buckets, SnapshotBucket{LE: b, Count: counts[i]})
+			}
+			m.Buckets = append(m.Buckets, SnapshotBucket{LE: math.Inf(1), Count: counts[len(counts)-1]})
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// parseLabels recovers the label map from a canonical signature. It only
+// needs to undo renderLabels' escaping.
+func parseLabels(sig string) map[string]string {
+	if sig == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	body := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	for len(body) > 0 {
+		eq := strings.Index(body, `="`)
+		if eq < 0 {
+			break
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[key] = val.String()
+		body = strings.TrimPrefix(rest[i:], `"`)
+		body = strings.TrimPrefix(body, ",")
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE comments per family, one line
+// per series, histogram buckets cumulative with the `le` label.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	sigsByFam := make([][]string, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+		s := append([]string(nil), fams[i].order...)
+		sort.Strings(s)
+		sigsByFam[i] = s
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.typ == "" {
+			continue // described but never populated
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, sig := range sigsByFam[i] {
+			r.mu.Lock()
+			s := f.series[sig]
+			r.mu.Unlock()
+			switch {
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, sig, s.counter.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, sig, formatFloat(s.gauge.Value()))
+			case s.hist != nil:
+				writePromHistogram(&b, f.name, sig, s.hist)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series: cumulative _bucket
+// lines with le labels, then _sum and _count.
+func writePromHistogram(b *strings.Builder, name, sig string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(sig, formatFloat(bound)), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(sig, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, sig, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, sig, h.Count())
+}
+
+// mergeLE appends the le label to an existing label signature.
+func mergeLE(sig, le string) string {
+	if sig == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(sig, "}") + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as a JSON document: {"metrics": [...]}.
+// This also backs the /debug/vars endpoint.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []SnapshotMetric `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Handler returns the introspection mux for a registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/vars    the same snapshot as JSON
+//	/debug/pprof/  the net/http/pprof handlers
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve mounts Handler(r) on addr (":0" picks a free port) and serves it
+// on a background goroutine. It returns the server (for Shutdown/Close)
+// and the bound address.
+func Serve(addr string, r *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}
+
+// statusWriter captures the response status for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Instrument wraps next with per-route request counting and latency
+// histograms recorded into reg:
+//
+//	http_requests_total{route,code}
+//	http_request_seconds{route}  (histogram, TimeBuckets)
+//
+// When logf is non-nil every request is also logged with method, path,
+// status, and latency — the request log of the CLI servers.
+func Instrument(reg *Registry, route string, logf func(format string, args ...any), next http.Handler) http.Handler {
+	lat := reg.Histogram("http_request_seconds", TimeBuckets, Labels{"route": route})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		lat.Observe(elapsed.Seconds())
+		reg.Counter("http_requests_total", Labels{
+			"route": route,
+			"code":  strconv.Itoa(sw.status),
+		}).Inc()
+		if logf != nil {
+			logf("%s %s -> %d (%v)", r.Method, r.URL.RequestURI(), sw.status, elapsed)
+		}
+	})
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", nil).Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+
+	code, body, _ = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars code = %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+
+	code, _, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ code = %d", code)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", nil).Add(2)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "x_total 2") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	r := NewRegistry()
+	var logged []string
+	h := Instrument(r, "/frag", func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("bad") != "" {
+			http.Error(w, "nope", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if _, err := http.Get(srv.URL + "/"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(srv.URL + "/?bad=1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.Counter("http_requests_total", Labels{"route": "/frag", "code": "200"}).Value(); got != 1 {
+		t.Fatalf("200 counter = %d, want 1", got)
+	}
+	if got := r.Counter("http_requests_total", Labels{"route": "/frag", "code": "400"}).Value(); got != 1 {
+		t.Fatalf("400 counter = %d, want 1", got)
+	}
+	if got := r.Histogram("http_request_seconds", TimeBuckets, Labels{"route": "/frag"}).Count(); got != 2 {
+		t.Fatalf("latency observations = %d, want 2", got)
+	}
+	if len(logged) != 2 || !strings.Contains(logged[1], "-> 400") {
+		t.Fatalf("request log wrong: %v", logged)
+	}
+}

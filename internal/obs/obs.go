@@ -1,0 +1,283 @@
+// Package obs is the observability substrate of the PING stack: a
+// concurrent metrics registry (counters, gauges, histograms with fixed
+// log-scale buckets), span-based query tracing propagated through
+// context.Context, and an HTTP introspection surface (/metrics in
+// Prometheus text exposition format, /debug/vars as JSON, and the
+// net/http/pprof handlers).
+//
+// The package is stdlib-only and dependency-free within the repo so every
+// layer — dfs block reads, dataflow stages, engine joins, ping slice
+// steps, the CLI servers — can record into it without import cycles.
+// Metric handles are resolved once and updated with atomic operations, so
+// recording on hot paths costs one atomic add.
+//
+// The process-wide Default registry is what the layers record into unless
+// a caller supplies its own; cmd binaries expose Default over HTTP via
+// the -metrics-addr flag.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Library layers record into it
+// when no explicit registry is configured.
+var Default = NewRegistry()
+
+// Labels attach dimension values to a metric series (e.g. node="2").
+// A metric name plus its sorted label pairs identify one series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the series to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d with a CAS loop.
+func (g *Gauge) Add(d float64) { addFloat(&g.bits, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets with the Prometheus
+// `le` (less-or-equal) semantics: bucket i counts observations v with
+// bounds[i-1] < v <= bounds[i]; one extra implicit +Inf bucket catches
+// the rest. Bounds are fixed at creation (log-scale via LogBuckets for
+// latencies and row counts), so observation is lock-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // smallest i with bounds[i] >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		upd := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, upd) {
+			return
+		}
+	}
+}
+
+// LogBuckets returns n exponentially spaced upper bounds starting at min
+// and multiplying by factor — the fixed log-scale bucket layout used for
+// every histogram in the stack.
+func LogBuckets(min, factor float64, n int) []float64 {
+	if min <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: LogBuckets requires min > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	b := min
+	for i := 0; i < n; i++ {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// TimeBuckets spans 1µs to ~8.4s doubling per bucket — the latency layout
+// shared by step, query, join, and HTTP histograms.
+var TimeBuckets = LogBuckets(1e-6, 2, 24)
+
+// RowBuckets spans 1 to ~1G rows, quadrupling per bucket.
+var RowBuckets = LogBuckets(1, 4, 16)
+
+// series is one (name, labels) stream of a family.
+type series struct {
+	labels  string // canonical rendered label string, "" when unlabelled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	typ    string // "counter", "gauge", "histogram"
+	help   string
+	series map[string]*series
+	order  []string // label signatures in registration order
+}
+
+// Registry holds metric families. All methods are safe for concurrent
+// use; the returned metric handles are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Describe attaches HELP text to a metric family (exported as the
+// Prometheus # HELP comment). Safe to call before or after the family's
+// first series is created.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	f.help = help
+}
+
+// getSeries returns (creating on first use) the series for name+labels,
+// checking the family type.
+func (r *Registry) getSeries(name, typ string, labels Labels) *series {
+	sig := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ == "" {
+		f.typ = typ
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// Counter returns (creating on first use) the counter series for
+// name+labels. Panics if name is already registered with another type.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	s := r.getSeries(name, "counter", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns (creating on first use) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	s := r.getSeries(name, "gauge", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns (creating on first use) the histogram series for
+// name+labels with the given bucket bounds (nil means TimeBuckets). The
+// bounds of an existing series are kept; callers must agree on them.
+func (r *Registry) Histogram(name string, bounds []float64, labels Labels) *Histogram {
+	s := r.getSeries(name, "histogram", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		if bounds == nil {
+			bounds = TimeBuckets
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+			}
+		}
+		s.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return s.hist
+}
+
+// renderLabels canonicalizes labels into the Prometheus series suffix:
+// {k1="v1",k2="v2"} with keys sorted, or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", nil); again != c {
+		t.Fatalf("second lookup returned a different counter")
+	}
+	g := r.Gauge("queue_depth", Labels{"shard": "a"})
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabelsMakeDistinctSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reads_total", Labels{"node": "0"})
+	b := r.Counter("reads_total", Labels{"node": "1"})
+	if a == b {
+		t.Fatalf("different labels returned same series")
+	}
+	a.Inc()
+	if b.Value() != 0 {
+		t.Fatalf("label series leaked increments")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) semantics:
+// a value exactly on a bound lands in that bound's bucket, values above
+// every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 4, 5} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []int64{2, 2, 1, 1} // le=1: {0.5,1}, le=2: {1.0001,2}, le=4: {4}, +Inf: {5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-13.5001) > 1e-9 {
+		t.Fatalf("sum = %v, want 13.5001", h.Sum())
+	}
+
+	// Prometheus rendering must be cumulative.
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2"} 4`,
+		`lat_bucket{le="4"} 5`,
+		`lat_bucket{le="+Inf"} 6`,
+		`lat_count 6`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("prometheus output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("LogBuckets(0, 2, 3) did not panic")
+		}
+	}()
+	LogBuckets(0, 2, 3)
+}
+
+// promLine matches one sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="(\\.|[^"\\])*"(,[a-zA-Z0-9_]+="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func TestPrometheusFormatValid(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("reads_total", "block reads per node")
+	r.Counter("reads_total", Labels{"node": "0"}).Add(3)
+	r.Counter("reads_total", Labels{"node": "1"}).Add(7)
+	r.Gauge("temp", nil).Set(36.6)
+	r.Histogram("lat_seconds", TimeBuckets, nil).Observe(0.002)
+	r.Counter("weird_total", Labels{"q": `a"b\c` + "\nd"}).Inc()
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP reads_total block reads per node") {
+		t.Fatalf("missing HELP line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Fatalf("missing histogram TYPE line:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", Labels{"k": "v"}).Add(2)
+	r.Histogram("h", []float64{1, 2}, nil).Observe(1.5)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []SnapshotMetric `json:"metrics"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Fatalf("got %d metrics, want 2", len(doc.Metrics))
+	}
+	if doc.Metrics[0].Name != "c_total" || doc.Metrics[0].Value != 2 || doc.Metrics[0].Labels["k"] != "v" {
+		t.Fatalf("bad counter snapshot: %+v", doc.Metrics[0])
+	}
+	h := doc.Metrics[1]
+	if h.Count != 1 || len(h.Buckets) != 3 || h.Buckets[1].Count != 1 {
+		t.Fatalf("bad histogram snapshot: %+v", h)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", nil)
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("ops_total", Labels{"w": string(rune('a' + w%4))}).Inc()
+				r.Histogram("lat", TimeBuckets, nil).Observe(float64(i) * 1e-6)
+				r.Gauge("g", nil).Add(1)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					var b bytes.Buffer
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, m := range r.Snapshot() {
+		if m.Name == "ops_total" {
+			total += int64(m.Value)
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("ops_total sum = %d, want %d", total, 8*500)
+	}
+	if got := r.Histogram("lat", TimeBuckets, nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}

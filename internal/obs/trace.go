@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one timed operation in a trace tree. Spans are created with
+// NewTrace (root) or StartSpan (child of the span carried by the
+// context); attributes and children may be added concurrently. A nil
+// *Span is a valid no-op receiver, so instrumented layers call span
+// methods unconditionally — tracing costs nothing when no trace is
+// attached to the context.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []spanAttr
+	children []*Span
+}
+
+type spanAttr struct {
+	key string
+	val any
+}
+
+type spanCtxKey struct{}
+
+// NewTrace starts a root span and returns a context carrying it. The
+// caller must End the span and can then serialize the tree with
+// WriteJSON.
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartSpan starts a child of the context's span. When the context
+// carries no trace it returns the context unchanged and a nil span (all
+// of whose methods are no-ops).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// StartChild starts a child span directly under s, for layers that pass
+// spans explicitly instead of through a context. Nil-safe: a nil
+// receiver yields a nil (no-op) child.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// SetAttr records a key/value attribute. Repeated keys overwrite the
+// previous value, keeping the original position.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, spanAttr{key: key, val: val})
+}
+
+// Attr returns the value recorded for key, or nil.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.key == key {
+			return a.val
+		}
+	}
+	return nil
+}
+
+// End stamps the span's end time; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" for nil spans).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns end-start, or time-since-start for unfinished spans.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Children returns a snapshot of the child spans in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first descendant (depth-first, including s) with the
+// given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders the span tree. Attribute order is preserved.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	s.mu.Lock()
+	name := s.name
+	start := s.start
+	dur := s.end.Sub(s.start)
+	if s.end.IsZero() {
+		dur = time.Since(s.start)
+	}
+	attrs := append([]spanAttr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	var b bytes.Buffer
+	b.WriteByte('{')
+	writeJSONField(&b, "name", name)
+	b.WriteByte(',')
+	writeJSONField(&b, "start", start.Format(time.RFC3339Nano))
+	b.WriteByte(',')
+	writeJSONField(&b, "duration_ms", float64(dur.Microseconds())/1000)
+	if len(attrs) > 0 {
+		b.WriteString(`,"attrs":{`)
+		for i, a := range attrs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeJSONField(&b, a.key, a.val)
+		}
+		b.WriteByte('}')
+	}
+	if len(children) > 0 {
+		b.WriteString(`,"children":[`)
+		for i, c := range children {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			cb, err := c.MarshalJSON()
+			if err != nil {
+				return nil, err
+			}
+			b.Write(cb)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// writeJSONField writes "key":<json of val> into b.
+func writeJSONField(b *bytes.Buffer, key string, val any) {
+	kb, _ := json.Marshal(key)
+	b.Write(kb)
+	b.WriteByte(':')
+	vb, err := json.Marshal(val)
+	if err != nil {
+		vb, _ = json.Marshal(err.Error())
+	}
+	b.Write(vb)
+}
+
+// WriteJSON serializes the span tree, indented, to w — the -trace-out
+// dump format of the CLI tools.
+func (s *Span) WriteJSON(w io.Writer) error {
+	raw, err := s.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	var indented bytes.Buffer
+	if err := json.Indent(&indented, raw, "", "  "); err != nil {
+		return err
+	}
+	indented.WriteByte('\n')
+	_, err = w.Write(indented.Bytes())
+	return err
+}

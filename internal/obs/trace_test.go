@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilSpanIsNoop(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", 1)
+	s.End()
+	if s.Name() != "" || s.Attr("k") != nil || s.Duration() != 0 || s.Children() != nil || s.Find("x") != nil {
+		t.Fatalf("nil span methods are not no-ops")
+	}
+	ctx, child := StartSpan(context.Background(), "orphan")
+	if child != nil {
+		t.Fatalf("StartSpan without a trace returned a live span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatalf("context without trace carries a span")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "query")
+	ctx2, step := StartSpan(ctx, "step")
+	_, read := StartSpan(ctx2, "read")
+	read.SetAttr("path", "levels/L01/p3.pcol")
+	read.End()
+	step.SetAttr("rows", 42)
+	step.SetAttr("rows", 43) // overwrite keeps one entry
+	step.End()
+	root.End()
+
+	if got := len(root.Children()); got != 1 {
+		t.Fatalf("root has %d children, want 1", got)
+	}
+	if got := root.Children()[0].Name(); got != "step" {
+		t.Fatalf("child name = %q, want step", got)
+	}
+	if root.Find("read") == nil {
+		t.Fatalf("Find did not reach grandchild")
+	}
+	if got := step.Attr("rows"); got != 43 {
+		t.Fatalf("attr rows = %v, want 43", got)
+	}
+	if root.Duration() <= 0 {
+		t.Fatalf("ended root has non-positive duration")
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "q")
+	_, c := StartSpan(ctx, "slice")
+	c.SetAttr("step", 1)
+	c.SetAttr("coverage", 0.5)
+	c.End()
+	root.End()
+
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Name       string  `json:"name"`
+		Start      string  `json:"start"`
+		DurationMS float64 `json:"duration_ms"`
+		Children   []struct {
+			Name  string `json:"name"`
+			Attrs struct {
+				Step     int     `json:"step"`
+				Coverage float64 `json:"coverage"`
+			} `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("span JSON does not parse: %v\n%s", err, raw)
+	}
+	if doc.Name != "q" || doc.Start == "" || len(doc.Children) != 1 {
+		t.Fatalf("bad tree: %+v", doc)
+	}
+	if doc.Children[0].Attrs.Step != 1 || doc.Children[0].Attrs.Coverage != 0.5 {
+		t.Fatalf("bad child attrs: %+v", doc.Children[0])
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "child")
+			s.SetAttr("i", i)
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Children()); got != 16 {
+		t.Fatalf("got %d children, want 16", got)
+	}
+	if _, err := json.Marshal(root); err != nil {
+		t.Fatal(err)
+	}
+}

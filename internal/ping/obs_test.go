@@ -1,0 +1,274 @@
+package ping
+
+import (
+	"context"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ping/internal/dfs"
+	"ping/internal/faults"
+	"ping/internal/hpart"
+	"ping/internal/obs"
+	"ping/internal/sparql"
+)
+
+// sliceSpans returns the "slice" children of the run's "pqa" span, in
+// step order.
+func sliceSpans(root *obs.Span) []*obs.Span {
+	pqa := root.Find("pqa")
+	var out []*obs.Span
+	for _, c := range pqa.Children() {
+		if c.Name() == "slice" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TestTraceCoverageMatchesResult is the acceptance check of the tracing
+// layer: every step span's "coverage" attribute must equal
+// Result.Coverage(i) exactly, and the span tree must thread from pqa
+// down to the storage reads.
+func TestTraceCoverageMatchesResult(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := nestedGraph(seed, 60, 5)
+		lay := mustPartition(t, g)
+		proc := NewProcessor(lay, Options{})
+
+		for _, qs := range testQueries {
+			q := sparql.MustParse(qs)
+			ctx, root := obs.NewTrace(context.Background(), "test")
+			res, err := proc.PQACtx(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			root.End()
+
+			spans := sliceSpans(root)
+			if len(spans) != len(res.Steps) {
+				t.Fatalf("%q: %d slice spans, %d result steps", qs, len(spans), len(res.Steps))
+			}
+			for i, sp := range spans {
+				cov, ok := sp.Attr("coverage").(float64)
+				if !ok {
+					t.Fatalf("%q: step %d span has no coverage attribute", qs, i+1)
+				}
+				if want := res.Coverage(i); math.Abs(cov-want) > 1e-12 {
+					t.Errorf("%q: step %d span coverage %v, Result.Coverage %v", qs, i+1, cov, want)
+				}
+				if got := sp.Attr("answers"); got != res.Steps[i].Answers.Card() {
+					t.Errorf("%q: step %d span answers %v, want %d", qs, i+1, got, res.Steps[i].Answers.Card())
+				}
+			}
+			if len(res.Steps) > 0 && root.Find("dfs.read") == nil {
+				t.Errorf("%q: trace has no dfs.read span — storage layer not threaded", qs)
+			}
+		}
+	}
+}
+
+// TestTraceCoverageEarlyStop: when the step callback stops the run early,
+// coverage is still stamped on the delivered steps, relative to the last
+// delivered answer count (which is what Result.Coverage sees too).
+func TestTraceCoverageEarlyStop(t *testing.T) {
+	g := nestedGraph(1, 60, 5)
+	lay := mustPartition(t, g)
+	proc := NewProcessor(lay, Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?y <p1> ?z . ?z <p0> ?w }`)
+
+	ctx, root := obs.NewTrace(context.Background(), "test")
+	var kept []StepResult
+	err := proc.PQAStepsCtx(ctx, q, func(s StepResult) bool {
+		kept = append(kept, s)
+		return len(kept) < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	spans := sliceSpans(root)
+	if len(spans) != len(kept) {
+		t.Fatalf("%d slice spans, %d delivered steps", len(spans), len(kept))
+	}
+	if len(kept) == 0 {
+		t.Skip("query produced no steps on this layout")
+	}
+	final := kept[len(kept)-1].Answers.Card()
+	for i, sp := range spans {
+		cov, ok := sp.Attr("coverage").(float64)
+		if !ok {
+			t.Fatalf("step %d span has no coverage attribute after early stop", i+1)
+		}
+		want := 1.0
+		if final > 0 {
+			want = float64(kept[i].Answers.Card()) / float64(final)
+		}
+		if math.Abs(cov-want) > 1e-12 {
+			t.Errorf("step %d coverage %v, want %v", i+1, cov, want)
+		}
+	}
+}
+
+// TestCoverageEdgeCases pins Result.Coverage on the boundary inputs: a
+// query that is unsafe on every slice (no steps at all) and a fully
+// degraded run whose final answer is empty.
+func TestCoverageEdgeCases(t *testing.T) {
+	g := nestedGraph(2, 40, 4)
+	lay := mustPartition(t, g)
+
+	// Unsafe query: the predicate does not exist, so PQA delivers zero
+	// steps and coverage is vacuously 1.
+	proc := NewProcessor(lay, Options{})
+	res, err := proc.PQA(sparql.MustParse(`SELECT * WHERE { ?x <nosuch> ?y }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 {
+		t.Fatalf("unsafe query delivered %d steps", len(res.Steps))
+	}
+	if got := res.Coverage(0); got != 1 {
+		t.Errorf("zero-step coverage = %v, want 1", got)
+	}
+	if res.Final.Card() != 0 || !res.Exact {
+		t.Errorf("unsafe query: final %d answers, exact %v", res.Final.Card(), res.Exact)
+	}
+
+	// Fully degraded run: every node down, Degrade policy. Steps are
+	// delivered with empty answers and non-empty MissingSubParts; a zero
+	// final cardinality must yield coverage 1 at every step, not NaN.
+	fs := dfs.New(dfs.Config{BlockSize: 256, DataNodes: 2, Replication: 1, MaxRetries: 0, RetryBase: -1})
+	lay2, err := hpart.Partition(g, hpart.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(faults.Plan{Nodes: map[int]faults.NodePlan{
+		0: {Down: true},
+		1: {Down: true},
+	}})
+	in.Attach(fs)
+	proc2 := NewProcessor(lay2, Options{FailurePolicy: Degrade})
+	res2, err := proc2.PQA(sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Steps) == 0 {
+		t.Fatal("degraded run delivered no steps")
+	}
+	if res2.Final.Card() != 0 || res2.Exact {
+		t.Fatalf("fully degraded run: final %d answers, exact %v", res2.Final.Card(), res2.Exact)
+	}
+	for i, step := range res2.Steps {
+		if !step.Degraded || len(step.MissingSubParts) == 0 {
+			t.Errorf("step %d not marked degraded under all-nodes-down", i+1)
+		}
+		if got := res2.Coverage(i); got != 1 {
+			t.Errorf("degraded empty-final coverage(%d) = %v, want 1", i, got)
+		}
+	}
+}
+
+// promLineRE matches one Prometheus text-format sample line.
+var promLineRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (?:[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestChaosMetricsPrometheus runs a fault-heavy query workload against a
+// dedicated registry and checks that the /metrics exposition includes
+// the dfs failover/retry counters the fault plan exercised, in valid
+// Prometheus text format.
+func TestChaosMetricsPrometheus(t *testing.T) {
+	reg := obs.NewRegistry()
+	lay, fs, _ := chaosLayout(t, 7, 2)
+	fs.SetMetrics(reg)
+	// Node 0 fails every read: with replication 2 each block still has a
+	// healthy replica, so queries stay exact but every read that first
+	// lands on node 0 records a failover.
+	in := faults.New(faults.Plan{Nodes: map[int]faults.NodePlan{0: {ReadErrorRate: 1}}})
+	in.Attach(fs)
+
+	proc := NewProcessor(lay, Options{Metrics: reg})
+	for _, qs := range testQueries {
+		if _, err := proc.PQA(sparql.MustParse(qs)); err != nil {
+			t.Fatalf("%q: %v", qs, err)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	for _, name := range []string{
+		"dfs_failovers_total", "dfs_retry_rounds_total",
+		"dfs_node_reads_total", "dfs_node_read_errors_total",
+		"ping_queries_total", "ping_steps_total", "ping_rows_loaded_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+
+	// The plan must actually have produced failovers, and they must be
+	// visible both in Usage and on the registry.
+	u := fs.Usage()
+	if u.NodeReadErrors[0] == 0 {
+		t.Fatal("fault plan injected no node-0 read errors")
+	}
+	var failovers float64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "dfs_failovers_total" {
+			failovers = m.Value
+		}
+	}
+	if failovers == 0 {
+		t.Error("dfs_failovers_total is zero despite node-0 read errors with replication 2")
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// TestProcessorMetricsCount checks the step/degraded counters against a
+// run with a known shape.
+func TestProcessorMetricsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := nestedGraph(3, 50, 5)
+	lay := mustPartition(t, g)
+	proc := NewProcessor(lay, Options{Metrics: reg})
+	res, err := proc.PQA(sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make(map[string]float64)
+	for _, m := range reg.Snapshot() {
+		key := m.Name
+		if mode := m.Labels["mode"]; mode != "" {
+			key += "/" + mode
+		}
+		snap[key] = m.Value
+	}
+	if got := snap["ping_queries_total/pqa"]; got != 1 {
+		t.Errorf("ping_queries_total{mode=pqa} = %v, want 1", got)
+	}
+	if got := snap["ping_steps_total"]; got != float64(len(res.Steps)) {
+		t.Errorf("ping_steps_total = %v, want %d", got, len(res.Steps))
+	}
+	if got := snap["ping_degraded_steps_total"]; got != 0 {
+		t.Errorf("ping_degraded_steps_total = %v, want 0", got)
+	}
+	var rows int64
+	for _, s := range res.Steps {
+		rows += s.RowsLoadedStep
+	}
+	if got := snap["ping_rows_loaded_total"]; got != float64(rows) {
+		t.Errorf("ping_rows_loaded_total = %v, want %d", got, rows)
+	}
+}

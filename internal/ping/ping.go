@@ -31,6 +31,7 @@ import (
 	"ping/internal/dataflow"
 	"ping/internal/engine"
 	"ping/internal/hpart"
+	"ping/internal/obs"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
 )
@@ -117,6 +118,9 @@ type Options struct {
 	// FailurePolicy selects FailFast (zero value) or Degrade handling of
 	// unreadable sub-partitions.
 	FailurePolicy FailurePolicy
+	// Metrics is the registry the processor's counters and latency
+	// histograms are recorded into (nil: obs.Default).
+	Metrics *obs.Registry
 }
 
 // Processor answers queries over one partitioned layout.
@@ -124,6 +128,48 @@ type Processor struct {
 	layout *hpart.Layout
 	opts   Options
 	ctx    *dataflow.Context
+	met    *procMetrics
+}
+
+// procMetrics holds the processor's resolved metric handles. Metric
+// names are documented in DESIGN.md's observability subsection.
+type procMetrics struct {
+	pqaQueries      *obs.Counter
+	eqaQueries      *obs.Counter
+	steps           *obs.Counter
+	degradedSteps   *obs.Counter
+	rowsLoaded      *obs.Counter
+	subparts        *obs.Counter
+	missingSubparts *obs.Counter
+	stepSeconds     *obs.Histogram
+	pqaSeconds      *obs.Histogram
+	eqaSeconds      *obs.Histogram
+}
+
+func newProcMetrics(reg *obs.Registry) *procMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe("ping_queries_total", "query runs by mode (pqa or eqa)")
+	reg.Describe("ping_steps_total", "progressive slice steps executed")
+	reg.Describe("ping_degraded_steps_total", "steps delivered while at least one sub-partition was unreadable")
+	reg.Describe("ping_rows_loaded_total", "vertical-partition rows read from storage")
+	reg.Describe("ping_subparts_loaded_total", "sub-partitions loaded from storage")
+	reg.Describe("ping_missing_subparts_total", "sub-partitions skipped as unreadable under the degrade policy")
+	reg.Describe("ping_step_seconds", "wall-clock duration of one slice step (load + evaluate)")
+	reg.Describe("ping_query_seconds", "wall-clock duration of one query run by mode")
+	return &procMetrics{
+		pqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "pqa"}),
+		eqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "eqa"}),
+		steps:           reg.Counter("ping_steps_total", nil),
+		degradedSteps:   reg.Counter("ping_degraded_steps_total", nil),
+		rowsLoaded:      reg.Counter("ping_rows_loaded_total", nil),
+		subparts:        reg.Counter("ping_subparts_loaded_total", nil),
+		missingSubparts: reg.Counter("ping_missing_subparts_total", nil),
+		stepSeconds:     reg.Histogram("ping_step_seconds", obs.TimeBuckets, nil),
+		pqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "pqa"}),
+		eqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "eqa"}),
+	}
 }
 
 // NewProcessor creates a processor over a layout.
@@ -132,7 +178,7 @@ func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
 	if ctx == nil {
 		ctx = dataflow.NewContext(1)
 	}
-	return &Processor{layout: layout, opts: opts, ctx: ctx}
+	return &Processor{layout: layout, opts: opts, ctx: ctx, met: newProcMetrics(opts.Metrics)}
 }
 
 // Layout returns the underlying layout.
@@ -422,27 +468,69 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 		return err
 	}
 
+	ctx, qspan := obs.StartSpan(ctx, "pqa")
+	defer qspan.End()
+	qspan.SetAttr("strategy", p.opts.Strategy.String())
+	qspan.SetAttr("patterns", len(q.Patterns))
+	qspan.SetAttr("paths", len(q.Paths))
+	qspan.SetAttr("planned_steps", len(steps))
+
 	detach := p.ctx.AttachContext(ctx)
 	defer detach()
 
+	p.met.pqaQueries.Inc()
 	state := newEvalState(p, q, hl, hlPaths)
 	start := time.Now()
+	defer func() { p.met.pqaSeconds.Observe(time.Since(start).Seconds()) }()
+
+	// Step spans collect a "coverage" attribute only once the run is done:
+	// coverage is relative to the final answer count, which the early steps
+	// cannot know yet. The rule mirrors Result.Coverage exactly (final
+	// cardinality zero means coverage 1 everywhere).
+	var (
+		stepSpans   []*obs.Span
+		stepAnswers []int
+	)
+	setCoverage := func() {
+		if len(stepAnswers) == 0 {
+			return
+		}
+		final := stepAnswers[len(stepAnswers)-1]
+		for i, sp := range stepSpans {
+			cov := 1.0
+			if final > 0 {
+				cov = float64(stepAnswers[i]) / float64(final)
+			}
+			sp.SetAttr("coverage", cov)
+		}
+	}
+
 	var cum time.Duration
 	for i, step := range steps {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		sctx, ss := obs.StartSpan(ctx, "slice")
+		sdetach := p.ctx.AttachContext(sctx)
+		state.span = ss
+		prevMissing := len(state.missing)
 		t0 := time.Now()
-		if err := state.load(ctx, step.newKeys); err != nil {
-			return err
+		err := state.load(sctx, step.newKeys)
+		var answers *engine.Relation
+		if err == nil {
+			answers, err = state.evaluate()
 		}
-		answers, err := state.evaluate()
+		state.span = nil
+		sdetach()
 		if err != nil {
+			ss.SetAttr("error", err.Error())
+			ss.End()
 			return err
 		}
 		// A cancellation mid-evaluation leaves partial dataflow output;
 		// discard it rather than deliver an unsound step.
 		if err := ctx.Err(); err != nil {
+			ss.End()
 			return err
 		}
 		el := time.Since(t0)
@@ -460,11 +548,38 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 			Degraded:        len(state.missing) > 0,
 			MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
 		}
+		ss.SetAttr("step", sr.Step)
+		ss.SetAttr("max_level", sr.MaxLevel)
+		ss.SetAttr("new_subparts", len(sr.NewSubParts))
+		ss.SetAttr("rows_loaded_step", sr.RowsLoadedStep)
+		ss.SetAttr("rows_loaded_cum", sr.RowsLoadedCum)
+		ss.SetAttr("answers", answers.Card())
+		ss.SetAttr("new_answers", sr.NewAnswers)
+		ss.SetAttr("degraded", sr.Degraded)
+		if n := len(sr.MissingSubParts); n > 0 {
+			ss.SetAttr("missing_subparts", n)
+		}
+		ss.End()
+		stepSpans = append(stepSpans, ss)
+		stepAnswers = append(stepAnswers, answers.Card())
+
+		missedNow := len(state.missing) - prevMissing
+		p.met.steps.Inc()
+		p.met.rowsLoaded.Add(sr.RowsLoadedStep)
+		p.met.subparts.Add(int64(len(step.newKeys) - missedNow))
+		p.met.missingSubparts.Add(int64(missedNow))
+		if sr.Degraded {
+			p.met.degradedSteps.Inc()
+		}
+		p.met.stepSeconds.Observe(el.Seconds())
+
 		state.prevAnswers = answers.Card()
 		if !fn(sr) {
+			setCoverage()
 			return nil
 		}
 	}
+	setCoverage()
 	return nil
 }
 
@@ -515,10 +630,18 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 		}
 	}
 
+	ctx, espan := obs.StartSpan(ctx, "eqa")
+	defer espan.End()
+
 	detach := p.ctx.AttachContext(ctx)
 	defer detach()
 
+	p.met.eqaQueries.Inc()
+	start := time.Now()
+	defer func() { p.met.eqaSeconds.Observe(time.Since(start).Seconds()) }()
+
 	state := newEvalState(p, q, hl, hlPaths)
+	state.span = espan
 	var all []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)
 	for _, candidates := range append(append([][]hpart.SubPartKey{}, hl...), hlPaths...) {
@@ -530,14 +653,27 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 		}
 	}
 	if err := state.load(ctx, all); err != nil {
+		espan.SetAttr("error", err.Error())
 		return nil, err
 	}
 	answers, err := state.evaluate()
 	if err != nil {
+		espan.SetAttr("error", err.Error())
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	missedNow := len(state.missing)
+	p.met.rowsLoaded.Add(state.rowsLoadedCum)
+	p.met.subparts.Add(int64(len(all) - missedNow))
+	p.met.missingSubparts.Add(int64(missedNow))
+	espan.SetAttr("subparts", len(all))
+	espan.SetAttr("rows_loaded", state.rowsLoadedCum)
+	espan.SetAttr("answers", answers.Card())
+	espan.SetAttr("exact", missedNow == 0)
+	if missedNow > 0 {
+		espan.SetAttr("missing_subparts", missedNow)
 	}
 	stats := state.lastStats
 	stats.InputRows = state.rowsLoadedCum

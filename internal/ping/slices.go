@@ -7,6 +7,7 @@ import (
 
 	"ping/internal/engine"
 	"ping/internal/hpart"
+	"ping/internal/obs"
 	"ping/internal/sparql"
 )
 
@@ -226,6 +227,10 @@ type evalState struct {
 	rowsLoadedCum  int64
 	prevAnswers    int
 	lastStats      *engine.Stats
+
+	// span, when non-nil, is the trace span of the step being evaluated;
+	// the engine nests its per-join child spans under it.
+	span *obs.Span
 }
 
 func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey) *evalState {
@@ -323,6 +328,8 @@ func (st *evalState) evaluate() (*engine.Relation, error) {
 	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.p.layout.Dict, engine.Options{
 		Context:    st.p.ctx,
 		Partitions: st.p.opts.Partitions,
+		Metrics:    st.p.opts.Metrics,
+		Span:       st.span,
 	})
 	if err != nil {
 		return nil, err
