@@ -3,11 +3,11 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json cover
+.PHONY: check build vet fmt test race bench bench-json bench-compare cover
 
-# check is the full gate: build, vet, formatting, and the race-enabled
-# test suite. CI and pre-commit should run `make check`.
-check: build vet fmt race
+# check is the full gate: build, vet, formatting, the race-enabled test
+# suite, and the coverage floor. CI and pre-commit should run `make check`.
+check: build vet fmt race cover
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,31 @@ bench:
 # latencies, coverage curve, exact-answer time) as bench/BENCH_<ds>.json.
 bench-json:
 	$(GO) run ./cmd/pingbench -exp none -json-out bench -datasets uniprot,shop -scale 0.5
+
+# bench-compare benchmarks HEAD against the uncommitted working tree:
+# the dirty changes are stashed, the baseline run recorded, the stash
+# popped, the candidate run recorded, and the per-benchmark deltas
+# printed side by side. Tune the benchmark subset with BENCH (regexp)
+# and repetitions with BENCHTIME.
+BENCH ?= .
+BENCHTIME ?= 3x
+bench-compare:
+	@if git diff --quiet && git diff --cached --quiet; then \
+		echo "working tree is clean — nothing to compare against HEAD"; exit 1; \
+	fi
+	@echo "== baseline (HEAD) =="
+	@git stash push --quiet --include-untracked -- ':!bench-*.txt' && \
+	{ $(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run='^$$' . | tee bench-baseline.txt; \
+	  git stash pop --quiet; }
+	@echo "== candidate (working tree) =="
+	@$(GO) test -bench='$(BENCH)' -benchtime=$(BENCHTIME) -run='^$$' . | tee bench-candidate.txt
+	@echo "== delta (ns/op, candidate vs baseline) =="
+	@awk 'FNR==NR { if ($$1 ~ /^Benchmark/) base[$$1]=$$3; next } \
+	  $$1 ~ /^Benchmark/ { \
+	    if ($$1 in base && base[$$1]+0 > 0) \
+	      printf "%-60s %12.0f -> %12.0f  (%+.1f%%)\n", $$1, base[$$1], $$3, 100*($$3-base[$$1])/base[$$1]; \
+	    else printf "%-60s %25s %12.0f  (new)\n", $$1, "", $$3 }' \
+	  bench-baseline.txt bench-candidate.txt
 
 # cover enforces a minimum statement coverage on the observability layer
 # (the rest of the suite is gated by correctness properties, not lines).

@@ -163,6 +163,76 @@ func BenchmarkAblationProductSlices(b *testing.B) {
 	benchPQA(b, ping.Options{Strategy: ping.ProductOrder})
 }
 
+// BenchmarkPQAIncremental pairs the semi-naive PQA step loop against the
+// from-scratch ablation on the same workload: "on" folds only each
+// step's newly loaded sub-partitions into the cached previous answers,
+// "off" re-joins the full accumulated slice at every step. The ratio of
+// the two is the incremental speedup on cumulative PQA cost.
+func BenchmarkPQAIncremental(b *testing.B) {
+	// A deep nested-CS graph: subject s picks a depth d and gets
+	// properties p0..p(d-1), so the hierarchy has `depth` levels and a
+	// query over p0/p1 walks one PQA step per level. That is the regime
+	// the semi-naive rewrite targets: the scratch path re-joins the whole
+	// accumulated slice at each of the many steps, the incremental path
+	// only each step's delta.
+	deepGraph := func(seed int64, subjects, depth int) *rdf.Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := rdf.NewGraph()
+		props := make([]rdf.Term, depth)
+		for i := range props {
+			props[i] = rdf.NewIRI(fmt.Sprintf("http://bench.example.org/p%d", i))
+		}
+		for s := 0; s < subjects; s++ {
+			subj := rdf.NewIRI(fmt.Sprintf("http://bench.example.org/s%d", s))
+			d := 1 + rng.Intn(depth)
+			for j := 0; j < d; j++ {
+				// Objects come from a smaller pool so the p0/p1 join has
+				// real fan-out and the per-step answer relations grow.
+				obj := rdf.NewIRI(fmt.Sprintf("http://bench.example.org/s%d", rng.Intn(subjects/3)))
+				g.Add(subj, props[j], obj)
+			}
+		}
+		g.Dedup()
+		return g
+	}
+	fixture := func(b *testing.B) (*hpart.Layout, *sparql.Query) {
+		b.Helper()
+		lay, err := hpart.Partition(deepGraph(7, 6000, 16), hpart.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		q := sparql.MustParse(`SELECT * WHERE {
+			?x <http://bench.example.org/p0> ?y .
+			?y <http://bench.example.org/p1> ?z .
+		}`)
+		return lay, q
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run("incremental="+mode.name, func(b *testing.B) {
+			lay, q := fixture(b)
+			proc := ping.NewProcessor(lay, ping.Options{DisableIncremental: mode.disable})
+			// One warm-up run so both modes measure evaluation with a
+			// warm sub-partition cache (load cost is mode-independent).
+			if _, err := proc.PQA(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := proc.PQA(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Final.Card() == 0 {
+					b.Fatal("empty final answer")
+				}
+			}
+		})
+	}
+}
+
 // --- micro benchmarks on the substrates ---
 
 func BenchmarkPartitioner(b *testing.B) {

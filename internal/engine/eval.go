@@ -167,6 +167,10 @@ func join(ctx *dataflow.Context, left, right *Relation, opts Options) *Relation 
 		lIdx[i] = left.varIndex(v)
 		rIdx[i] = right.varIndex(v)
 	}
+	// Keys over one or two 32-bit IDs pack exactly into a uint64; wider
+	// keys are FNV-1a hashes, so every probe match must be verified
+	// against the actual key columns to filter hash collisions.
+	verify := len(shared) > 2
 
 	// Broadcast hash join when one side is small enough: the big side is
 	// never shuffled.
@@ -180,14 +184,14 @@ func join(ctx *dataflow.Context, left, right *Relation, opts Options) *Relation 
 			smallIsRight = false
 		}
 		if small.Card() <= threshold && small.Card()*4 <= big.Card() {
-			smallRows := make([]dataflow.Pair[string, []rdf.ID], len(small.Rows))
+			smallRows := make([]dataflow.Pair[uint64, []rdf.ID], len(small.Rows))
 			for i, row := range small.Rows {
-				smallRows[i] = dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, smallIdx), Value: row}
+				smallRows[i] = dataflow.Pair[uint64, []rdf.ID]{Key: joinKey(row, smallIdx), Value: row}
 			}
 			bigKeyed := dataflow.Map(
 				dataflow.Parallelize(ctx, big.Rows, parts),
-				func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
-					return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, bigIdx), Value: row}
+				func(row []rdf.ID) dataflow.Pair[uint64, []rdf.ID] {
+					return dataflow.Pair[uint64, []rdf.ID]{Key: joinKey(row, bigIdx), Value: row}
 				})
 			joined := dataflow.BroadcastJoin(bigKeyed, smallRows)
 			out := &Relation{Vars: outVars}
@@ -195,6 +199,9 @@ func join(ctx *dataflow.Context, left, right *Relation, opts Options) *Relation 
 				lr, rr := pr.Value.Left, pr.Value.Right
 				if !smallIsRight {
 					lr, rr = rr, lr
+				}
+				if verify && !rowsMatch(lr, lIdx, rr, rIdx) {
+					continue
 				}
 				row := make([]rdf.ID, 0, len(outVars))
 				row = append(row, lr...)
@@ -209,18 +216,21 @@ func join(ctx *dataflow.Context, left, right *Relation, opts Options) *Relation 
 
 	lKeyed := dataflow.Map(
 		dataflow.Parallelize(ctx, left.Rows, parts),
-		func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
-			return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, lIdx), Value: row}
+		func(row []rdf.ID) dataflow.Pair[uint64, []rdf.ID] {
+			return dataflow.Pair[uint64, []rdf.ID]{Key: joinKey(row, lIdx), Value: row}
 		})
 	rKeyed := dataflow.Map(
 		dataflow.Parallelize(ctx, right.Rows, parts),
-		func(row []rdf.ID) dataflow.Pair[string, []rdf.ID] {
-			return dataflow.Pair[string, []rdf.ID]{Key: keyOf(row, rIdx), Value: row}
+		func(row []rdf.ID) dataflow.Pair[uint64, []rdf.ID] {
+			return dataflow.Pair[uint64, []rdf.ID]{Key: joinKey(row, rIdx), Value: row}
 		})
-	joined := dataflow.JoinByKey(lKeyed, rKeyed, parts, hashString)
+	joined := dataflow.JoinByKey(lKeyed, rKeyed, parts, func(k uint64) uint64 { return k })
 	out := &Relation{Vars: outVars}
 	for _, pr := range joined.Collect() {
 		lr, rr := pr.Value.Left, pr.Value.Right
+		if verify && !rowsMatch(lr, lIdx, rr, rIdx) {
+			continue
+		}
 		row := make([]rdf.ID, 0, len(outVars))
 		row = append(row, lr...)
 		for _, i := range rightExtra {

@@ -10,9 +10,7 @@
 package engine
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"strings"
 
@@ -76,12 +74,10 @@ func (r *Relation) Project(vars []string) (*Relation, error) {
 // Distinct returns the relation with duplicate rows removed, preserving
 // first-occurrence order.
 func (r *Relation) Distinct() *Relation {
-	seen := make(map[string]struct{}, len(r.Rows))
+	seen := newRowSet(len(r.Rows))
 	out := &Relation{Vars: r.Vars, Rows: make([][]rdf.ID, 0, len(r.Rows))}
 	for _, row := range r.Rows {
-		k := rowKey(row)
-		if _, dup := seen[k]; !dup {
-			seen[k] = struct{}{}
+		if seen.add(row) {
 			out.Rows = append(out.Rows, row)
 		}
 	}
@@ -96,29 +92,116 @@ func (r *Relation) Limit(n int) *Relation {
 	return &Relation{Vars: r.Vars, Rows: r.Rows[:n]}
 }
 
-// rowKey encodes a row as an exact string key (4 bytes per column).
-func rowKey(row []rdf.ID) string {
-	buf := make([]byte, 4*len(row))
-	for i, v := range row {
-		binary.LittleEndian.PutUint32(buf[i*4:], v)
+// FNV-1a parameters. Row hashing inlines the FNV-1a loop (folding each
+// 32-bit ID in little-endian byte order) instead of going through
+// hash/fnv, which would allocate a hasher and a []byte conversion per
+// row on the join and distinct hot paths.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashRow hashes every column of a row, allocation-free.
+func hashRow(row []rdf.ID) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range row {
+		h = (h ^ uint64(v&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>24)) * fnvPrime64
 	}
-	return string(buf)
+	return h
 }
 
-// keyOf builds the join key for the given column indexes.
-func keyOf(row []rdf.ID, idx []int) string {
-	buf := make([]byte, 4*len(idx))
-	for i, k := range idx {
-		binary.LittleEndian.PutUint32(buf[i*4:], row[k])
+// hashRowCols hashes the selected columns of a row, allocation-free.
+func hashRowCols(row []rdf.ID, idx []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, k := range idx {
+		v := row[k]
+		h = (h ^ uint64(v&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>8)&0xff)) * fnvPrime64
+		h = (h ^ uint64((v>>16)&0xff)) * fnvPrime64
+		h = (h ^ uint64(v>>24)) * fnvPrime64
 	}
-	return string(buf)
+	return h
 }
 
-func hashString(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
+// joinKey builds the uint64 join key over the given columns. Up to two
+// 32-bit IDs pack exactly (no collisions possible); wider keys fall back
+// to FNV-1a, and the join must then verify key-column equality on every
+// probe (rowsMatch) to stay exact.
+func joinKey(row []rdf.ID, idx []int) uint64 {
+	switch len(idx) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(row[idx[0]])
+	case 2:
+		return uint64(row[idx[0]])<<32 | uint64(row[idx[1]])
+	default:
+		return hashRowCols(row, idx)
+	}
 }
+
+// rowsMatch reports whether two rows agree on the paired columns.
+func rowsMatch(a []rdf.ID, aIdx []int, b []rdf.ID, bIdx []int) bool {
+	for i := range aIdx {
+		if a[aIdx[i]] != b[bIdx[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsEqual reports whether two rows are identical.
+func rowsEqual(a, b []rdf.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowSet is a set of rows keyed by their FNV-1a hash, with full-row
+// equality on collision, so membership is exact while keys stay
+// allocation-free uint64s.
+type rowSet struct {
+	buckets map[uint64][][]rdf.ID
+	size    int
+}
+
+func newRowSet(capacity int) *rowSet {
+	return &rowSet{buckets: make(map[uint64][][]rdf.ID, capacity)}
+}
+
+// add inserts the row and reports whether it was absent before.
+func (s *rowSet) add(row []rdf.ID) bool {
+	h := hashRow(row)
+	for _, have := range s.buckets[h] {
+		if rowsEqual(have, row) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], row)
+	s.size++
+	return true
+}
+
+// has reports membership without inserting.
+func (s *rowSet) has(row []rdf.ID) bool {
+	for _, have := range s.buckets[hashRow(row)] {
+		if rowsEqual(have, row) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *rowSet) len() int { return s.size }
 
 // Sorted returns the rows sorted lexicographically; used by tests to
 // compare result sets deterministically.

@@ -444,6 +444,7 @@ func (s *Suite) Ablation() (*Report, error) {
 		opts ping.Options
 	}{
 		{"baseline", ping.Options{}},
+		{"incremental off (scratch re-eval)", ping.Options{DisableIncremental: true}},
 		{"no sub-partition pruning", ping.Options{DisableSubPartPruning: true}},
 		{"no SI/OI index pruning", ping.Options{DisableIndexPruning: true}},
 		{"largest level first", ping.Options{Strategy: ping.LargestFirst}},

@@ -1,0 +1,146 @@
+package hpart
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// DefaultSubPartCacheSize is the sub-partition cache capacity installed
+// by query processors that do not choose one.
+const DefaultSubPartCacheSize = 64
+
+// subPartCache is a concurrency-safe LRU of decoded sub-partitions.
+// Repeated queries over the same layout skip the dfs read and the
+// columnar decode for cached entries; the maintainer invalidates an
+// entry whenever it rewrites the backing file, so cached rows are always
+// the current file contents. Cached slices are shared between callers
+// and must be treated as immutable.
+type subPartCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[SubPartKey]*list.Element
+}
+
+type cacheEntry struct {
+	key   SubPartKey
+	pairs []Pair
+}
+
+func newSubPartCache(capacity int) *subPartCache {
+	return &subPartCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[SubPartKey]*list.Element, capacity),
+	}
+}
+
+func (c *subPartCache) get(key SubPartKey) ([]Pair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).pairs, true
+}
+
+func (c *subPartCache) put(key SubPartKey, pairs []Pair) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).pairs = pairs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, pairs: pairs})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *subPartCache) invalidate(key SubPartKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *subPartCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// EnableSubPartCache installs a decoded-sub-partition LRU of the given
+// capacity if the layout does not already have one (capacity <= 0 uses
+// DefaultSubPartCacheSize). It is safe to call from several processors
+// sharing the layout; the first capacity wins.
+func (l *Layout) EnableSubPartCache(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultSubPartCacheSize
+	}
+	l.cacheMu.Lock()
+	if l.cache == nil {
+		l.cache = newSubPartCache(capacity)
+	}
+	l.cacheMu.Unlock()
+}
+
+// DisableSubPartCache drops the cache (and all cached entries).
+func (l *Layout) DisableSubPartCache() {
+	l.cacheMu.Lock()
+	l.cache = nil
+	l.cacheMu.Unlock()
+}
+
+// SubPartCacheLen reports the number of cached sub-partitions.
+func (l *Layout) SubPartCacheLen() int {
+	if c := l.subPartCache(); c != nil {
+		return c.len()
+	}
+	return 0
+}
+
+func (l *Layout) subPartCache() *subPartCache {
+	l.cacheMu.Lock()
+	c := l.cache
+	l.cacheMu.Unlock()
+	return c
+}
+
+// invalidateSubPart evicts a cached sub-partition after its file is
+// rewritten or removed.
+func (l *Layout) invalidateSubPart(key SubPartKey) {
+	if c := l.subPartCache(); c != nil {
+		c.invalidate(key)
+	}
+}
+
+// ReadSubPartitionCached is ReadSubPartitionCtx through the layout's LRU
+// cache: a hit returns the decoded rows without touching storage (the
+// returned slice is shared — callers must not mutate it). Without an
+// installed cache it degrades to a plain read with hit=false. Failed
+// reads are never cached.
+func (l *Layout) ReadSubPartitionCached(ctx context.Context, key SubPartKey) (pairs []Pair, hit bool, err error) {
+	c := l.subPartCache()
+	if c != nil {
+		if pairs, ok := c.get(key); ok {
+			return pairs, true, nil
+		}
+	}
+	pairs, err = l.ReadSubPartitionCtx(ctx, key)
+	if err != nil {
+		return nil, false, err
+	}
+	if c != nil {
+		c.put(key, pairs)
+	}
+	return pairs, false, nil
+}

@@ -18,6 +18,7 @@ package hpart
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"ping/internal/columnar"
@@ -71,6 +72,11 @@ type Layout struct {
 	// blooms holds the optional per-sub-partition membership filters
 	// (§6.2 extension); nil when not built.
 	blooms map[SubPartKey]SubPartBlooms
+
+	// cache is the optional LRU of decoded sub-partitions (see
+	// EnableSubPartCache); cacheMu guards installation/removal.
+	cacheMu sync.Mutex
+	cache   *subPartCache
 }
 
 // Options configures Partition.

@@ -334,6 +334,9 @@ func (m *Maintainer) placeSubjects(h *cs.Hierarchy, moved map[rdf.ID]bool, rowsB
 // when empty) and keeps SubPartRows, StoredBytes, and VP in sync.
 func (m *Maintainer) writeSubPartition(key SubPartKey, rows []Pair) error {
 	path := subPartPath(key)
+	// The file contents change (or vanish): drop any cached decode so
+	// queries never see stale rows.
+	m.lay.invalidateSubPart(key)
 	if info, err := m.lay.fs.Stat(path); err == nil {
 		m.lay.StoredBytes -= info.Size
 	}

@@ -1,0 +1,281 @@
+package ping
+
+import (
+	"math/rand"
+	"testing"
+
+	"ping/internal/dataflow"
+	"ping/internal/dfs"
+	"ping/internal/engine"
+	"ping/internal/faults"
+	"ping/internal/hpart"
+	"ping/internal/sparql"
+)
+
+// TestIncrementalMatchesScratch is the acceptance property of the
+// semi-naive evaluator: for every strategy and query, the incremental
+// run must deliver exactly the same answer *set* as the from-scratch
+// run at every step — not just at the end. Row accounting is also
+// mode-independent (the delta rewrite changes join work, not data
+// access).
+func TestIncrementalMatchesScratch(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := nestedGraph(seed, 60, 5)
+		lay := mustPartition(t, g)
+		strategies := []SliceStrategy{LevelCumulative, ProductOrder, LargestFirst, SmallestFirst}
+		for _, strat := range strategies {
+			inc := NewProcessor(lay, Options{Strategy: strat})
+			scr := NewProcessor(lay, Options{Strategy: strat, DisableIncremental: true})
+			for _, qs := range testQueries {
+				q := sparql.MustParse(qs)
+				ri, err := inc.PQA(q)
+				if err != nil {
+					t.Fatalf("seed %d %s %q: incremental: %v", seed, strat, qs, err)
+				}
+				rs, err := scr.PQA(q)
+				if err != nil {
+					t.Fatalf("seed %d %s %q: scratch: %v", seed, strat, qs, err)
+				}
+				if len(ri.Steps) != len(rs.Steps) {
+					t.Fatalf("seed %d %s %q: %d incremental steps, %d scratch steps",
+						seed, strat, qs, len(ri.Steps), len(rs.Steps))
+				}
+				for i := range ri.Steps {
+					a, b := answerSet(ri.Steps[i].Answers), answerSet(rs.Steps[i].Answers)
+					if len(a) != len(b) || !subset(a, b) {
+						t.Fatalf("seed %d %s %q: step %d incremental answers %d != scratch %d",
+							seed, strat, qs, i+1, len(a), len(b))
+					}
+					if ri.Steps[i].RowsLoadedStep != rs.Steps[i].RowsLoadedStep {
+						t.Fatalf("seed %d %s %q: step %d rows loaded %d vs %d",
+							seed, strat, qs, i+1, ri.Steps[i].RowsLoadedStep, rs.Steps[i].RowsLoadedStep)
+					}
+				}
+				fi, fs := answerSet(ri.Final), answerSet(rs.Final)
+				if len(fi) != len(fs) || !subset(fi, fs) {
+					t.Fatalf("seed %d %s %q: final answers differ", seed, strat, qs)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesScratchUnderFaults re-checks the equivalence
+// with storage faults under the Degrade policy. A fully killed node is a
+// time-invariant fault: with no replication the same blocks fail on
+// every attempt, so the incremental and scratch runs over the shared
+// layout lose exactly the same sub-partitions — per-step answers and the
+// missing lists must then agree exactly between the two modes.
+func TestIncrementalMatchesScratchUnderFaults(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		lay, fs, _ := chaosLayout(t, seed, 1)
+		in := faults.New(faults.Plan{})
+		in.Attach(fs)
+		in.KillNode(int(seed) % 4)
+
+		build := func(disable bool) *Processor {
+			return NewProcessor(lay, Options{
+				FailurePolicy:      Degrade,
+				DisableIncremental: disable,
+				// Cached rows would mask the dead node from the second
+				// run; disable so both modes issue the same storage reads.
+				DisableSubPartCache: true,
+			})
+		}
+		pi := build(false)
+		ps := build(true)
+		for _, qs := range testQueries {
+			q := sparql.MustParse(qs)
+			ri, err := pi.PQA(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: incremental: %v", seed, qs, err)
+			}
+			rs, err := ps.PQA(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: scratch: %v", seed, qs, err)
+			}
+			if len(ri.Steps) != len(rs.Steps) {
+				t.Fatalf("seed %d %q: %d vs %d steps under faults", seed, qs, len(ri.Steps), len(rs.Steps))
+			}
+			for i := range ri.Steps {
+				a, b := answerSet(ri.Steps[i].Answers), answerSet(rs.Steps[i].Answers)
+				if len(a) != len(b) || !subset(a, b) {
+					t.Fatalf("seed %d %q: step %d answers diverge under faults", seed, qs, i+1)
+				}
+				am, bm := ri.Steps[i].MissingSubParts, rs.Steps[i].MissingSubParts
+				if len(am) != len(bm) {
+					t.Fatalf("seed %d %q: step %d missing %d vs %d", seed, qs, i+1, len(am), len(bm))
+				}
+				for j := range am {
+					if am[j] != bm[j] {
+						t.Fatalf("seed %d %q: step %d missing[%d] %s vs %s", seed, qs, i+1, j, am[j], bm[j])
+					}
+				}
+			}
+			if ri.Exact != rs.Exact {
+				t.Fatalf("seed %d %q: Exact %v vs %v", seed, qs, ri.Exact, rs.Exact)
+			}
+		}
+	}
+}
+
+// TestIncrementalLimitFallsBack: LIMIT does not distribute over union,
+// so incremental evaluation must silently fall back to the scratch path
+// and reproduce its results exactly.
+func TestIncrementalLimitFallsBack(t *testing.T) {
+	g := nestedGraph(2, 60, 5)
+	lay := mustPartition(t, g)
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z } LIMIT 3`)
+
+	inc := NewProcessor(lay, Options{})
+	scr := NewProcessor(lay, Options{DisableIncremental: true})
+	ri, err := inc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := scr.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ri.Steps) != len(rs.Steps) {
+		t.Fatalf("%d vs %d steps", len(ri.Steps), len(rs.Steps))
+	}
+	for i := range ri.Steps {
+		if ri.Steps[i].Answers.Card() > 3 {
+			t.Fatalf("step %d exceeds LIMIT: %d answers", i+1, ri.Steps[i].Answers.Card())
+		}
+		a, b := answerSet(ri.Steps[i].Answers), answerSet(rs.Steps[i].Answers)
+		if len(a) != len(b) || !subset(a, b) {
+			t.Fatalf("step %d limited answers diverge", i+1)
+		}
+	}
+}
+
+// TestChaosParallelLoaderSound re-runs the degraded-soundness chaos
+// property with a multi-worker dataflow context, so sub-partition loads
+// genuinely race on the worker pool (exercised under -race). Soundness
+// (answers ⊆ oracle) and monotonicity are order-independent, so they
+// must hold regardless of worker interleaving; the missing list must
+// also stay deterministic (fold order is input-key order, not completion
+// order).
+func TestChaosParallelLoaderSound(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		lay, fs, g := chaosLayout(t, seed, 1)
+		rng := rand.New(rand.NewSource(seed * 131))
+		in := faults.New(randomPlan(rng, 4))
+		in.Attach(fs)
+		proc := NewProcessor(lay, Options{
+			Context:       dataflow.NewContext(4),
+			FailurePolicy: Degrade,
+		})
+
+		for _, qs := range testQueries {
+			q := sparql.MustParse(qs)
+			oracle := answerSet(engine.Naive(g, q).Distinct())
+			res, err := proc.PQA(q)
+			if err != nil {
+				t.Fatalf("seed %d %q: %v", seed, qs, err)
+			}
+			prev := map[string]bool{}
+			for i, step := range res.Steps {
+				cur := answerSet(step.Answers)
+				if !subset(prev, cur) {
+					t.Fatalf("seed %d %q: step %d lost answers with parallel loader", seed, qs, i+1)
+				}
+				if !subset(cur, oracle) {
+					t.Fatalf("seed %d %q: step %d false positive with parallel loader", seed, qs, i+1)
+				}
+				prev = cur
+			}
+			if res.Exact {
+				got := answerSet(res.Final)
+				if len(got) != len(oracle) {
+					t.Fatalf("seed %d %q: exact run has %d answers, oracle %d", seed, qs, len(got), len(oracle))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelLoaderMatchesSerial: with no faults, a multi-worker run
+// must be byte-for-byte equivalent to the serial run — same steps, same
+// answer sets, same row accounting — because results are folded in
+// input-key order regardless of completion order.
+func TestParallelLoaderMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := nestedGraph(seed, 60, 5)
+		lay := mustPartition(t, g)
+		serial := NewProcessor(lay, Options{})
+		par := NewProcessor(lay, Options{Context: dataflow.NewContext(8)})
+		for _, qs := range testQueries {
+			q := sparql.MustParse(qs)
+			rs, err := serial.PQA(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rp, err := par.PQA(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs.Steps) != len(rp.Steps) {
+				t.Fatalf("seed %d %q: %d vs %d steps", seed, qs, len(rs.Steps), len(rp.Steps))
+			}
+			for i := range rs.Steps {
+				a, b := answerSet(rs.Steps[i].Answers), answerSet(rp.Steps[i].Answers)
+				if len(a) != len(b) || !subset(a, b) {
+					t.Fatalf("seed %d %q: step %d answers diverge serial vs parallel", seed, qs, i+1)
+				}
+				if rs.Steps[i].RowsLoadedCum != rp.Steps[i].RowsLoadedCum {
+					t.Fatalf("seed %d %q: step %d rows %d vs %d",
+						seed, qs, i+1, rs.Steps[i].RowsLoadedCum, rp.Steps[i].RowsLoadedCum)
+				}
+			}
+		}
+	}
+}
+
+// TestSubPartCacheMetrics: a repeated query over the same layout must be
+// served from the decoded sub-partition cache (hits recorded, no new
+// misses beyond the first run's loads).
+func TestSubPartCacheMetrics(t *testing.T) {
+	g := nestedGraph(1, 60, 5)
+	fs := dfs.New(dfs.Config{})
+	lay, err := hpart.Partition(g, hpart.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := NewProcessor(lay, Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z }`)
+
+	totalReads := func() int64 {
+		var n int64
+		for _, r := range fs.Usage().NodeReads {
+			n += r
+		}
+		return n
+	}
+	r1, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readsAfterFirst := totalReads()
+	r2, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := totalReads(); got != readsAfterFirst {
+		t.Fatalf("second run touched storage: %d reads, want %d", got, readsAfterFirst)
+	}
+	a, b := answerSet(r1.Final), answerSet(r2.Final)
+	if len(a) != len(b) || !subset(a, b) {
+		t.Fatal("cached run returned different answers")
+	}
+	// Row accounting is cache-independent: loads count rows folded into
+	// the accumulator whether or not storage was touched.
+	if r1.Steps[len(r1.Steps)-1].RowsLoadedCum != r2.Steps[len(r2.Steps)-1].RowsLoadedCum {
+		t.Fatal("cache changed row accounting")
+	}
+	if lay.SubPartCacheLen() == 0 {
+		t.Fatal("cache is empty after two runs")
+	}
+}

@@ -62,7 +62,16 @@ func TestTraceCoverageMatchesResult(t *testing.T) {
 					t.Errorf("%q: step %d span answers %v, want %d", qs, i+1, got, res.Steps[i].Answers.Card())
 				}
 			}
-			if len(res.Steps) > 0 && root.Find("dfs.read") == nil {
+			// The layout's sub-partition cache can serve a whole query
+			// without touching storage; dfs.read spans are required
+			// exactly when some step missed the cache.
+			missedCache := false
+			for _, sp := range spans {
+				if m, ok := sp.Attr("cache_misses").(int64); ok && m > 0 {
+					missedCache = true
+				}
+			}
+			if missedCache && root.Find("dfs.read") == nil {
 				t.Errorf("%q: trace has no dfs.read span — storage layer not threaded", qs)
 			}
 		}

@@ -118,6 +118,17 @@ type Options struct {
 	// FailurePolicy selects FailFast (zero value) or Degrade handling of
 	// unreadable sub-partitions.
 	FailurePolicy FailurePolicy
+	// DisableIncremental makes every PQA step re-evaluate the query from
+	// scratch over the accumulated slice instead of folding in only the
+	// newly loaded sub-partitions (semi-naive delta evaluation). Used by
+	// the ablation benchmarks to quantify the incremental speedup.
+	DisableIncremental bool
+	// DisableSubPartCache skips installing the layout's decoded
+	// sub-partition LRU cache.
+	DisableSubPartCache bool
+	// SubPartCacheSize is the LRU capacity (<=0: hpart default). The first
+	// processor to enable the cache on a layout fixes its capacity.
+	SubPartCacheSize int
 	// Metrics is the registry the processor's counters and latency
 	// histograms are recorded into (nil: obs.Default).
 	Metrics *obs.Registry
@@ -141,6 +152,9 @@ type procMetrics struct {
 	rowsLoaded      *obs.Counter
 	subparts        *obs.Counter
 	missingSubparts *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	incSteps        *obs.Counter
 	stepSeconds     *obs.Histogram
 	pqaSeconds      *obs.Histogram
 	eqaSeconds      *obs.Histogram
@@ -156,6 +170,9 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 	reg.Describe("ping_rows_loaded_total", "vertical-partition rows read from storage")
 	reg.Describe("ping_subparts_loaded_total", "sub-partitions loaded from storage")
 	reg.Describe("ping_missing_subparts_total", "sub-partitions skipped as unreadable under the degrade policy")
+	reg.Describe("ping_subparts_cache_hits_total", "sub-partition loads served from the decoded LRU cache")
+	reg.Describe("ping_subparts_cache_misses_total", "sub-partition loads that had to read storage")
+	reg.Describe("ping_incremental_steps_total", "PQA steps evaluated semi-naively (delta joins only)")
 	reg.Describe("ping_step_seconds", "wall-clock duration of one slice step (load + evaluate)")
 	reg.Describe("ping_query_seconds", "wall-clock duration of one query run by mode")
 	return &procMetrics{
@@ -166,6 +183,9 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 		rowsLoaded:      reg.Counter("ping_rows_loaded_total", nil),
 		subparts:        reg.Counter("ping_subparts_loaded_total", nil),
 		missingSubparts: reg.Counter("ping_missing_subparts_total", nil),
+		cacheHits:       reg.Counter("ping_subparts_cache_hits_total", nil),
+		cacheMisses:     reg.Counter("ping_subparts_cache_misses_total", nil),
+		incSteps:        reg.Counter("ping_incremental_steps_total", nil),
 		stepSeconds:     reg.Histogram("ping_step_seconds", obs.TimeBuckets, nil),
 		pqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "pqa"}),
 		eqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "eqa"}),
@@ -177,6 +197,9 @@ func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
 	ctx := opts.Context
 	if ctx == nil {
 		ctx = dataflow.NewContext(1)
+	}
+	if !opts.DisableSubPartCache {
+		layout.EnableSubPartCache(opts.SubPartCacheSize)
 	}
 	return &Processor{layout: layout, opts: opts, ctx: ctx, met: newProcMetrics(opts.Metrics)}
 }
@@ -479,7 +502,8 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 	defer detach()
 
 	p.met.pqaQueries.Inc()
-	state := newEvalState(p, q, hl, hlPaths)
+	state := newEvalState(p, q, hl, hlPaths, !p.opts.DisableIncremental)
+	qspan.SetAttr("incremental", state.inc != nil)
 	start := time.Now()
 	defer func() { p.met.pqaSeconds.Observe(time.Since(start).Seconds()) }()
 
@@ -559,6 +583,10 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 		if n := len(sr.MissingSubParts); n > 0 {
 			ss.SetAttr("missing_subparts", n)
 		}
+		if state.cacheHitsStep > 0 || state.cacheMissesStep > 0 {
+			ss.SetAttr("cache_hits", state.cacheHitsStep)
+			ss.SetAttr("cache_misses", state.cacheMissesStep)
+		}
 		ss.End()
 		stepSpans = append(stepSpans, ss)
 		stepAnswers = append(stepAnswers, answers.Card())
@@ -570,6 +598,9 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 		p.met.missingSubparts.Add(int64(missedNow))
 		if sr.Degraded {
 			p.met.degradedSteps.Inc()
+		}
+		if state.inc != nil {
+			p.met.incSteps.Inc()
 		}
 		p.met.stepSeconds.Observe(el.Seconds())
 
@@ -640,7 +671,10 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 	start := time.Now()
 	defer func() { p.met.eqaSeconds.Observe(time.Since(start).Seconds()) }()
 
-	state := newEvalState(p, q, hl, hlPaths)
+	// EQA is a single-shot evaluation: there is no previous step to be
+	// incremental against, so it always uses the from-scratch path (whose
+	// Stats describe the one full evaluation).
+	state := newEvalState(p, q, hl, hlPaths, false)
 	state.span = espan
 	var all []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)

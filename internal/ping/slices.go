@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ping/internal/dataflow"
 	"ping/internal/engine"
 	"ping/internal/hpart"
 	"ping/internal/obs"
@@ -206,34 +207,70 @@ func (p *Processor) productSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, e
 	return steps, nil
 }
 
+// groupList keeps one pattern's loaded groups sorted by (level, prop).
+// Keys arrive one step at a time (in arbitrary strategy order), so the
+// list is maintained by sorted insertion instead of re-scanning and
+// re-sorting the full accumulator once per pattern per step.
+type groupList struct {
+	keys   []hpart.SubPartKey
+	groups []engine.PropGroup
+}
+
+func (gl *groupList) insert(k hpart.SubPartKey, rows []hpart.Pair) {
+	i := sort.Search(len(gl.keys), func(i int) bool {
+		ki := gl.keys[i]
+		return ki.Level > k.Level || (ki.Level == k.Level && ki.Prop >= k.Prop)
+	})
+	gl.keys = append(gl.keys, hpart.SubPartKey{})
+	copy(gl.keys[i+1:], gl.keys[i:])
+	gl.keys[i] = k
+	gl.groups = append(gl.groups, engine.PropGroup{})
+	copy(gl.groups[i+1:], gl.groups[i:])
+	gl.groups[i] = engine.PropGroup{Prop: k.Prop, Rows: rows}
+}
+
 // evalState carries the accumulator C of Algorithms 2/3: the loaded
-// sub-partitions, the data-access counters, and the machinery to
-// re-evaluate the query on the accumulated data.
+// sub-partitions (as per-pattern sorted group lists maintained
+// incrementally as keys load), the data-access counters, and the
+// machinery to evaluate the query on the accumulated data — either from
+// scratch or semi-naively via engine.Incremental.
 type evalState struct {
 	p         *Processor
 	q         *sparql.Query
-	hl        [][]hpart.SubPartKey
 	hlSet     []map[hpart.SubPartKey]bool
-	hlPath    [][]hpart.SubPartKey
 	hlPathSet []map[hpart.SubPartKey]bool
 
-	loaded map[hpart.SubPartKey][]hpart.Pair
+	// patGroups/pathGroups accumulate each pattern's loaded groups in
+	// (level, prop) order; patDelta/pathDelta hold only the groups that
+	// arrived in the current step (reset by load).
+	patGroups  []*groupList
+	pathGroups []*groupList
+	patDelta   [][]engine.PropGroup
+	pathDelta  [][]engine.PropGroup
+
+	loadedSet map[hpart.SubPartKey]bool
 	// missing accumulates sub-partitions skipped because their reads
 	// failed under FailurePolicy Degrade; missingSet guards re-attempts.
 	missing    []hpart.SubPartKey
 	missingSet map[hpart.SubPartKey]bool
 
-	rowsLoadedStep int64
-	rowsLoadedCum  int64
-	prevAnswers    int
-	lastStats      *engine.Stats
+	// inc, when non-nil, evaluates steps semi-naively; nil falls back to
+	// from-scratch evaluation (ablation, EQA, or LIMIT queries).
+	inc *engine.Incremental
+
+	rowsLoadedStep  int64
+	rowsLoadedCum   int64
+	cacheHitsStep   int64
+	cacheMissesStep int64
+	prevAnswers     int
+	lastStats       *engine.Stats
 
 	// span, when non-nil, is the trace span of the step being evaluated;
 	// the engine nests its per-join child spans under it.
 	span *obs.Span
 }
 
-func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey) *evalState {
+func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey, incremental bool) *evalState {
 	toSets := func(lists [][]hpart.SubPartKey) []map[hpart.SubPartKey]bool {
 		sets := make([]map[hpart.SubPartKey]bool, len(lists))
 		for i, candidates := range lists {
@@ -244,86 +281,161 @@ func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKe
 		}
 		return sets
 	}
-	return &evalState{
+	st := &evalState{
 		p:          p,
 		q:          q,
-		hl:         hl,
 		hlSet:      toSets(hl),
-		hlPath:     hlPaths,
 		hlPathSet:  toSets(hlPaths),
-		loaded:     make(map[hpart.SubPartKey][]hpart.Pair),
+		patGroups:  make([]*groupList, len(q.Patterns)),
+		pathGroups: make([]*groupList, len(q.Paths)),
+		patDelta:   make([][]engine.PropGroup, len(q.Patterns)),
+		pathDelta:  make([][]engine.PropGroup, len(q.Paths)),
+		loadedSet:  make(map[hpart.SubPartKey]bool),
 		missingSet: make(map[hpart.SubPartKey]bool),
 	}
+	for i := range st.patGroups {
+		st.patGroups[i] = &groupList{}
+	}
+	for i := range st.pathGroups {
+		st.pathGroups[i] = &groupList{}
+	}
+	if incremental {
+		inc, err := engine.NewIncremental(q, p.layout.Dict, engine.Options{
+			Context:    p.ctx,
+			Partitions: p.opts.Partitions,
+			Metrics:    p.opts.Metrics,
+		})
+		if err == nil {
+			st.inc = inc
+		}
+		// A LIMIT query rejects incremental evaluation; the scratch path
+		// below reproduces its first-N semantics exactly.
+	}
+	return st
 }
 
-// load reads the given sub-partitions from storage, skipping ones already
-// in the accumulator (Algorithm 3, lines 2-3). Under FailurePolicy
-// Degrade a read that fails after all dfs retries marks the
-// sub-partition missing and continues — the evaluation then runs on a
-// subset of the slice, which stays sound by Lemma 4.4. Context
-// cancellation always aborts, regardless of policy.
+// loadResult is the outcome of one sub-partition read issued by load.
+type loadResult struct {
+	pairs []hpart.Pair
+	hit   bool
+	err   error
+}
+
+// load reads the given sub-partitions, skipping ones already in the
+// accumulator (Algorithm 3, lines 2-3). Reads fan out over the
+// processor's dataflow worker pool (bounded by its executor count) and
+// go through the layout's decoded-sub-partition cache; results are
+// folded back in input-key order, so group order, row accounting, and
+// the `missing` list stay deterministic regardless of worker
+// interleaving. Under FailurePolicy Degrade a read that fails after all
+// dfs retries marks the sub-partition missing and continues — the
+// evaluation then runs on a subset of the slice, which stays sound by
+// Lemma 4.4. Context cancellation always aborts, regardless of policy.
 func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 	st.rowsLoadedStep = 0
+	st.cacheHitsStep, st.cacheMissesStep = 0, 0
+	for i := range st.patDelta {
+		st.patDelta[i] = nil
+	}
+	for i := range st.pathDelta {
+		st.pathDelta[i] = nil
+	}
+
+	toLoad := make([]hpart.SubPartKey, 0, len(keys))
 	for _, k := range keys {
-		if _, ok := st.loaded[k]; ok {
+		if st.loadedSet[k] || st.missingSet[k] {
 			continue
 		}
-		if st.missingSet[k] {
-			continue
-		}
-		pairs, err := st.p.layout.ReadSubPartitionCtx(ctx, k)
-		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil {
-				return ctxErr
-			}
+		// Mark now so duplicate keys within one batch load once; a failed
+		// read under Degrade moves the key to missingSet below.
+		st.loadedSet[k] = true
+		toLoad = append(toLoad, k)
+	}
+	if len(toLoad) == 0 {
+		return nil
+	}
+
+	results := dataflow.Map(
+		dataflow.Parallelize(st.p.ctx, toLoad, 0),
+		func(k hpart.SubPartKey) loadResult {
+			pairs, hit, err := st.p.layout.ReadSubPartitionCached(ctx, k)
+			return loadResult{pairs: pairs, hit: hit, err: err}
+		}).Collect()
+	// A cancellation mid-stage leaves unprocessed partitions behind;
+	// abort rather than fold in a partial batch.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(results) != len(toLoad) {
+		return context.Canceled
+	}
+
+	for i, r := range results {
+		k := toLoad[i]
+		if r.err != nil {
+			delete(st.loadedSet, k)
 			if st.p.opts.FailurePolicy == Degrade {
 				st.missingSet[k] = true
 				st.missing = append(st.missing, k)
 				continue
 			}
-			return err
+			return r.err
 		}
-		st.loaded[k] = pairs
-		st.rowsLoadedStep += int64(len(pairs))
+		if r.hit {
+			st.cacheHitsStep++
+		} else {
+			st.cacheMissesStep++
+		}
+		st.rowsLoadedStep += int64(len(r.pairs))
+		st.fold(k, r.pairs)
 	}
 	st.rowsLoadedCum += st.rowsLoadedStep
+	st.p.met.cacheHits.Add(st.cacheHitsStep)
+	st.p.met.cacheMisses.Add(st.cacheMissesStep)
 	return nil
+}
+
+// fold routes one loaded sub-partition into the group lists and current
+// deltas of every pattern whose HL(t) contains it.
+func (st *evalState) fold(k hpart.SubPartKey, pairs []hpart.Pair) {
+	g := engine.PropGroup{Prop: k.Prop, Rows: pairs}
+	for i, set := range st.hlSet {
+		if set[k] {
+			st.patGroups[i].insert(k, pairs)
+			st.patDelta[i] = append(st.patDelta[i], g)
+		}
+	}
+	for i, set := range st.hlPathSet {
+		if set[k] {
+			st.pathGroups[i].insert(k, pairs)
+			st.pathDelta[i] = append(st.pathDelta[i], g)
+		}
+	}
 }
 
 // evaluate runs the query on the accumulated slices: each pattern sees
 // exactly the loaded sub-partitions belonging to its HL(t). Answers are
 // returned as a distinct relation so progressive accumulation is a set
 // union, matching the answer-counting semantics of the paper's coverage
-// metric.
+// metric. In incremental mode only the current deltas are joined
+// (semi-naive, Lemma 4.3) and unioned with the cached previous answers;
+// the per-step answer set is identical to the scratch path.
 func (st *evalState) evaluate() (*engine.Relation, error) {
-	// Deterministic group order: sort the loaded keys in each pattern's
-	// candidate set.
-	loadedGroups := func(set map[hpart.SubPartKey]bool) []engine.PropGroup {
-		var keys []hpart.SubPartKey
-		for k := range st.loaded {
-			if set[k] {
-				keys = append(keys, k)
-			}
+	if st.inc != nil {
+		rel, stats, err := st.inc.Step(st.patDelta, st.pathDelta, st.span)
+		if err != nil {
+			return nil, err
 		}
-		sort.Slice(keys, func(a, b int) bool {
-			if keys[a].Level != keys[b].Level {
-				return keys[a].Level < keys[b].Level
-			}
-			return keys[a].Prop < keys[b].Prop
-		})
-		groups := make([]engine.PropGroup, 0, len(keys))
-		for _, k := range keys {
-			groups = append(groups, engine.PropGroup{Prop: k.Prop, Rows: st.loaded[k]})
-		}
-		return groups
+		st.lastStats = stats
+		return rel, nil
 	}
 	inputs := make([]engine.PatternInput, len(st.q.Patterns))
 	for i, pat := range st.q.Patterns {
-		inputs[i] = engine.PatternInput{Pattern: pat, Groups: loadedGroups(st.hlSet[i])}
+		inputs[i] = engine.PatternInput{Pattern: pat, Groups: st.patGroups[i].groups}
 	}
 	pathInputs := make([]engine.PathInput, len(st.q.Paths))
 	for i, pat := range st.q.Paths {
-		pathInputs[i] = engine.PathInput{Pattern: pat, Groups: loadedGroups(st.hlPathSet[i])}
+		pathInputs[i] = engine.PathInput{Pattern: pat, Groups: st.pathGroups[i].groups}
 	}
 	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.p.layout.Dict, engine.Options{
 		Context:    st.p.ctx,
