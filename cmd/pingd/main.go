@@ -1,0 +1,128 @@
+// Command pingd is the long-running PING serving daemon: it loads a
+// store produced by pingload and answers progressive queries over HTTP
+// while accepting live updates, with snapshot isolation between the two.
+//
+// Every query pins the latest published epoch for its whole run and
+// streams one JSON line per PQA step (NDJSON); updates are applied
+// copy-on-write by a snapshot-mode maintainer and published atomically
+// as a new epoch, so readers never block writers and vice versa.
+// Admission control bounds concurrent queries (excess requests wait in a
+// bounded queue, then get 429).
+//
+// Endpoints:
+//
+//	GET/POST /query?q=...     stream one JSON line per progressive step
+//	POST     /update?op=add   apply an N-Triples body, publish new epoch
+//	GET      /stats           epoch, pins, GC and admission counters
+//	GET      /metrics         Prometheus text format (plus /debug/vars, pprof)
+//
+// Usage:
+//
+//	pingd -store ./uniprot-store -addr :8080 -max-inflight 8 -query-timeout 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ping/internal/dfs"
+	"ping/internal/hpart"
+)
+
+// shutdownGrace bounds how long in-flight requests may drain after a
+// termination signal.
+const shutdownGrace = 5 * time.Second
+
+func main() {
+	var (
+		store    = flag.String("store", "", "store directory written by pingload (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 4, "dataflow workers per query")
+		inflight = flag.Int("max-inflight", 4, "maximum concurrently executing queries")
+		queued   = flag.Int("max-queue", 8, "maximum queries waiting for a slot (excess gets 429)")
+		timeout  = flag.Duration("query-timeout", 60*time.Second, "per-query deadline, queue wait included (0 = none)")
+		rows     = flag.Int("rows", 20, "maximum bindings per step line when ?bindings=1 (0 disables)")
+		strategy = flag.String("strategy", "level", "slice order: level, product, largest, smallest")
+		policy   = flag.String("failure-policy", "failfast", "storage failure handling: failfast or degrade")
+		useBloom = flag.Bool("bloom", false, "use sub-partition Bloom filters for pruning (store must be built with -blooms)")
+		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
+	)
+	flag.Parse()
+	if *store == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fs, err := dfs.OpenOnDisk(*store)
+	if err != nil {
+		fatal(err)
+	}
+	fs.SetRetryPolicy(*retries, 500*time.Microsecond, 50*time.Millisecond)
+	lay, err := hpart.Load(fs, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := serverConfig{
+		Workers:         *workers,
+		MaxInflight:     *inflight,
+		MaxQueue:        *queued,
+		QueryTimeout:    *timeout,
+		RowLimit:        *rows,
+		UseBloomPruning: *useBloom,
+		Persist:         fs,
+	}
+	if cfg.Strategy, err = parseStrategy(*strategy); err != nil {
+		fatal(err)
+	}
+	if cfg.FailurePolicy, err = parsePolicy(*policy); err != nil {
+		fatal(err)
+	}
+
+	logger := log.New(os.Stderr, "pingd: ", log.LstdFlags)
+	srv := newServer(hpart.NewStore(lay), cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler(logger.Printf)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	fmt.Printf("serving %d triples (%d levels, epoch %d) on %s\n",
+		lay.TotalTriples(), lay.NumLevels, srv.store.Epoch(), *addr)
+	fmt.Printf("try: curl '%s/query?q=SELECT...'   update: curl -XPOST --data-binary @delta.nt '%s/update'\n",
+		*addr, *addr)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining for up to %v", shutdownGrace)
+	shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+		httpSrv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	logger.Printf("shut down cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pingd: %v\n", err)
+	os.Exit(1)
+}

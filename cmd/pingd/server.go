@@ -1,0 +1,433 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ping/internal/dataflow"
+	"ping/internal/dfs"
+	"ping/internal/hpart"
+	"ping/internal/obs"
+	"ping/internal/ping"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// serverConfig carries the daemon's tunables.
+type serverConfig struct {
+	// Workers is the dataflow pool size of each query.
+	Workers int
+	// MaxInflight bounds concurrently executing queries; MaxQueue bounds
+	// how many more may wait for a slot. Beyond that /query returns 429.
+	MaxInflight int
+	MaxQueue    int
+	// QueryTimeout is the per-query deadline, queue wait included
+	// (0 = none).
+	QueryTimeout time.Duration
+	// RowLimit caps the bindings included per step line when the client
+	// asks for them (0 = never include bindings).
+	RowLimit int
+	// Strategy, FailurePolicy and UseBloomPruning configure query
+	// processing exactly as in pingquery.
+	Strategy        ping.SliceStrategy
+	FailurePolicy   ping.FailurePolicy
+	UseBloomPruning bool
+	// Persist, when non-nil, is the on-disk file system whose manifest
+	// (and the dictionary) is saved after each successful update.
+	Persist *dfs.FS
+	// Metrics receives the daemon's and the processors' series
+	// (nil: obs.Default).
+	Metrics *obs.Registry
+}
+
+// server is the pingd HTTP surface over one epoch store. Queries pin
+// snapshots (each request builds a cheap processor with its own dataflow
+// pool, so cancellation never crosses requests); updates go through the
+// single snapshot-mode maintainer guarded by maintMu.
+type server struct {
+	store *hpart.Store
+	cfg   serverConfig
+
+	// sem holds one token per executing query; queue holds one token per
+	// admitted-but-waiting query.
+	sem   chan struct{}
+	queue chan struct{}
+
+	maintMu sync.Mutex
+	maint   *hpart.Maintainer
+
+	reg      *obs.Registry
+	rejected *obs.Counter
+	updates  *obs.Counter
+
+	// stepHook, when set (tests only), runs after each delivered step
+	// line, with the response already flushed. Set and cleared via
+	// setStepHook; handlers read it through the atomic slot.
+	stepHook atomic.Pointer[func()]
+}
+
+// setStepHook installs (or, with nil, removes) the per-step test hook.
+func (s *server) setStepHook(fn func()) {
+	if fn == nil {
+		s.stepHook.Store(nil)
+		return
+	}
+	s.stepHook.Store(&fn)
+}
+
+func newServer(store *hpart.Store, cfg serverConfig) *server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	reg.Describe("pingd_rejected_total", "queries rejected by admission control (HTTP 429)")
+	reg.Describe("pingd_updates_total", "update batches applied and published as new epochs")
+	return &server{
+		store:    store,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		queue:    make(chan struct{}, cfg.MaxQueue),
+		reg:      reg,
+		rejected: reg.Counter("pingd_rejected_total", nil),
+		updates:  reg.Counter("pingd_updates_total", nil),
+	}
+}
+
+// handler mounts the daemon's routes. The obs introspection mux
+// (/metrics, /debug/vars, pprof) serves everything not claimed here.
+func (s *server) handler(logf func(format string, args ...any)) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/query", obs.Instrument(s.reg, "/query", logf, http.HandlerFunc(s.handleQuery)))
+	mux.Handle("/update", obs.Instrument(s.reg, "/update", logf, http.HandlerFunc(s.handleUpdate)))
+	mux.Handle("/stats", obs.Instrument(s.reg, "/stats", logf, http.HandlerFunc(s.handleStats)))
+	mux.Handle("/", obs.Handler(s.reg))
+	return mux
+}
+
+// admit applies the admission policy: run now if an execution slot is
+// free, otherwise wait in the bounded queue. It returns a release
+// function and 0, or nil and the HTTP status to reject with.
+func (s *server) admit(ctx context.Context) (func(), int) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, http.StatusTooManyRequests
+	}
+	defer func() { <-s.queue }()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, 0
+	case <-ctx.Done():
+		// Deadline or disconnect while queued.
+		return nil, http.StatusServiceUnavailable
+	}
+}
+
+// stepLine is one NDJSON line of a streaming query response: the state
+// of the progressive answer after one slice step. Epoch is constant
+// across all lines of one response — the run is pinned to a snapshot.
+type stepLine struct {
+	Step        int                 `json:"step"`
+	MaxLevel    int                 `json:"max_level"`
+	Epoch       uint64              `json:"epoch"`
+	Answers     int                 `json:"answers"`
+	NewAnswers  int                 `json:"new_answers"`
+	RowsLoaded  int64               `json:"rows_loaded_cum"`
+	ElapsedMS   float64             `json:"elapsed_ms"`
+	Degraded    bool                `json:"degraded,omitempty"`
+	MissingSubP int                 `json:"missing_subparts,omitempty"`
+	Bindings    []map[string]string `json:"bindings,omitempty"`
+}
+
+// doneLine terminates a streaming query response.
+type doneLine struct {
+	Done      bool    `json:"done"`
+	Steps     int     `json:"steps"`
+	Answers   int     `json:"answers"`
+	Epoch     uint64  `json:"epoch"`
+	Exact     bool    `json:"exact"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errLine reports a failure after streaming has started (the status
+// line is long gone by then).
+type errLine struct {
+	Error string `json:"error"`
+}
+
+// handleQuery streams a progressive query: one JSON object per PQA step,
+// then a done line. ?q= carries the SPARQL text (or the POST body does);
+// ?bindings=1 includes up to RowLimit decoded rows per step.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" && r.Body != nil {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		text = string(body)
+	}
+	if text == "" {
+		http.Error(w, "missing query: pass ?q= or a request body", http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse: %v", err), http.StatusBadRequest)
+		return
+	}
+	wantBindings := r.URL.Query().Get("bindings") == "1" && s.cfg.RowLimit > 0
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	release, code := s.admit(ctx)
+	if release == nil {
+		s.rejected.Inc()
+		http.Error(w, http.StatusText(code), code)
+		return
+	}
+	defer release()
+
+	proc := ping.NewProcessorStore(s.store, ping.Options{
+		Context:         dataflow.NewContext(s.cfg.Workers),
+		Strategy:        s.cfg.Strategy,
+		FailurePolicy:   s.cfg.FailurePolicy,
+		UseBloomPruning: s.cfg.UseBloomPruning,
+		Metrics:         s.cfg.Metrics,
+	})
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	dict := s.store.Current().Dict
+	start := time.Now()
+	var last ping.StepResult
+	steps := 0
+	err = proc.PQAStepsCtx(ctx, q, func(st ping.StepResult) bool {
+		steps++
+		last = st
+		line := stepLine{
+			Step:        st.Step,
+			MaxLevel:    st.MaxLevel,
+			Epoch:       st.Epoch,
+			Answers:     st.Answers.Card(),
+			NewAnswers:  st.NewAnswers,
+			RowsLoaded:  st.RowsLoadedCum,
+			ElapsedMS:   float64(st.ElapsedCum.Microseconds()) / 1e3,
+			Degraded:    st.Degraded,
+			MissingSubP: len(st.MissingSubParts),
+		}
+		if wantBindings {
+			for i, row := range st.Answers.BindingMaps() {
+				if i >= s.cfg.RowLimit {
+					break
+				}
+				m := make(map[string]string, len(row))
+				for v, id := range row {
+					m[v] = dict.TermString(id)
+				}
+				line.Bindings = append(line.Bindings, m)
+			}
+		}
+		emit(line)
+		if hook := s.stepHook.Load(); hook != nil {
+			(*hook)()
+		}
+		return ctx.Err() == nil
+	})
+	if err != nil {
+		// Streaming may have started; an in-band error line is all we
+		// can still deliver.
+		emit(errLine{Error: err.Error()})
+		return
+	}
+	done := doneLine{
+		Done:      true,
+		Steps:     steps,
+		Epoch:     s.store.Epoch(),
+		Exact:     steps > 0 && !last.Degraded,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if steps > 0 {
+		done.Epoch = last.Epoch
+		done.Answers = last.Answers.Card()
+	} else {
+		// Unsafe query: no slice can hold answers; the empty result is
+		// exact.
+		done.Exact = true
+	}
+	emit(done)
+}
+
+// updateResponse acknowledges a published epoch.
+type updateResponse struct {
+	Epoch     uint64  `json:"epoch"`
+	Added     int     `json:"added"`
+	Removed   int     `json:"removed"`
+	Triples   int64   `json:"triples"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// handleUpdate applies one maintenance batch and publishes it as a new
+// epoch. The body is N-Triples; ?op=add (default) or ?op=remove selects
+// the direction. Readers are never blocked: in-flight queries keep their
+// pinned snapshots, and the new epoch is visible to queries admitted
+// after this returns.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodPut {
+		http.Error(w, "POST an N-Triples body", http.StatusMethodNotAllowed)
+		return
+	}
+	op := r.URL.Query().Get("op")
+	if op == "" {
+		op = "add"
+	}
+	if op != "add" && op != "remove" {
+		http.Error(w, fmt.Sprintf("unknown op %q (want add or remove)", op), http.StatusBadRequest)
+		return
+	}
+
+	// Single writer: one batch at a time, one maintainer per store.
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+
+	// Interning terms grows the shared dictionary, which is append-only
+	// and thread-safe — concurrent queries are unaffected.
+	g := &rdf.Graph{Dict: s.store.Current().Dict}
+	if err := rdf.ParseNTriplesInto(r.Body, g); err != nil {
+		http.Error(w, fmt.Sprintf("parse body: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	if s.maint == nil {
+		m, err := hpart.NewStoreMaintainer(s.store)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("maintainer: %v", err), http.StatusInternalServerError)
+			return
+		}
+		s.maint = m
+	}
+	var add, remove []rdf.Triple
+	if op == "add" {
+		add = g.Triples
+	} else {
+		remove = g.Triples
+	}
+	start := time.Now()
+	if err := s.maint.Apply(add, remove); err != nil {
+		// The failed epoch was never published; the maintainer's CS
+		// bookkeeping may be torn, so rebuild it on the next update.
+		s.maint = nil
+		http.Error(w, fmt.Sprintf("apply: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.updates.Inc()
+	cur := s.store.Current()
+	if s.cfg.Persist != nil {
+		if err := cur.SaveDict(); err != nil {
+			http.Error(w, fmt.Sprintf("save dict: %v", err), http.StatusInternalServerError)
+			return
+		}
+		if err := s.cfg.Persist.SaveManifest(); err != nil {
+			http.Error(w, fmt.Sprintf("save manifest: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(updateResponse{
+		Epoch:     cur.Epoch(),
+		Added:     len(add),
+		Removed:   len(remove),
+		Triples:   cur.TotalTriples(),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// statsResponse is the /stats document.
+type statsResponse struct {
+	Epoch         uint64 `json:"epoch"`
+	Levels        int    `json:"levels"`
+	Triples       int64  `json:"triples"`
+	SubPartitions int    `json:"sub_partitions"`
+	PinnedQueries int    `json:"pinned_queries"`
+	PinnedEpochs  int    `json:"pinned_epochs"`
+	RetiredFiles  int    `json:"retired_files"`
+	FilesRemoved  int64  `json:"files_removed"`
+	Inflight      int    `json:"inflight_queries"`
+	Queued        int    `json:"queued_queries"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Stats()
+	cur := s.store.Current()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		Epoch:         st.Epoch,
+		Levels:        cur.NumLevels,
+		Triples:       cur.TotalTriples(),
+		SubPartitions: len(cur.SubPartitions()),
+		PinnedQueries: st.PinnedQueries,
+		PinnedEpochs:  st.PinnedEpochs,
+		RetiredFiles:  st.RetiredFiles,
+		FilesRemoved:  st.FilesRemoved,
+		Inflight:      len(s.sem),
+		Queued:        len(s.queue),
+	})
+}
+
+// parseStrategy maps the CLI strategy names used across the ping tools.
+func parseStrategy(name string) (ping.SliceStrategy, error) {
+	switch name {
+	case "level":
+		return ping.LevelCumulative, nil
+	case "product":
+		return ping.ProductOrder, nil
+	case "largest":
+		return ping.LargestFirst, nil
+	case "smallest":
+		return ping.SmallestFirst, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+// parsePolicy maps the CLI failure-policy names.
+func parsePolicy(name string) (ping.FailurePolicy, error) {
+	switch name {
+	case "failfast":
+		return ping.FailFast, nil
+	case "degrade":
+		return ping.Degrade, nil
+	default:
+		return 0, fmt.Errorf("unknown failure policy %q (want failfast or degrade)", name)
+	}
+}

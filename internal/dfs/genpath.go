@@ -1,0 +1,28 @@
+package dfs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GenPath derives the generation-suffixed variant of a file path:
+// generation 0 is the path itself (the name a fresh writer uses), and
+// generation g > 0 inserts ".g<g>" before the final extension, so
+// successive rewrites of one logical file land under distinct names:
+//
+//	GenPath("levels/L01/p3.pcol", 0) = "levels/L01/p3.pcol"
+//	GenPath("levels/L01/p3.pcol", 2) = "levels/L01/p3.g2.pcol"
+//
+// Writers that publish immutable snapshots (hpart's epoch store) rewrite
+// a file by creating the next generation under a new name and retiring
+// the old one once no reader can still need it, so in-flight readers
+// keep a consistent view without any locking on the read path.
+func GenPath(path string, gen uint64) string {
+	if gen == 0 {
+		return path
+	}
+	if dot := strings.LastIndexByte(path, '.'); dot > strings.LastIndexByte(path, '/') {
+		return fmt.Sprintf("%s.g%d%s", path[:dot], gen, path[dot:])
+	}
+	return fmt.Sprintf("%s.g%d", path, gen)
+}

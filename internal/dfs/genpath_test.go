@@ -1,0 +1,37 @@
+package dfs
+
+import "testing"
+
+func TestGenPath(t *testing.T) {
+	cases := []struct {
+		path string
+		gen  uint64
+		want string
+	}{
+		{"levels/L01/p3.pcol", 0, "levels/L01/p3.pcol"},
+		{"levels/L01/p3.pcol", 1, "levels/L01/p3.g1.pcol"},
+		{"levels/L01/p3.pcol", 42, "levels/L01/p3.g42.pcol"},
+		{"noext", 2, "noext.g2"},
+		{"dir.v2/noext", 3, "dir.v2/noext.g3"},
+		{"dir.v2/file.bin", 3, "dir.v2/file.g3.bin"},
+	}
+	for _, c := range cases {
+		if got := GenPath(c.path, c.gen); got != c.want {
+			t.Errorf("GenPath(%q, %d) = %q, want %q", c.path, c.gen, got, c.want)
+		}
+	}
+}
+
+// TestGenPathDistinct: distinct generations of one path never collide,
+// and never collide with the base path — the invariant the epoch store's
+// retire-then-GC protocol relies on.
+func TestGenPathDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for gen := uint64(0); gen < 20; gen++ {
+		p := GenPath("levels/L01/p3.pcol", gen)
+		if seen[p] {
+			t.Fatalf("generation %d collides: %q", gen, p)
+		}
+		seen[p] = true
+	}
+}

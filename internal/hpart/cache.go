@@ -10,33 +10,58 @@ import (
 // by query processors that do not choose one.
 const DefaultSubPartCacheSize = 64
 
+// cacheKey identifies one decoded file in the cache: the sub-partition
+// plus the generation of the backing file. Keying by generation means
+// snapshots pinned to different epochs never observe each other's rows —
+// a rewrite creates a new generation and therefore a fresh cache slot,
+// while the retired generation's entry stays valid for readers still
+// pinned to it (the epoch GC purges it once nobody can read it).
+type cacheKey struct {
+	key SubPartKey
+	gen uint64
+}
+
 // subPartCache is a concurrency-safe LRU of decoded sub-partitions.
 // Repeated queries over the same layout skip the dfs read and the
-// columnar decode for cached entries; the maintainer invalidates an
-// entry whenever it rewrites the backing file, so cached rows are always
-// the current file contents. Cached slices are shared between callers
-// and must be treated as immutable.
+// columnar decode for cached entries. Cached slices are shared between
+// callers and must be treated as immutable.
+//
+// Puts are generation-tagged to close the read/rewrite race: a reader
+// draws a ticket (beginRead) before touching storage, and its put is
+// dropped if the entry was invalidated after the ticket was drawn — the
+// decoded bytes may predate the rewrite, and re-inserting them would
+// resurrect stale rows. Without the ticket, the interleaving
+//
+//	reader: miss → read old file ............ put(old rows)   ← stale!
+//	writer:            invalidate → rewrite file
+//
+// leaves the cache permanently serving pre-rewrite data.
 type subPartCache struct {
 	mu      sync.Mutex
 	cap     int
 	ll      *list.List // front = most recently used
-	entries map[SubPartKey]*list.Element
+	entries map[cacheKey]*list.Element
+	// ticket is a monotonic clock ordering reads against invalidations;
+	// invalidatedAt records, per key, the ticket of its last invalidate.
+	ticket        uint64
+	invalidatedAt map[cacheKey]uint64
 }
 
 type cacheEntry struct {
-	key   SubPartKey
+	key   cacheKey
 	pairs []Pair
 }
 
 func newSubPartCache(capacity int) *subPartCache {
 	return &subPartCache{
-		cap:     capacity,
-		ll:      list.New(),
-		entries: make(map[SubPartKey]*list.Element, capacity),
+		cap:           capacity,
+		ll:            list.New(),
+		entries:       make(map[cacheKey]*list.Element, capacity),
+		invalidatedAt: make(map[cacheKey]uint64),
 	}
 }
 
-func (c *subPartCache) get(key SubPartKey) ([]Pair, bool) {
+func (c *subPartCache) get(key cacheKey) ([]Pair, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
@@ -47,9 +72,24 @@ func (c *subPartCache) get(key SubPartKey) ([]Pair, bool) {
 	return el.Value.(*cacheEntry).pairs, true
 }
 
-func (c *subPartCache) put(key SubPartKey, pairs []Pair) {
+// beginRead draws the ticket a reader must present to put: any
+// invalidation that happens after this call outranks the eventual put.
+func (c *subPartCache) beginRead() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ticket++
+	return c.ticket
+}
+
+// put inserts rows decoded by a read that started at the given ticket.
+// The put is dropped when the key was invalidated after the ticket was
+// drawn: the rows were decoded from the pre-invalidation file contents.
+func (c *subPartCache) put(key cacheKey, pairs []Pair, ticket uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.invalidatedAt[key] > ticket {
+		return // stale: file rewritten while the read was in flight
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).pairs = pairs
 		c.ll.MoveToFront(el)
@@ -63,9 +103,27 @@ func (c *subPartCache) put(key SubPartKey, pairs []Pair) {
 	}
 }
 
-func (c *subPartCache) invalidate(key SubPartKey) {
+// invalidate evicts a key and bars any in-flight read that started
+// before now from re-inserting it.
+func (c *subPartCache) invalidate(key cacheKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ticket++
+	c.invalidatedAt[key] = c.ticket
+	if el, ok := c.entries[key]; ok {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// purge forgets a key entirely — entry and invalidation bookkeeping.
+// The epoch GC calls it when a retired generation file is deleted: the
+// (key, generation) pair can never be read again, so nothing is left to
+// guard against.
+func (c *subPartCache) purge(key cacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.invalidatedAt, key)
 	if el, ok := c.entries[key]; ok {
 		c.ll.Remove(el)
 		delete(c.entries, key)
@@ -115,11 +173,11 @@ func (l *Layout) subPartCache() *subPartCache {
 	return c
 }
 
-// invalidateSubPart evicts a cached sub-partition after its file is
-// rewritten or removed.
+// invalidateSubPart evicts a cached sub-partition after its backing file
+// (at the layout's current generation) is rewritten or removed in place.
 func (l *Layout) invalidateSubPart(key SubPartKey) {
 	if c := l.subPartCache(); c != nil {
-		c.invalidate(key)
+		c.invalidate(cacheKey{key: key, gen: l.gen[key]})
 	}
 }
 
@@ -127,20 +185,27 @@ func (l *Layout) invalidateSubPart(key SubPartKey) {
 // cache: a hit returns the decoded rows without touching storage (the
 // returned slice is shared — callers must not mutate it). Without an
 // installed cache it degrades to a plain read with hit=false. Failed
-// reads are never cached.
+// reads are never cached, and a read that raced a rewrite of the same
+// generation is dropped rather than cached (see subPartCache).
 func (l *Layout) ReadSubPartitionCached(ctx context.Context, key SubPartKey) (pairs []Pair, hit bool, err error) {
 	c := l.subPartCache()
+	ck := cacheKey{key: key, gen: l.gen[key]}
+	var ticket uint64
 	if c != nil {
-		if pairs, ok := c.get(key); ok {
+		if pairs, ok := c.get(ck); ok {
 			return pairs, true, nil
 		}
+		ticket = c.beginRead()
 	}
 	pairs, err = l.ReadSubPartitionCtx(ctx, key)
 	if err != nil {
 		return nil, false, err
 	}
+	if l.readHook != nil {
+		l.readHook(key)
+	}
 	if c != nil {
-		c.put(key, pairs)
+		c.put(ck, pairs, ticket)
 	}
 	return pairs, false, nil
 }

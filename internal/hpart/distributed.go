@@ -104,6 +104,7 @@ func PartitionDistributed(g *rdf.Graph, ctx *dataflow.Context, opts Options) (*L
 		SI:          make(map[rdf.ID]int),
 		OI:          make(map[rdf.ID]LevelSet),
 		SubPartRows: make(map[SubPartKey]int),
+		gen:         make(map[SubPartKey]uint64),
 		fs:          fs,
 	}
 	lay.LevelTriples = make([]int64, lay.NumLevels)

@@ -1,0 +1,426 @@
+package hpart
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readAll snapshots every sub-partition's rows of a layout.
+func readAll(t *testing.T, lay *Layout) map[SubPartKey][]Pair {
+	t.Helper()
+	out := make(map[SubPartKey][]Pair)
+	for _, key := range lay.SubPartitions() {
+		pairs, err := lay.ReadSubPartition(key)
+		if err != nil {
+			t.Fatalf("read %v: %v", key, err)
+		}
+		out[key] = pairs
+	}
+	return out
+}
+
+// TestStoreSnapshotIsolation is the tentpole's core property: a pinned
+// snapshot keeps returning exactly its epoch's rows while a maintainer
+// publishes a new epoch, and the new epoch equals a from-scratch
+// partition of the updated graph.
+func TestStoreSnapshotIsolation(t *testing.T) {
+	g := randomGraph(11, 60, 5)
+	lay := rebuild(t, g)
+	store := NewStore(lay)
+	m, err := NewStoreMaintainer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, release := store.Pin()
+	defer release()
+	before := readAll(t, pinned)
+
+	// The batch both moves existing subjects (CS change) and adds a new
+	// one, so several sub-partitions are rewritten.
+	add := []rdf.Triple{
+		{S: g.Dict.EncodeIRI("http://x/s0"), P: g.Dict.EncodeIRI("http://x/extra"), O: g.Dict.EncodeIRI("http://x/o0")},
+		{S: g.Dict.EncodeIRI("http://x/brand-new"), P: g.Dict.EncodeIRI("http://x/p0"), O: g.Dict.EncodeIRI("http://x/o1")},
+	}
+	tr := g.Triples[0]
+	remove := []rdf.Triple{tr}
+	if err := m.Apply(add, remove); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := store.Epoch(); got != 1 {
+		t.Fatalf("store epoch = %d, want 1", got)
+	}
+	if pinned.Epoch() != 0 {
+		t.Fatalf("pinned snapshot epoch = %d, want 0", pinned.Epoch())
+	}
+
+	// The pinned snapshot is bit-for-bit unchanged: same inventory, same
+	// rows, readable from storage even though the new epoch superseded
+	// some of its files.
+	after := readAll(t, pinned)
+	if len(after) != len(before) {
+		t.Fatalf("pinned inventory changed: %d keys, had %d", len(after), len(before))
+	}
+	for key, want := range before {
+		if !pairsEqual(after[key], want) {
+			t.Fatalf("pinned snapshot rows changed for %v", key)
+		}
+	}
+
+	// The published epoch equals a from-scratch partition of the updated
+	// graph.
+	g2 := &rdf.Graph{Dict: g.Dict}
+	for _, x := range g.Triples {
+		if x != tr {
+			g2.AddID(x)
+		}
+	}
+	for _, x := range add {
+		g2.AddID(x)
+	}
+	g2.Dedup()
+	layoutsEquivalent(t, store.Current(), rebuild(t, g2), "published epoch")
+}
+
+// TestEpochGCWaitsForPins verifies the GC contract: generation files
+// retired by a publish survive exactly as long as some query pins an
+// epoch that can read them.
+func TestEpochGCWaitsForPins(t *testing.T) {
+	g := randomGraph(7, 50, 4)
+	lay := rebuild(t, g)
+	store := NewStore(lay)
+	m, err := NewStoreMaintainer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, release := store.Pin()
+	oldPaths := make(map[SubPartKey]string)
+	for _, key := range pinned.SubPartitions() {
+		oldPaths[key] = pinned.subPartFile(key)
+	}
+
+	add := []rdf.Triple{{
+		S: g.Dict.EncodeIRI("http://x/s0"),
+		P: g.Dict.EncodeIRI("http://x/extra"),
+		O: g.Dict.EncodeIRI("http://x/o0"),
+	}}
+	if err := m.Apply(add, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := store.Current()
+	var rewritten []SubPartKey
+	for key, path := range oldPaths {
+		if !cur.HasSubPartition(key) || cur.subPartFile(key) != path {
+			rewritten = append(rewritten, key)
+		}
+	}
+	if len(rewritten) == 0 {
+		t.Fatal("update rewrote no sub-partitions; test is vacuous")
+	}
+
+	st := store.Stats()
+	if st.RetiredFiles == 0 || st.FilesRemoved != 0 {
+		t.Fatalf("with a pin: stats %+v, want retired files and no removals", st)
+	}
+	for _, key := range rewritten {
+		if !lay.FS().Exists(oldPaths[key]) {
+			t.Fatalf("retired file %s deleted while epoch 0 still pinned", oldPaths[key])
+		}
+		// And the pinned snapshot still reads it.
+		if _, err := pinned.ReadSubPartition(key); err != nil {
+			t.Fatalf("pinned read of %v failed: %v", key, err)
+		}
+	}
+
+	// A second pin of the *current* epoch must not keep the retired
+	// files alive once the old pin goes away.
+	_, release1 := store.Pin()
+	release()
+
+	st = store.Stats()
+	if st.RetiredFiles != 0 || st.FilesRemoved == 0 {
+		t.Fatalf("after last epoch-0 pin released: stats %+v, want all retired files removed", st)
+	}
+	for _, key := range rewritten {
+		if lay.FS().Exists(oldPaths[key]) {
+			t.Fatalf("retired file %s survived GC", oldPaths[key])
+		}
+	}
+	release1()
+
+	// release is idempotent: a double release must not corrupt pin
+	// accounting.
+	release()
+	if st := store.Stats(); st.PinnedQueries != 0 {
+		t.Fatalf("pins leaked: %+v", st)
+	}
+}
+
+// TestStoreRandomizedEquivalence mirrors the maintainer property test in
+// snapshot mode: every published epoch must equal a from-scratch
+// partition of the updated graph, and a Load from the same storage must
+// reconstruct it (generation-suffixed paths included).
+func TestStoreRandomizedEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(seed, 80, 5)
+		lay := rebuild(t, g)
+		store := NewStore(lay)
+		m, err := NewStoreMaintainer(store)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		current := make(map[rdf.Triple]bool, g.Len())
+		for _, tr := range g.Triples {
+			current[tr] = true
+		}
+
+		for batch := 0; batch < 4; batch++ {
+			var add, remove []rdf.Triple
+			for tr := range current {
+				if rng.Float64() < 0.08 {
+					remove = append(remove, tr)
+				}
+				if len(remove) >= 10 {
+					break
+				}
+			}
+			for i := 0; i < 12; i++ {
+				s := g.Dict.EncodeIRI(fmt.Sprintf("http://x/s%d", rng.Intn(100)))
+				p := g.Dict.EncodeIRI(fmt.Sprintf("http://x/p%d", rng.Intn(7)))
+				o := g.Dict.EncodeIRI(fmt.Sprintf("http://x/o%d", rng.Intn(60)))
+				add = append(add, rdf.Triple{S: s, P: p, O: o})
+			}
+			if err := m.Apply(add, remove); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
+			}
+			if got := store.Epoch(); got != uint64(batch+1) {
+				t.Fatalf("seed %d batch %d: epoch %d", seed, batch, got)
+			}
+			for _, tr := range remove {
+				delete(current, tr)
+			}
+			for _, tr := range add {
+				current[tr] = true
+			}
+
+			g2 := &rdf.Graph{Dict: g.Dict}
+			for tr := range current {
+				g2.AddID(tr)
+			}
+			g2.Dedup()
+			label := fmt.Sprintf("seed %d batch %d", seed, batch)
+			layoutsEquivalent(t, store.Current(), rebuild(t, g2), label)
+
+			// Persistence round-trip: meta column 7 carries generations,
+			// so the loaded layout reads the same generation files.
+			loaded, err := Load(lay.FS(), g.Dict)
+			if err != nil {
+				t.Fatalf("%s: load: %v", label, err)
+			}
+			layoutsEquivalent(t, loaded, store.Current(), label+" loaded")
+		}
+		// Nothing pinned: the GC must have drained every retired file.
+		if st := store.Stats(); st.RetiredFiles != 0 {
+			t.Fatalf("seed %d: %d retired files leaked", seed, st.RetiredFiles)
+		}
+	}
+}
+
+// TestGenerationsNeverRegress: deleting a sub-partition and re-creating
+// it later must produce a generation (and file path) never used before,
+// so a pinned epoch reading the old generation cannot collide with it.
+func TestGenerationsNeverRegress(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	g.Add(iri("a"), iri("p"), iri("x"))
+	g.Add(iri("b"), iri("p"), iri("y"))
+	g.Add(iri("b"), iri("q"), iri("y"))
+	g.Dedup()
+	lay := rebuild(t, g)
+	store := NewStore(lay)
+	m, err := NewStoreMaintainer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := g.Dict.LookupIRI("a")
+	p := g.Dict.LookupIRI("p")
+	q := g.Dict.LookupIRI("q")
+	x := g.Dict.LookupIRI("x")
+
+	seen := make(map[string]bool)
+	record := func() {
+		for _, key := range store.Current().SubPartitions() {
+			seen[store.Current().subPartFile(key)] = true
+		}
+	}
+	record()
+
+	// Remove a's only triple (its sub-partition may vanish), then re-add
+	// it, twice over, verifying each re-created file is a fresh path.
+	for i := 0; i < 2; i++ {
+		if err := m.Apply(nil, []rdf.Triple{{S: a, P: p, O: x}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Apply([]rdf.Triple{{S: a, P: p, O: x}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur := store.Current()
+		for _, key := range cur.SubPartitions() {
+			if key.Prop != p && key.Prop != q {
+				continue
+			}
+			path := cur.subPartFile(key)
+			if seen[path] {
+				t.Fatalf("round %d: generation path %s reused", i, path)
+			}
+			seen[path] = true
+		}
+	}
+}
+
+// TestStaleCachePutDropped is the deterministic regression test for the
+// invalidate/rewrite cache race (satellite of the snapshot-isolation
+// issue): a cached read that decodes a file, loses the CPU to an
+// in-place maintainer rewrite of the same sub-partition, and then
+// performs its cache put must NOT install the pre-rewrite rows.
+func TestStaleCachePutDropped(t *testing.T) {
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	// s1 and s2 share CS {p, q}: one sub-partition per property holds
+	// both subjects' rows.
+	g.Add(iri("s1"), iri("p"), iri("o1"))
+	g.Add(iri("s1"), iri("q"), iri("o1"))
+	g.Add(iri("s2"), iri("p"), iri("o2"))
+	g.Add(iri("s2"), iri("q"), iri("o2"))
+	g.Dedup()
+	lay := rebuild(t, g)
+	lay.EnableSubPartCache(8)
+
+	s1 := g.Dict.LookupIRI("s1")
+	p := g.Dict.LookupIRI("p")
+	key := SubPartKey{Level: lay.SI[s1], Prop: p}
+	if !lay.HasSubPartition(key) {
+		t.Fatalf("no sub-partition %v", key)
+	}
+
+	m, err := NewMaintainer(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The hook runs after the reader decoded the OLD file contents but
+	// before its cache put — exactly the lost-CPU window. The update
+	// gives s1 a new property, so its CS changes and its rows move out of
+	// key's file, which is rewritten in place with only s2's rows.
+	fired := false
+	lay.readHook = func(k SubPartKey) {
+		if k != key || fired {
+			return
+		}
+		fired = true
+		add := []rdf.Triple{{S: s1, P: g.Dict.EncodeIRI("r"), O: g.Dict.EncodeIRI("o3")}}
+		if err := m.AddTriples(add); err != nil {
+			t.Errorf("concurrent apply: %v", err)
+		}
+	}
+	defer func() { lay.readHook = nil }()
+
+	stale, _, err := lay.ReadSubPartitionCached(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("rewrite hook never fired")
+	}
+	// The interleaved read itself returns pre-rewrite rows — that is
+	// fine (it raced the writer; both row sets are committed states).
+	// What must NOT happen is that row set being served from the cache
+	// afterwards.
+	if len(stale) != 2 {
+		t.Fatalf("interleaved read returned %d rows, want 2 pre-rewrite rows", len(stale))
+	}
+
+	fresh, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("stale put survived: post-rewrite read was served from cache")
+	}
+	want, err := lay.ReadSubPartition(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(fresh, want) {
+		t.Fatalf("post-rewrite cached read = %v, want %v", fresh, want)
+	}
+	for _, pr := range fresh {
+		if pr.S == s1 {
+			t.Fatal("post-rewrite read still contains the moved subject's row")
+		}
+	}
+
+	// And now the cache serves the fresh rows.
+	again, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || !pairsEqual(again, want) {
+		t.Fatal("fresh rows were not cached")
+	}
+}
+
+// TestCloneIsolation: mutating a clone's maps must not leak into the
+// original (the maintainer relies on this for copy-on-write batches).
+func TestCloneIsolation(t *testing.T) {
+	g := randomGraph(3, 30, 3)
+	lay := rebuild(t, g)
+	cp := lay.Clone()
+
+	var someKey SubPartKey
+	for key := range lay.SubPartRows {
+		someKey = key
+		break
+	}
+	cp.SubPartRows[someKey] = 999999
+	cp.gen[someKey] = 42
+	cp.SI[12345] = 7
+
+	if lay.SubPartRows[someKey] == 999999 {
+		t.Error("SubPartRows shared between clone and original")
+	}
+	if lay.gen[someKey] == 42 {
+		t.Error("gen shared between clone and original")
+	}
+	if lay.SI[12345] == 7 {
+		t.Error("SI shared between clone and original")
+	}
+	if cp.Dict != lay.Dict {
+		t.Error("Dict must be shared")
+	}
+	if cp.subPartCache() != lay.subPartCache() {
+		t.Error("decoded cache must be shared (entries are generation-keyed)")
+	}
+}

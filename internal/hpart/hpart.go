@@ -18,6 +18,7 @@ package hpart
 import (
 	"context"
 	"fmt"
+	"maps"
 	"sync"
 	"time"
 
@@ -73,10 +74,25 @@ type Layout struct {
 	// (§6.2 extension); nil when not built.
 	blooms map[SubPartKey]SubPartBlooms
 
+	// gen maps a sub-partition to the generation of its backing file;
+	// an absent key means generation 0, the path Partition writes. The
+	// epoch maintainer bumps a sub-partition's generation on every
+	// rewrite so snapshots pinned to older epochs keep reading their
+	// own (still present) files.
+	gen map[SubPartKey]uint64
+	// epoch numbers the snapshot this layout represents; 0 for a fresh
+	// or loaded layout, assigned by Store.publish afterwards.
+	epoch uint64
+
 	// cache is the optional LRU of decoded sub-partitions (see
 	// EnableSubPartCache); cacheMu guards installation/removal.
 	cacheMu sync.Mutex
 	cache   *subPartCache
+
+	// readHook, when non-nil, runs between a cache-missing storage read
+	// and the cache re-insert. Test instrumentation only: it opens the
+	// read/rewrite interleaving window deterministically.
+	readHook func(SubPartKey)
 }
 
 // Options configures Partition.
@@ -119,6 +135,7 @@ func Partition(g *rdf.Graph, opts Options) (*Layout, error) {
 		OI:           make(map[rdf.ID]LevelSet),
 		SubPartRows:  make(map[SubPartKey]int),
 		LevelTriples: make([]int64, h.MaxLevel()),
+		gen:          make(map[SubPartKey]uint64),
 		fs:           fs,
 	}
 
@@ -197,8 +214,56 @@ func Partition(g *rdf.Graph, opts Options) (*Layout, error) {
 	return lay, nil
 }
 
+// subPartPath is the generation-0 path of a sub-partition — the name
+// Partition writes. Rewrites by an epoch maintainer land on successive
+// generations of this path (see Layout.subPartFile).
 func subPartPath(key SubPartKey) string {
 	return fmt.Sprintf("levels/L%02d/p%d.pcol", key.Level, key.Prop)
+}
+
+// subPartFile is the path of the sub-partition file this layout snapshot
+// reads: the generation the layout's gen map pins.
+func (l *Layout) subPartFile(key SubPartKey) string {
+	return dfs.GenPath(subPartPath(key), l.gen[key])
+}
+
+// Generation reports the file generation backing a sub-partition in this
+// snapshot (0 for files written by Partition and never rewritten).
+func (l *Layout) Generation(key SubPartKey) uint64 { return l.gen[key] }
+
+// Epoch reports the snapshot's epoch number: 0 for a fresh or loaded
+// layout, and the publish sequence number for layouts obtained from a
+// Store.
+func (l *Layout) Epoch() uint64 { return l.epoch }
+
+// Clone returns a copy-on-write snapshot of the layout: the index maps,
+// sub-partition inventory, generations, and bloom filters are copied so
+// the clone can be mutated without affecting concurrent readers of the
+// receiver. The dictionary, hierarchy, file system, and the decoded
+// sub-partition cache are shared — the cache is keyed by file generation,
+// so entries of different snapshots never collide.
+func (l *Layout) Clone() *Layout {
+	cp := &Layout{
+		Dict:           l.Dict,
+		Hierarchy:      l.Hierarchy,
+		NumLevels:      l.NumLevels,
+		VP:             maps.Clone(l.VP),
+		SI:             maps.Clone(l.SI),
+		OI:             maps.Clone(l.OI),
+		SubPartRows:    maps.Clone(l.SubPartRows),
+		LevelTriples:   append([]int64(nil), l.LevelTriples...),
+		PreprocessTime: l.PreprocessTime,
+		StoredBytes:    l.StoredBytes,
+		fs:             l.fs,
+		blooms:         maps.Clone(l.blooms),
+		gen:            maps.Clone(l.gen),
+		epoch:          l.epoch,
+		cache:          l.subPartCache(),
+	}
+	if cp.gen == nil {
+		cp.gen = make(map[SubPartKey]uint64)
+	}
+	return cp
 }
 
 // FS returns the file system backing the layout.
@@ -231,7 +296,7 @@ func (l *Layout) ReadSubPartition(key SubPartKey) ([]Pair, error) {
 // once ctx is done, so a stuck storage node cannot hang a query past its
 // deadline.
 func (l *Layout) ReadSubPartitionCtx(ctx context.Context, key SubPartKey) ([]Pair, error) {
-	data, err := l.fs.ReadFileCtx(ctx, subPartPath(key))
+	data, err := l.fs.ReadFileCtx(ctx, l.subPartFile(key))
 	if err != nil {
 		return nil, fmt.Errorf("hpart: open %s: %w", key, err)
 	}

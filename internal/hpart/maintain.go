@@ -2,10 +2,12 @@ package hpart
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"ping/internal/columnar"
 	"ping/internal/cs"
+	"ping/internal/dfs"
 	"ping/internal/rdf"
 )
 
@@ -26,8 +28,20 @@ import (
 // All layout invariants (modularity, losslessness, index consistency) are
 // preserved; the equivalence tests check the maintained layout against a
 // from-scratch Partition of the updated graph.
+//
+// A maintainer runs in one of two modes. In-place (NewMaintainer): the
+// layout is mutated directly and files are rewritten under their current
+// names — correct only when no queries run concurrently. Snapshot
+// (NewStoreMaintainer): every Apply clones the latest epoch, writes
+// rewritten sub-partitions to fresh generation-suffixed files, and
+// publishes the clone through the Store; concurrent queries keep reading
+// their pinned epoch untouched. Either way a maintainer is a
+// single-writer object: calls into one maintainer must be serialized by
+// the caller.
 type Maintainer struct {
 	lay *Layout
+	// store, when non-nil, switches the maintainer to snapshot mode.
+	store *Store
 	// csBySubject is the live CS of every subject.
 	csBySubject map[rdf.ID]cs.Set
 	// csCount is the number of subjects per CS key (the hierarchy is the
@@ -38,6 +52,16 @@ type Maintainer struct {
 	// oiCount tracks, per (object, level), how many triples reference the
 	// object there — the exact refcounts behind the OI index.
 	oiCount map[objLevel]int
+
+	// genSeq is the highest generation ever written per sub-partition.
+	// It never regresses — not even when a sub-partition is deleted and
+	// later re-created — so a new file can never collide with a retired
+	// generation some pinned epoch still reads.
+	genSeq map[SubPartKey]uint64
+	// retired / created accumulate, during one snapshot-mode Apply, the
+	// files superseded by the batch and the files the batch wrote.
+	retired []retiredFile
+	created map[string]bool
 }
 
 type objLevel struct {
@@ -55,6 +79,10 @@ func NewMaintainer(lay *Layout) (*Maintainer, error) {
 		csCount:     make(map[string]int),
 		csByKey:     make(map[string]cs.Set),
 		oiCount:     make(map[objLevel]int),
+		genSeq:      maps.Clone(lay.gen),
+	}
+	if m.genSeq == nil {
+		m.genSeq = make(map[SubPartKey]uint64)
 	}
 	propsBySubject := make(map[rdf.ID][]rdf.ID)
 	for _, key := range lay.SubPartitions() {
@@ -80,7 +108,25 @@ func NewMaintainer(lay *Layout) (*Maintainer, error) {
 	return m, nil
 }
 
-// Layout returns the maintained layout.
+// NewStoreMaintainer builds a snapshot-mode maintainer over the store's
+// current epoch: every applied batch is built copy-on-write and
+// published as a new epoch, leaving all older epochs readable for the
+// queries pinning them. One maintainer per store; calls must be
+// serialized by the caller. After a failed Apply the maintainer's
+// internal bookkeeping may be inconsistent and it must be rebuilt with
+// NewStoreMaintainer — the store itself is unaffected (the failed epoch
+// is never published).
+func NewStoreMaintainer(store *Store) (*Maintainer, error) {
+	m, err := NewMaintainer(store.Current())
+	if err != nil {
+		return nil, err
+	}
+	m.store = store
+	return m, nil
+}
+
+// Layout returns the maintained layout: in snapshot mode, the most
+// recently published epoch's layout.
 func (m *Maintainer) Layout() *Layout { return m.lay }
 
 // AddTriples applies a batch of additions. Duplicate triples (already
@@ -110,6 +156,36 @@ func (m *Maintainer) apply(add, remove []rdf.Triple) error {
 	if len(add) == 0 && len(remove) == 0 {
 		return nil
 	}
+	if m.store == nil {
+		return m.applyBatch(add, remove)
+	}
+	// Snapshot mode: mutate a copy-on-write clone of the latest epoch.
+	// All file writes inside the batch go to fresh generation names, so
+	// nothing the clone does is observable until publish.
+	base := m.lay
+	m.lay = base.Clone()
+	m.retired = nil
+	m.created = make(map[string]bool)
+	if err := m.applyBatch(add, remove); err != nil {
+		// The failed epoch is never published: concurrent queries are
+		// unaffected. Delete the orphaned generation files it wrote and
+		// restore the published layout. The maintainer's CS bookkeeping
+		// may be torn; callers must rebuild it (see NewStoreMaintainer).
+		for path := range m.created {
+			if m.lay.fs.Exists(path) {
+				_ = m.lay.fs.Remove(path)
+			}
+		}
+		m.lay = base
+		m.retired, m.created = nil, nil
+		return err
+	}
+	m.store.publish(m.lay, m.retired)
+	m.retired, m.created = nil, nil
+	return nil
+}
+
+func (m *Maintainer) applyBatch(add, remove []rdf.Triple) error {
 	deltas := make(map[rdf.ID]*subjectDelta)
 	delta := func(s rdf.ID) *subjectDelta {
 		d := deltas[s]
@@ -330,27 +406,35 @@ func (m *Maintainer) placeSubjects(h *cs.Hierarchy, moved map[rdf.ID]bool, rowsB
 	return nil
 }
 
-// writeSubPartition persists a sub-partition's rows (removing the file
-// when empty) and keeps SubPartRows, StoredBytes, and VP in sync.
+// writeSubPartition persists a sub-partition's rows and keeps
+// SubPartRows, StoredBytes, and VP in sync. In-place mode rewrites (or
+// removes) the file under its current name and invalidates the decoded
+// cache only after the new contents are committed — a concurrent cached
+// read that decoded the old bytes then fails the generation-tagged put
+// instead of resurrecting stale rows. Snapshot mode writes the next
+// generation under a fresh name and retires the old file for the epoch
+// GC, leaving pinned snapshots untouched.
 func (m *Maintainer) writeSubPartition(key SubPartKey, rows []Pair) error {
-	path := subPartPath(key)
-	// The file contents change (or vanish): drop any cached decode so
-	// queries never see stale rows.
-	m.lay.invalidateSubPart(key)
-	if info, err := m.lay.fs.Stat(path); err == nil {
-		m.lay.StoredBytes -= info.Size
+	lay := m.lay
+	oldGen := lay.gen[key]
+	oldPath := lay.subPartFile(key)
+	oldExists := false
+	if info, err := lay.fs.Stat(oldPath); err == nil {
+		lay.StoredBytes -= info.Size
+		oldExists = true
 	}
 	if len(rows) == 0 {
-		delete(m.lay.SubPartRows, key)
-		if m.lay.fs.Exists(path) {
-			if err := m.lay.fs.Remove(path); err != nil {
-				return fmt.Errorf("hpart: %w", err)
+		delete(lay.SubPartRows, key)
+		delete(lay.gen, key)
+		if oldExists {
+			if err := m.dropFile(key, oldGen, oldPath); err != nil {
+				return err
 			}
 		}
-		if m.lay.blooms != nil {
-			delete(m.lay.blooms, key)
-			if m.lay.fs.Exists(bloomPath(key)) {
-				if err := m.lay.fs.Remove(bloomPath(key)); err != nil {
+		if lay.blooms != nil {
+			delete(lay.blooms, key)
+			if lay.fs.Exists(bloomPath(key)) {
+				if err := lay.fs.Remove(bloomPath(key)); err != nil {
 					return fmt.Errorf("hpart: %w", err)
 				}
 			}
@@ -370,7 +454,18 @@ func (m *Maintainer) writeSubPartition(key SubPartKey, rows []Pair) error {
 		scol[i] = pr.S
 		ocol[i] = pr.O
 	}
-	w, err := m.lay.fs.Create(path)
+	path := oldPath
+	if m.store != nil {
+		next := m.genSeq[key]
+		if oldGen > next {
+			next = oldGen
+		}
+		next++
+		m.genSeq[key] = next
+		lay.gen[key] = next
+		path = dfs.GenPath(subPartPath(key), next)
+	}
+	w, err := lay.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("hpart: %w", err)
 	}
@@ -381,17 +476,54 @@ func (m *Maintainer) writeSubPartition(key SubPartKey, rows []Pair) error {
 	if err != nil {
 		return fmt.Errorf("hpart: rewrite %s: %w", key, err)
 	}
-	m.lay.StoredBytes += n
-	m.lay.SubPartRows[key] = len(rows)
-	if m.lay.blooms != nil {
+	if m.store != nil {
+		m.created[path] = true
+		if oldExists {
+			if err := m.dropFile(key, oldGen, oldPath); err != nil {
+				return err
+			}
+		}
+	}
+	lay.StoredBytes += n
+	lay.SubPartRows[key] = len(rows)
+	if lay.blooms != nil {
 		// Bloom filters cannot delete, so a rewrite rebuilds the filter.
 		b := buildBlooms(rows)
-		m.lay.blooms[key] = b
-		if err := m.lay.writeBlooms(key, b); err != nil {
+		lay.blooms[key] = b
+		if err := lay.writeBlooms(key, b); err != nil {
 			return err
 		}
 	}
+	if m.store == nil {
+		// In-place rewrite: evict the cached decode now that the new
+		// contents are live.
+		lay.invalidateSubPart(key)
+	}
 	m.refreshVP(key.Prop)
+	return nil
+}
+
+// dropFile disposes of a superseded generation file. Snapshot mode
+// retires it for the epoch GC — unless it was created by the current
+// (unpublished) batch, in which case no epoch ever saw it and it is
+// deleted immediately. In-place mode removes it and evicts its cache
+// slot.
+func (m *Maintainer) dropFile(key SubPartKey, gen uint64, path string) error {
+	if m.store != nil {
+		if !m.created[path] {
+			m.retired = append(m.retired, retiredFile{path: path, key: key, gen: gen})
+			return nil
+		}
+		delete(m.created, path)
+	}
+	if m.lay.fs.Exists(path) {
+		if err := m.lay.fs.Remove(path); err != nil {
+			return fmt.Errorf("hpart: %w", err)
+		}
+	}
+	if c := m.lay.subPartCache(); c != nil {
+		c.invalidate(cacheKey{key: key, gen: gen})
+	}
 	return nil
 }
 

@@ -81,8 +81,10 @@ func (l *Layout) writeIndexes() error {
 	}
 
 	// Meta: hierarchy depth, per-level triple counts (split 64-bit), and
-	// the sub-partition inventory with row counts.
-	meta := make([][]uint32, 6)
+	// the sub-partition inventory with row counts and file generations
+	// (column 6; layouts written before epoch support omit it and load
+	// as all-zero generations).
+	meta := make([][]uint32, 7)
 	meta[0] = []uint32{uint32(l.NumLevels)}
 	for _, n := range l.LevelTriples {
 		meta[1] = append(meta[1], uint32(uint64(n)&0xffffffff))
@@ -92,6 +94,7 @@ func (l *Layout) writeIndexes() error {
 		meta[3] = append(meta[3], uint32(key.Level))
 		meta[4] = append(meta[4], key.Prop)
 		meta[5] = append(meta[5], uint32(rows))
+		meta[6] = append(meta[6], uint32(l.gen[key]))
 	}
 	return write(metaPath, meta)
 }
@@ -118,7 +121,7 @@ func (l *Layout) SaveDict() error {
 // persisted — query processing only needs the indexes — so
 // Layout.Hierarchy is nil on loaded layouts.
 func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
-	read := func(path string, wantCols int) ([][]uint32, error) {
+	read := func(path string, wantCols ...int) ([][]uint32, error) {
 		r, err := fs.Open(path)
 		if err != nil {
 			return nil, fmt.Errorf("hpart: %w", err)
@@ -128,10 +131,12 @@ func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
 		if err != nil {
 			return nil, fmt.Errorf("hpart: read %s: %w", path, err)
 		}
-		if len(cols) != wantCols {
-			return nil, fmt.Errorf("hpart: %s has %d columns, want %d", path, len(cols), wantCols)
+		for _, want := range wantCols {
+			if len(cols) == want {
+				return cols, nil
+			}
 		}
-		return cols, nil
+		return nil, fmt.Errorf("hpart: %s has %d columns, want %v", path, len(cols), wantCols)
 	}
 
 	if dict == nil {
@@ -152,10 +157,13 @@ func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
 		SI:          make(map[rdf.ID]int),
 		OI:          make(map[rdf.ID]LevelSet),
 		SubPartRows: make(map[SubPartKey]int),
+		gen:         make(map[SubPartKey]uint64),
 		fs:          fs,
 	}
 
-	meta, err := read(metaPath, 6)
+	// Pre-epoch stores wrote 6 meta columns (no generations); their
+	// sub-partitions all load as generation 0.
+	meta, err := read(metaPath, 7, 6)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +185,10 @@ func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
 	for i := range meta[3] {
 		key := SubPartKey{Level: int(meta[3][i]), Prop: meta[4][i]}
 		lay.SubPartRows[key] = int(meta[5][i])
-		if info, err := fs.Stat(fmt.Sprintf("levels/L%02d/p%d.pcol", key.Level, key.Prop)); err == nil {
+		if len(meta) > 6 && meta[6][i] != 0 {
+			lay.gen[key] = uint64(meta[6][i])
+		}
+		if info, err := fs.Stat(lay.subPartFile(key)); err == nil {
 			stored += info.Size
 		}
 	}

@@ -175,7 +175,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			continue // described but never populated
 		}
 		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
 		for _, sig := range sigsByFam[i] {
@@ -194,6 +194,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// escapeHelp escapes a HELP text per the text exposition format 0.0.4:
+// backslash becomes \\ and newline becomes \n. Backslashes must be
+// escaped first — otherwise a help string containing a literal `\n`
+// (backslash + 'n') and one containing a newline would render
+// identically, and parsers would mis-decode the former.
+func escapeHelp(help string) string {
+	help = strings.ReplaceAll(help, `\`, `\\`)
+	return strings.ReplaceAll(help, "\n", `\n`)
 }
 
 // writePromHistogram renders one histogram series: cumulative _bucket

@@ -55,6 +55,14 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (NDJSON
+// responses) still reach the client line by line when instrumented.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Instrument wraps next with per-route request counting and latency
 // histograms recorded into reg:
 //

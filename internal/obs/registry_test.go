@@ -133,6 +133,35 @@ func TestPrometheusFormatValid(t *testing.T) {
 	}
 }
 
+func TestPrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	// A help text with both escape-worthy characters: a literal backslash
+	// sequence `\n` (which must NOT collapse into a newline escape) and a
+	// real newline.
+	r.Describe("esc_total", `matches the regex \n token`+"\nsecond line")
+	r.Counter("esc_total", nil).Inc()
+
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `# HELP esc_total matches the regex \\n token\nsecond line` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("HELP not escaped per format 0.0.4:\n%s", out)
+	}
+	// No raw newline may survive inside the HELP comment: every line of
+	// the output must be a comment or a valid sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid exposition line %q", line)
+		}
+	}
+}
+
 func TestWriteJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c_total", Labels{"k": "v"}).Add(2)

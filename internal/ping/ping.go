@@ -134,9 +134,15 @@ type Options struct {
 	Metrics *obs.Registry
 }
 
-// Processor answers queries over one partitioned layout.
+// Processor answers queries over one partitioned layout — or, when
+// built with NewProcessorStore, over an epoch store: each query then
+// pins the latest published snapshot for its whole run, so concurrent
+// maintenance batches can publish new epochs without ever being
+// observed mid-query (snapshot isolation; Lemma 4.4 holds against the
+// pinned epoch's exact answer).
 type Processor struct {
 	layout *hpart.Layout
+	store  *hpart.Store
 	opts   Options
 	ctx    *dataflow.Context
 	met    *procMetrics
@@ -158,6 +164,8 @@ type procMetrics struct {
 	stepSeconds     *obs.Histogram
 	pqaSeconds      *obs.Histogram
 	eqaSeconds      *obs.Histogram
+	epoch           *obs.Gauge
+	inflight        *obs.Gauge
 }
 
 func newProcMetrics(reg *obs.Registry) *procMetrics {
@@ -175,6 +183,8 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 	reg.Describe("ping_incremental_steps_total", "PQA steps evaluated semi-naively (delta joins only)")
 	reg.Describe("ping_step_seconds", "wall-clock duration of one slice step (load + evaluate)")
 	reg.Describe("ping_query_seconds", "wall-clock duration of one query run by mode")
+	reg.Describe("ping_epoch", "epoch of the most recently pinned layout snapshot")
+	reg.Describe("ping_inflight_queries", "queries currently executing (PQA and EQA)")
 	return &procMetrics{
 		pqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "pqa"}),
 		eqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "eqa"}),
@@ -189,10 +199,14 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 		stepSeconds:     reg.Histogram("ping_step_seconds", obs.TimeBuckets, nil),
 		pqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "pqa"}),
 		eqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "eqa"}),
+		epoch:           reg.Gauge("ping_epoch", nil),
+		inflight:        reg.Gauge("ping_inflight_queries", nil),
 	}
 }
 
-// NewProcessor creates a processor over a layout.
+// NewProcessor creates a processor over a layout. The layout must not be
+// mutated while queries run; for concurrent query/update workloads use
+// NewProcessorStore.
 func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
 	ctx := opts.Context
 	if ctx == nil {
@@ -204,8 +218,38 @@ func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
 	return &Processor{layout: layout, opts: opts, ctx: ctx, met: newProcMetrics(opts.Metrics)}
 }
 
-// Layout returns the underlying layout.
-func (p *Processor) Layout() *hpart.Layout { return p.layout }
+// NewProcessorStore creates a processor over an epoch store: every query
+// pins the latest published snapshot at its start and releases it at its
+// end, so maintenance batches applied concurrently (via a maintainer
+// built with hpart.NewStoreMaintainer on the same store) never affect
+// queries already in flight. The decoded sub-partition cache installed
+// here is shared by all future epochs (entries are keyed by file
+// generation, so snapshots never observe each other's rows).
+func NewProcessorStore(store *hpart.Store, opts Options) *Processor {
+	p := NewProcessor(store.Current(), opts)
+	p.store = store
+	return p
+}
+
+// Layout returns the underlying layout; for a store-backed processor,
+// the latest published snapshot.
+func (p *Processor) Layout() *hpart.Layout {
+	if p.store != nil {
+		return p.store.Current()
+	}
+	return p.layout
+}
+
+// pin acquires the layout snapshot a query runs against. Store-backed
+// processors pin the store's current epoch (keeping its files alive
+// until release); plain processors return their fixed layout with a
+// no-op release.
+func (p *Processor) pin() (*hpart.Layout, func()) {
+	if p.store != nil {
+		return p.store.Pin()
+	}
+	return p.layout, func() {}
+}
 
 // PatternSlices computes HL(t) — the candidate sub-partitions of one
 // triple pattern (Algorithm 2, line 3): the levels are the intersection
@@ -213,7 +257,10 @@ func (p *Processor) Layout() *hpart.Layout { return p.layout }
 // either the pattern's constant predicate or, for a variable predicate,
 // every property present on those levels.
 func (p *Processor) PatternSlices(pat sparql.TriplePattern) []hpart.SubPartKey {
-	lay := p.layout
+	return p.patternSlices(p.Layout(), pat)
+}
+
+func (p *Processor) patternSlices(lay *hpart.Layout, pat sparql.TriplePattern) []hpart.SubPartKey {
 	levels := lay.AllLevels()
 
 	var props []rdf.ID
@@ -264,7 +311,7 @@ func (p *Processor) PatternSlices(pat sparql.TriplePattern) []hpart.SubPartKey {
 			}
 		}
 	}
-	keys = p.bloomPrune(pat, keys)
+	keys = p.bloomPrune(lay, pat, keys)
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Level != keys[j].Level {
 			return keys[i].Level < keys[j].Level
@@ -277,23 +324,23 @@ func (p *Processor) PatternSlices(pat sparql.TriplePattern) []hpart.SubPartKey {
 // bloomPrune drops candidate sub-partitions whose membership filters rule
 // out the pattern's constant subject/object. Filters have no false
 // negatives, so pruning never loses answers.
-func (p *Processor) bloomPrune(pat sparql.TriplePattern, keys []hpart.SubPartKey) []hpart.SubPartKey {
-	if !p.opts.UseBloomPruning || !p.layout.HasBlooms() {
+func (p *Processor) bloomPrune(lay *hpart.Layout, pat sparql.TriplePattern, keys []hpart.SubPartKey) []hpart.SubPartKey {
+	if !p.opts.UseBloomPruning || !lay.HasBlooms() {
 		return keys
 	}
 	sConst, oConst := rdf.NoID, rdf.NoID
 	if pat.S.IsConcrete() {
-		sConst = p.layout.Dict.Lookup(pat.S)
+		sConst = lay.Dict.Lookup(pat.S)
 	}
 	if pat.O.IsConcrete() {
-		oConst = p.layout.Dict.Lookup(pat.O)
+		oConst = lay.Dict.Lookup(pat.O)
 	}
 	if sConst == rdf.NoID && oConst == rdf.NoID {
 		return keys
 	}
 	kept := keys[:0]
 	for _, k := range keys {
-		b := p.layout.Blooms(k)
+		b := lay.Blooms(k)
 		if b != nil {
 			if sConst != rdf.NoID && !b.Subjects.Contains(uint64(sConst)) {
 				continue
@@ -310,9 +357,13 @@ func (p *Processor) bloomPrune(pat sparql.TriplePattern, keys []hpart.SubPartKey
 // QuerySlices returns HL(t) for every plain pattern of q. The query is
 // safe on some slice iff every returned list is non-empty.
 func (p *Processor) QuerySlices(q *sparql.Query) [][]hpart.SubPartKey {
+	return p.querySlices(p.Layout(), q)
+}
+
+func (p *Processor) querySlices(lay *hpart.Layout, q *sparql.Query) [][]hpart.SubPartKey {
 	out := make([][]hpart.SubPartKey, len(q.Patterns))
 	for i, pat := range q.Patterns {
-		out[i] = p.PatternSlices(pat)
+		out[i] = p.patternSlices(lay, pat)
 	}
 	return out
 }
@@ -323,7 +374,10 @@ func (p *Processor) QuerySlices(q *sparql.Query) [][]hpart.SubPartKey {
 // — a closure may pass through intermediate nodes on any level — so only
 // the VP index applies.
 func (p *Processor) PathPatternSlices(pat sparql.PathPattern) []hpart.SubPartKey {
-	lay := p.layout
+	return p.pathPatternSlices(p.Layout(), pat)
+}
+
+func (p *Processor) pathPatternSlices(lay *hpart.Layout, pat sparql.PathPattern) []hpart.SubPartKey {
 	var keys []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)
 	for _, iri := range pat.Path.IRIs(nil) {
@@ -351,9 +405,13 @@ func (p *Processor) PathPatternSlices(pat sparql.PathPattern) []hpart.SubPartKey
 // QueryPathSlices returns the candidate sub-partitions for every path
 // pattern of q.
 func (p *Processor) QueryPathSlices(q *sparql.Query) [][]hpart.SubPartKey {
+	return p.queryPathSlices(p.Layout(), q)
+}
+
+func (p *Processor) queryPathSlices(lay *hpart.Layout, q *sparql.Query) [][]hpart.SubPartKey {
 	out := make([][]hpart.SubPartKey, len(q.Paths))
 	for i, pat := range q.Paths {
-		out[i] = p.PathPatternSlices(pat)
+		out[i] = p.pathPatternSlices(lay, pat)
 	}
 	return out
 }
@@ -405,6 +463,10 @@ type StepResult struct {
 	// MissingSubParts lists the sub-partitions skipped so far
 	// (cumulative, in skip order).
 	MissingSubParts []hpart.SubPartKey
+	// Epoch is the layout snapshot the whole run is pinned to (0 unless
+	// the processor is store-backed). All steps of one run carry the
+	// same epoch: updates published mid-query are never observed.
+	Epoch uint64
 }
 
 // Result is a completed PQA run.
@@ -418,14 +480,25 @@ type Result struct {
 	// when FailurePolicy Degrade skipped unreadable sub-partitions, in
 	// which case Final is a sound subset of the exact answer.
 	Exact bool
+	// Epoch is the layout snapshot the run was pinned to (0 unless the
+	// processor is store-backed).
+	Epoch uint64
 }
 
 // Coverage returns |answers after step i| / |final answers| — the paper's
-// coverage metric. Steps are 0-indexed; a final answer count of zero
-// yields coverage 1 for every step (nothing to find).
+// coverage metric. Steps are 0-indexed and clamped into [0, len(Steps)-1];
+// a zero-step result, a nil Final, or a final answer count of zero all
+// yield coverage 1 for every step (nothing to find, or nothing to
+// compare against).
 func (r *Result) Coverage(step int) float64 {
-	if len(r.Steps) == 0 || r.Final.Card() == 0 {
+	if len(r.Steps) == 0 || r.Final == nil || r.Final.Card() == 0 {
 		return 1
+	}
+	if step < 0 {
+		step = 0
+	}
+	if step >= len(r.Steps) {
+		step = len(r.Steps) - 1
 	}
 	return float64(r.Steps[step].Answers.Card()) / float64(r.Final.Card())
 }
@@ -442,6 +515,7 @@ func (p *Processor) PQACtx(ctx context.Context, q *sparql.Query) (*Result, error
 	res := &Result{Exact: true}
 	err := p.PQAStepsCtx(ctx, q, func(s StepResult) bool {
 		res.Steps = append(res.Steps, s)
+		res.Epoch = s.Epoch
 		return true
 	})
 	if err != nil {
@@ -471,8 +545,17 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 	if len(q.Patterns)+len(q.Paths) == 0 {
 		return fmt.Errorf("ping: query has no patterns")
 	}
-	hl := p.QuerySlices(q)
-	hlPaths := p.QueryPathSlices(q)
+	// Pin the layout snapshot for the whole run: candidate computation,
+	// scheduling, and every file read below see one immutable epoch,
+	// regardless of concurrently published updates.
+	lay, release := p.pin()
+	defer release()
+	p.met.epoch.Set(float64(lay.Epoch()))
+	p.met.inflight.Add(1)
+	defer p.met.inflight.Add(-1)
+
+	hl := p.querySlices(lay, q)
+	hlPaths := p.queryPathSlices(lay, q)
 	for _, candidates := range hl {
 		if len(candidates) == 0 {
 			// Unsafe on every slice: no answers anywhere (soundness of
@@ -486,7 +569,7 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 		}
 	}
 
-	steps, err := p.sliceSchedule(append(append([][]hpart.SubPartKey{}, hl...), hlPaths...))
+	steps, err := p.sliceSchedule(lay, append(append([][]hpart.SubPartKey{}, hl...), hlPaths...))
 	if err != nil {
 		return err
 	}
@@ -497,12 +580,13 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 	qspan.SetAttr("patterns", len(q.Patterns))
 	qspan.SetAttr("paths", len(q.Paths))
 	qspan.SetAttr("planned_steps", len(steps))
+	qspan.SetAttr("epoch", lay.Epoch())
 
 	detach := p.ctx.AttachContext(ctx)
 	defer detach()
 
 	p.met.pqaQueries.Inc()
-	state := newEvalState(p, q, hl, hlPaths, !p.opts.DisableIncremental)
+	state := newEvalState(p, lay, q, hl, hlPaths, !p.opts.DisableIncremental)
 	qspan.SetAttr("incremental", state.inc != nil)
 	start := time.Now()
 	defer func() { p.met.pqaSeconds.Observe(time.Since(start).Seconds()) }()
@@ -571,6 +655,7 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 			ElapsedCum:      cum,
 			Degraded:        len(state.missing) > 0,
 			MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
+			Epoch:           lay.Epoch(),
 		}
 		ss.SetAttr("step", sr.Step)
 		ss.SetAttr("max_level", sr.MaxLevel)
@@ -625,6 +710,9 @@ type ExactResult struct {
 	Exact bool
 	// MissingSubParts lists the skipped sub-partitions.
 	MissingSubParts []hpart.SubPartKey
+	// Epoch is the layout snapshot the evaluation was pinned to (0 unless
+	// the processor is store-backed).
+	Epoch uint64
 }
 
 // EQA evaluates the query directly on its maximal slice: each pattern
@@ -643,12 +731,21 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 	if len(q.Patterns)+len(q.Paths) == 0 {
 		return nil, fmt.Errorf("ping: query has no patterns")
 	}
-	hl := p.QuerySlices(q)
-	hlPaths := p.QueryPathSlices(q)
+	// Pin one snapshot for candidate computation and evaluation, exactly
+	// as PQAStepsCtx does.
+	lay, release := p.pin()
+	defer release()
+	p.met.epoch.Set(float64(lay.Epoch()))
+	p.met.inflight.Add(1)
+	defer p.met.inflight.Add(-1)
+
+	hl := p.querySlices(lay, q)
+	hlPaths := p.queryPathSlices(lay, q)
 	empty := &ExactResult{
 		Answers: &engine.Relation{Vars: q.Projection()},
 		Stats:   &engine.Stats{},
 		Exact:   true,
+		Epoch:   lay.Epoch(),
 	}
 	for _, candidates := range hl {
 		if len(candidates) == 0 {
@@ -663,6 +760,7 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 
 	ctx, espan := obs.StartSpan(ctx, "eqa")
 	defer espan.End()
+	espan.SetAttr("epoch", lay.Epoch())
 
 	detach := p.ctx.AttachContext(ctx)
 	defer detach()
@@ -674,7 +772,7 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 	// EQA is a single-shot evaluation: there is no previous step to be
 	// incremental against, so it always uses the from-scratch path (whose
 	// Stats describe the one full evaluation).
-	state := newEvalState(p, q, hl, hlPaths, false)
+	state := newEvalState(p, lay, q, hl, hlPaths, false)
 	state.span = espan
 	var all []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)
@@ -716,5 +814,6 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 		Stats:           stats,
 		Exact:           len(state.missing) == 0,
 		MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
+		Epoch:           lay.Epoch(),
 	}, nil
 }

@@ -27,12 +27,12 @@ const productCap = 1 << 20
 // sequence of steps according to the processor's strategy. Every step's
 // cumulative sub-partition set is a slice for the query (all patterns
 // covered, Def. 4.2); the last step's set is the maximal slice.
-func (p *Processor) sliceSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
+func (p *Processor) sliceSchedule(lay *hpart.Layout, hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
 	switch p.opts.Strategy {
 	case ProductOrder:
 		return p.productSchedule(hl)
 	default:
-		return p.levelSchedule(hl)
+		return p.levelSchedule(lay, hl)
 	}
 }
 
@@ -41,7 +41,7 @@ func (p *Processor) sliceSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, err
 // LargestFirst/SmallestFirst variants. The first steps are merged until
 // the cumulative set covers every pattern (before that point the query is
 // not safe and no evaluation can run).
-func (p *Processor) levelSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
+func (p *Processor) levelSchedule(lay *hpart.Layout, hl [][]hpart.SubPartKey) ([]scheduledStep, error) {
 	// Distinct levels appearing in any candidate list.
 	levelSeen := make(map[int]bool)
 	for _, candidates := range hl {
@@ -56,11 +56,11 @@ func (p *Processor) levelSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, err
 	switch p.opts.Strategy {
 	case LargestFirst:
 		sort.Slice(levels, func(i, j int) bool {
-			return p.layout.LevelTriples[levels[i]-1] > p.layout.LevelTriples[levels[j]-1]
+			return lay.LevelTriples[levels[i]-1] > lay.LevelTriples[levels[j]-1]
 		})
 	case SmallestFirst:
 		sort.Slice(levels, func(i, j int) bool {
-			return p.layout.LevelTriples[levels[i]-1] < p.layout.LevelTriples[levels[j]-1]
+			return lay.LevelTriples[levels[i]-1] < lay.LevelTriples[levels[j]-1]
 		})
 	default:
 		sort.Ints(levels)
@@ -81,7 +81,7 @@ func (p *Processor) levelSchedule(hl [][]hpart.SubPartKey) ([]scheduledStep, err
 	if p.opts.DisableSubPartPruning {
 		for l := range keysByLevel {
 			var all []hpart.SubPartKey
-			for key := range p.layout.SubPartRows {
+			for key := range lay.SubPartRows {
 				if key.Level == l {
 					all = append(all, key)
 				}
@@ -235,7 +235,11 @@ func (gl *groupList) insert(k hpart.SubPartKey, rows []hpart.Pair) {
 // machinery to evaluate the query on the accumulated data — either from
 // scratch or semi-naively via engine.Incremental.
 type evalState struct {
-	p         *Processor
+	p *Processor
+	// lay is the layout snapshot pinned for this query; every read and
+	// dictionary lookup goes through it so a concurrently published epoch
+	// cannot change the data mid-evaluation.
+	lay       *hpart.Layout
 	q         *sparql.Query
 	hlSet     []map[hpart.SubPartKey]bool
 	hlPathSet []map[hpart.SubPartKey]bool
@@ -270,7 +274,7 @@ type evalState struct {
 	span *obs.Span
 }
 
-func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey, incremental bool) *evalState {
+func newEvalState(p *Processor, lay *hpart.Layout, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKey, incremental bool) *evalState {
 	toSets := func(lists [][]hpart.SubPartKey) []map[hpart.SubPartKey]bool {
 		sets := make([]map[hpart.SubPartKey]bool, len(lists))
 		for i, candidates := range lists {
@@ -283,6 +287,7 @@ func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKe
 	}
 	st := &evalState{
 		p:          p,
+		lay:        lay,
 		q:          q,
 		hlSet:      toSets(hl),
 		hlPathSet:  toSets(hlPaths),
@@ -300,7 +305,7 @@ func newEvalState(p *Processor, q *sparql.Query, hl, hlPaths [][]hpart.SubPartKe
 		st.pathGroups[i] = &groupList{}
 	}
 	if incremental {
-		inc, err := engine.NewIncremental(q, p.layout.Dict, engine.Options{
+		inc, err := engine.NewIncremental(q, lay.Dict, engine.Options{
 			Context:    p.ctx,
 			Partitions: p.opts.Partitions,
 			Metrics:    p.opts.Metrics,
@@ -358,7 +363,7 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 	results := dataflow.Map(
 		dataflow.Parallelize(st.p.ctx, toLoad, 0),
 		func(k hpart.SubPartKey) loadResult {
-			pairs, hit, err := st.p.layout.ReadSubPartitionCached(ctx, k)
+			pairs, hit, err := st.lay.ReadSubPartitionCached(ctx, k)
 			return loadResult{pairs: pairs, hit: hit, err: err}
 		}).Collect()
 	// A cancellation mid-stage leaves unprocessed partitions behind;
@@ -437,7 +442,7 @@ func (st *evalState) evaluate() (*engine.Relation, error) {
 	for i, pat := range st.q.Paths {
 		pathInputs[i] = engine.PathInput{Pattern: pat, Groups: st.pathGroups[i].groups}
 	}
-	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.p.layout.Dict, engine.Options{
+	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.lay.Dict, engine.Options{
 		Context:    st.p.ctx,
 		Partitions: st.p.opts.Partitions,
 		Metrics:    st.p.opts.Metrics,
