@@ -3,7 +3,7 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json bench-compare cover
+.PHONY: check build vet fmt test race bench bench-json bench-compare cover workload-report
 
 # check is the full gate: build, vet, formatting, the race-enabled test
 # suite, and the coverage floor. CI and pre-commit should run `make check`.
@@ -59,6 +59,13 @@ bench-compare:
 	      printf "%-60s %12.0f -> %12.0f  (%+.1f%%)\n", $$1, base[$$1], $$3, 100*($$3-base[$$1])/base[$$1]; \
 	    else printf "%-60s %25s %12.0f  (new)\n", $$1, "", $$3 }' \
 	  bench-baseline.txt bench-candidate.txt
+
+# workload-report prints the top-N query fingerprints of a workload
+# snapshot (pingd -workload-out, or /workload?format=ndjson).
+TOP ?= 10
+SNAPSHOT ?= workload.ndjson
+workload-report:
+	$(GO) run ./cmd/pingworkload -in $(SNAPSHOT) -top $(TOP)
 
 # cover enforces a minimum statement coverage on the observability layer
 # (the rest of the suite is gated by correctness properties, not lines).

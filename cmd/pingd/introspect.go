@@ -1,0 +1,221 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"ping/internal/dataflow"
+	"ping/internal/obs"
+	"ping/internal/ping"
+	"ping/internal/sparql"
+	"ping/internal/workload"
+)
+
+// queryText extracts the SPARQL text of an introspection request from
+// ?q= or the request body.
+func queryText(r *http.Request) string {
+	text := r.URL.Query().Get("q")
+	if text == "" && r.Body != nil {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		text = string(body)
+	}
+	return text
+}
+
+// handleExplain serves query plans. By default the plan is static
+// (EXPLAIN); ?analyze=1 also runs the query and annotates every plan
+// node with actual rows, cache hits and wall time (ANALYZE), going
+// through the same admission control as /query. ?format=text renders
+// the human-readable form; the default is indented JSON.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	text := queryText(r)
+	if text == "" {
+		http.Error(w, "missing query: pass ?q= or a request body", http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(text)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	proc := ping.NewProcessorStore(s.store, ping.Options{
+		Context:         dataflow.NewContext(s.cfg.Workers),
+		Strategy:        s.cfg.Strategy,
+		FailurePolicy:   s.cfg.FailurePolicy,
+		UseBloomPruning: s.cfg.UseBloomPruning,
+		Metrics:         s.cfg.Metrics,
+	})
+
+	var plan *ping.Plan
+	if r.URL.Query().Get("analyze") == "1" {
+		// ANALYZE executes the query, so it competes for execution slots
+		// like any /query request.
+		ctx := r.Context()
+		if s.cfg.QueryTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+			defer cancel()
+		}
+		release, code := s.admit(ctx)
+		if release == nil {
+			s.rejected.Inc()
+			http.Error(w, http.StatusText(code), code)
+			return
+		}
+		defer release()
+		plan, _, err = proc.Analyze(ctx, q)
+	} else {
+		plan, err = proc.Explain(q)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("explain: %v", err), http.StatusInternalServerError)
+		return
+	}
+	plan.Fingerprint = workload.Fingerprint(q)
+
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = plan.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = plan.WriteJSON(w)
+}
+
+// workloadResponse is the /workload document.
+type workloadResponse struct {
+	Fingerprints []workload.FingerprintStats `json:"fingerprints"`
+	Dropped      int64                       `json:"dropped"`
+}
+
+// handleWorkload serves the workload profiler's aggregates, sorted by
+// total latency descending. ?top=N truncates; ?format=ndjson emits the
+// snapshot persistence format instead of a JSON document.
+func (s *server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &top); err != nil {
+			http.Error(w, fmt.Sprintf("bad top=%q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	stats := s.profiler.Top(top)
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = workload.WriteNDJSON(w, stats)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(workloadResponse{Fingerprints: stats, Dropped: s.profiler.Dropped()})
+}
+
+// tracesResponse is the /traces document.
+type tracesResponse struct {
+	Dropped int64       `json:"dropped"`
+	Traces  []*obs.Span `json:"traces"`
+}
+
+// handleTraces serves the retained query trace trees, oldest first.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		http.Error(w, "tracing disabled (start pingd with -trace)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tracesResponse{Dropped: s.traces.Dropped(), Traces: s.traces.Snapshot()})
+}
+
+// handleDashboard serves the live introspection page: a dependency-free
+// HTML document that polls /stats and /workload and renders store state,
+// admission pressure, the top fingerprints, and per-fingerprint coverage
+// sparklines.
+func (s *server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, dashboardHTML)
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pingd dashboard</title>
+<style>
+  body { font: 13px/1.5 system-ui, sans-serif; margin: 1.5rem; color: #1a1a2e; background: #fafafa; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.6rem; }
+  .cards { display: flex; flex-wrap: wrap; gap: .6rem; }
+  .card { background: #fff; border: 1px solid #ddd; border-radius: 6px; padding: .5rem .9rem; min-width: 7rem; }
+  .card .v { font-size: 1.3rem; font-weight: 600; }
+  .card .k { color: #666; font-size: .75rem; text-transform: uppercase; letter-spacing: .04em; }
+  table { border-collapse: collapse; background: #fff; width: 100%; }
+  th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: right; }
+  th { background: #f0f0f4; } td.c, th.c { text-align: left; }
+  td.c { font-family: ui-monospace, monospace; font-size: .75rem; max-width: 28rem;
+         overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+  svg polyline { fill: none; stroke: #4361ee; stroke-width: 1.5; }
+  #err { color: #b00020; }
+</style>
+</head>
+<body>
+<h1>pingd <span id="err"></span></h1>
+<div class="cards" id="cards"></div>
+<h2>Top fingerprints by total latency</h2>
+<table id="wl"><thead><tr>
+  <th class="c">fingerprint</th><th class="c">canonical</th><th>shape</th><th>count</th>
+  <th>mean ms</th><th>p95 ms</th><th>errors</th><th>degraded</th>
+  <th>steps→1st</th><th>coverage</th>
+</tr></thead><tbody></tbody></table>
+<script>
+function card(k, v) {
+  return '<div class="card"><div class="v">' + v + '</div><div class="k">' + k + '</div></div>';
+}
+function spark(cov) {
+  if (!cov || !cov.length) return '';
+  var w = 80, h = 18, pts = cov.map(function (c, i) {
+    var x = cov.length === 1 ? w : i * w / (cov.length - 1);
+    return x.toFixed(1) + ',' + ((1 - c) * (h - 2) + 1).toFixed(1);
+  });
+  return '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts.join(' ') + '"/></svg>';
+}
+function esc(s) {
+  return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
+}
+function refresh() {
+  Promise.all([
+    fetch('/stats').then(function (r) { return r.json(); }),
+    fetch('/workload?top=15').then(function (r) { return r.json(); })
+  ]).then(function (res) {
+    var st = res[0], wl = res[1];
+    document.getElementById('err').textContent = '';
+    document.getElementById('cards').innerHTML =
+      card('epoch', st.epoch) + card('triples', st.triples) +
+      card('levels', st.levels) + card('sub-partitions', st.sub_partitions) +
+      card('inflight', st.inflight_queries) + card('queued', st.queued_queries) +
+      card('pinned epochs', st.pinned_epochs) + card('dropped fps', wl.dropped);
+    var rows = (wl.fingerprints || []).map(function (f) {
+      return '<tr><td class="c">' + esc(f.fingerprint) + '</td>' +
+        '<td class="c" title="' + esc(f.canonical) + '">' + esc(f.canonical) + '</td>' +
+        '<td>' + esc(f.shape) + '</td><td>' + f.count + '</td>' +
+        '<td>' + f.mean_ms.toFixed(2) + '</td><td>' + f.p95_ms.toFixed(2) + '</td>' +
+        '<td>' + (f.errors || 0) + '</td><td>' + (f.degraded || 0) + '</td>' +
+        '<td>' + (f.mean_steps_to_first || 0).toFixed(1) + '</td>' +
+        '<td>' + spark(f.coverage) + '</td></tr>';
+    });
+    document.querySelector('#wl tbody').innerHTML = rows.join('');
+  }).catch(function (e) {
+    document.getElementById('err').textContent = '(' + e + ')';
+  });
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

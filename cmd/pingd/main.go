@@ -15,6 +15,10 @@
 //	POST     /update?op=add   apply an N-Triples body, publish new epoch
 //	GET      /stats           epoch, pins, GC and admission counters
 //	GET      /metrics         Prometheus text format (plus /debug/vars, pprof)
+//	GET/POST /explain?q=...   query plan; ?analyze=1 runs it, ?format=text
+//	GET      /workload        per-fingerprint aggregates; ?top=N, ?format=ndjson
+//	GET      /traces          retained query trace trees (-trace)
+//	GET      /dashboard       live HTML dashboard polling the endpoints above
 //
 // Usage:
 //
@@ -35,6 +39,7 @@ import (
 
 	"ping/internal/dfs"
 	"ping/internal/hpart"
+	"ping/internal/workload"
 )
 
 // shutdownGrace bounds how long in-flight requests may drain after a
@@ -54,6 +59,14 @@ func main() {
 		policy   = flag.String("failure-policy", "failfast", "storage failure handling: failfast or degrade")
 		useBloom = flag.Bool("bloom", false, "use sub-partition Bloom filters for pruning (store must be built with -blooms)")
 		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
+
+		slowLog       = flag.String("slow-query-log", "", "append NDJSON records for slow queries to this file (empty = off)")
+		slowThreshold = flag.Duration("slow-query-threshold", 500*time.Millisecond, "latency at or above which a query is logged as slow")
+		workloadMax   = flag.Int("workload-max", 512, "maximum distinct query fingerprints tracked by the workload profiler")
+		workloadOut   = flag.String("workload-out", "", "write the workload snapshot (NDJSON) to this file on shutdown")
+		trace         = flag.Bool("trace", false, "retain per-query trace trees, served at /traces")
+		traceSample   = flag.Int("trace-sample", 1, "trace 1 in N queries (head sampling; 1 = all)")
+		traceBuffer   = flag.Int("trace-buffer", 64, "how many trace trees the /traces ring retains")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -79,6 +92,18 @@ func main() {
 		RowLimit:        *rows,
 		UseBloomPruning: *useBloom,
 		Persist:         fs,
+		MaxFingerprints: *workloadMax,
+		Trace:           *trace,
+		TraceSample:     *traceSample,
+		TraceBuffer:     *traceBuffer,
+	}
+	if *slowLog != "" {
+		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.SlowLog = workload.NewSlowLog(f, *slowThreshold)
 	}
 	if cfg.Strategy, err = parseStrategy(*strategy); err != nil {
 		fatal(err)
@@ -118,6 +143,13 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	if *workloadOut != "" {
+		if err := srv.profiler.SaveFile(*workloadOut); err != nil {
+			logger.Printf("workload snapshot: %v", err)
+		} else {
+			logger.Printf("workload snapshot saved to %s", *workloadOut)
+		}
 	}
 	logger.Printf("shut down cleanly")
 }

@@ -17,6 +17,7 @@ import (
 	"ping/internal/ping"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
+	"ping/internal/workload"
 )
 
 // serverConfig carries the daemon's tunables.
@@ -44,6 +45,17 @@ type serverConfig struct {
 	// Metrics receives the daemon's and the processors' series
 	// (nil: obs.Default).
 	Metrics *obs.Registry
+	// SlowLog, when non-nil, receives a structured NDJSON record for
+	// every query slower than its threshold.
+	SlowLog *workload.SlowLog
+	// MaxFingerprints bounds the workload profiler store (<=0: default).
+	MaxFingerprints int
+	// Trace retains per-query trace trees in a bounded ring served at
+	// /traces. TraceSample keeps 1 in N queries (<=1: all); TraceBuffer
+	// is the ring capacity (<=0: 64).
+	Trace       bool
+	TraceSample int
+	TraceBuffer int
 }
 
 // server is the pingd HTTP surface over one epoch store. Queries pin
@@ -65,6 +77,11 @@ type server struct {
 	reg      *obs.Registry
 	rejected *obs.Counter
 	updates  *obs.Counter
+
+	profiler *workload.Profiler
+	slow     *workload.SlowLog
+	sampler  *obs.Sampler
+	traces   *obs.SpanBuffer
 
 	// stepHook, when set (tests only), runs after each delivered step
 	// line, with the response already flushed. Set and cleared via
@@ -97,7 +114,7 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 	}
 	reg.Describe("pingd_rejected_total", "queries rejected by admission control (HTTP 429)")
 	reg.Describe("pingd_updates_total", "update batches applied and published as new epochs")
-	return &server{
+	s := &server{
 		store:    store,
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.MaxInflight),
@@ -105,7 +122,14 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		reg:      reg,
 		rejected: reg.Counter("pingd_rejected_total", nil),
 		updates:  reg.Counter("pingd_updates_total", nil),
+		profiler: workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
+		slow:     cfg.SlowLog,
 	}
+	if cfg.Trace {
+		s.sampler = obs.NewSampler(cfg.TraceSample)
+		s.traces = obs.NewSpanBuffer(cfg.TraceBuffer)
+	}
+	return s
 }
 
 // handler mounts the daemon's routes. The obs introspection mux
@@ -115,6 +139,10 @@ func (s *server) handler(logf func(format string, args ...any)) http.Handler {
 	mux.Handle("/query", obs.Instrument(s.reg, "/query", logf, http.HandlerFunc(s.handleQuery)))
 	mux.Handle("/update", obs.Instrument(s.reg, "/update", logf, http.HandlerFunc(s.handleUpdate)))
 	mux.Handle("/stats", obs.Instrument(s.reg, "/stats", logf, http.HandlerFunc(s.handleStats)))
+	mux.Handle("/explain", obs.Instrument(s.reg, "/explain", logf, http.HandlerFunc(s.handleExplain)))
+	mux.Handle("/workload", obs.Instrument(s.reg, "/workload", logf, http.HandlerFunc(s.handleWorkload)))
+	mux.Handle("/traces", obs.Instrument(s.reg, "/traces", logf, http.HandlerFunc(s.handleTraces)))
+	mux.Handle("/dashboard", obs.Instrument(s.reg, "/dashboard", logf, http.HandlerFunc(s.handleDashboard)))
 	mux.Handle("/", obs.Handler(s.reg))
 	return mux
 }
@@ -195,6 +223,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	wantBindings := r.URL.Query().Get("bindings") == "1" && s.cfg.RowLimit > 0
 
+	canonical := workload.Canonical(q)
+	fp := workload.FingerprintCanonical(canonical)
+	shape := sparql.Classify(q).String()
+
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -208,6 +240,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	// Head-sampled tracing: the run's whole span tree (pqa → slice →
+	// join) lands in the bounded ring served at /traces.
+	if s.traces != nil && s.sampler.Sample() {
+		var qspan *obs.Span
+		ctx, qspan = obs.NewTrace(ctx, "query")
+		qspan.SetAttr("fingerprint", fp)
+		qspan.SetAttr("query", text)
+		defer func() {
+			qspan.End()
+			s.traces.Add(qspan)
+		}()
+	}
 
 	proc := ping.NewProcessorStore(s.store, ping.Options{
 		Context:         dataflow.NewContext(s.cfg.Workers),
@@ -232,9 +277,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var last ping.StepResult
 	steps := 0
+	var (
+		stepMs      []float64
+		stepAnswers []int
+		toFirst     int
+		subParts    int
+	)
+	// record folds the run into the workload profiler and, when slow (or
+	// failed), the slow-query log. Called on both exits of the handler.
+	record := func(runErr error) {
+		latency := time.Since(start)
+		obsv := workload.Observation{
+			Latency: latency,
+			Steps:   steps,
+			Error:   runErr != nil,
+		}
+		var sq workload.SlowQuery
+		if steps > 0 {
+			final := last.Answers.Card()
+			obsv.Answers = final
+			obsv.Epoch = last.Epoch
+			obsv.Degraded = last.Degraded
+			obsv.Coverage = make([]float64, len(stepAnswers))
+			for i, n := range stepAnswers {
+				if final > 0 {
+					obsv.Coverage[i] = float64(n) / float64(final)
+				} else {
+					obsv.Coverage[i] = 1
+				}
+			}
+			if toFirst > 0 {
+				obsv.StepsToFirstAnswer = toFirst
+				obsv.CoverageAtFirstAnswer = obsv.Coverage[toFirst-1]
+			}
+			sq.Plan = &workload.PlanSummary{
+				Strategy:    s.cfg.Strategy.String(),
+				Steps:       steps,
+				SubParts:    subParts,
+				MaxLevel:    last.MaxLevel,
+				Incremental: last.Incremental,
+			}
+		}
+		s.profiler.ObserveFingerprint(fp, canonical, shape, obsv)
+		sq.Fingerprint = fp
+		sq.Canonical = canonical
+		sq.Query = text
+		sq.Epoch = obsv.Epoch
+		sq.StepMs = stepMs
+		sq.Answers = obsv.Answers
+		sq.Degraded = obsv.Degraded
+		if runErr != nil {
+			sq.Error = runErr.Error()
+		}
+		s.slow.Observe(sq, latency)
+	}
 	err = proc.PQAStepsCtx(ctx, q, func(st ping.StepResult) bool {
 		steps++
 		last = st
+		stepMs = append(stepMs, float64(st.Elapsed.Microseconds())/1e3)
+		stepAnswers = append(stepAnswers, st.Answers.Card())
+		subParts += len(st.NewSubParts)
+		if toFirst == 0 && st.Answers.Card() > 0 {
+			toFirst = st.Step
+		}
 		line := stepLine{
 			Step:        st.Step,
 			MaxLevel:    st.MaxLevel,
@@ -264,6 +369,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return ctx.Err() == nil
 	})
+	record(err)
 	if err != nil {
 		// Streaming may have started; an in-band error line is all we
 		// can still deliver.

@@ -9,6 +9,8 @@
 //	pingquery -store ./uniprot-store -file q.rq -strategy largest
 //	pingquery -store ./uniprot-store -file q.rq -failure-policy degrade -timeout 30s
 //	pingquery -store ./uniprot-store -file q.rq -metrics-addr :0 -trace-out trace.json
+//	pingquery -store ./uniprot-store -file q.rq -explain          # static plan
+//	pingquery -store ./uniprot-store -file q.rq -analyze -json    # plan + actuals
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"ping/internal/obs"
 	"ping/internal/ping"
 	"ping/internal/sparql"
+	"ping/internal/workload"
 )
 
 func main() {
@@ -38,7 +41,9 @@ func main() {
 		workers  = flag.Int("workers", 4, "dataflow workers")
 		maxRows  = flag.Int("rows", 20, "print at most this many result rows (0 = all)")
 		useBloom = flag.Bool("bloom", false, "use sub-partition Bloom filters for level pruning (store must be built with -blooms)")
-		explain  = flag.Bool("explain", false, "print the per-pattern slice plan (which sub-partitions each pattern touches) and exit")
+		explain  = flag.Bool("explain", false, "print the query plan (slice schedule, join order, predicted rows) and exit without running")
+		analyze  = flag.Bool("analyze", false, "run the query and print the plan annotated with actual rows, cache hits and timings")
+		planJSON = flag.Bool("json", false, "with -explain/-analyze, emit the plan as JSON instead of text")
 		policy   = flag.String("failure-policy", "failfast", "storage failure handling: failfast (abort on unreadable sub-partition) or degrade (skip it; answers stay a sound subset)")
 		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
 		timeout  = flag.Duration("timeout", 0, "overall query deadline, e.g. 30s (0 = none)")
@@ -140,13 +145,30 @@ func main() {
 		}()
 	}
 
-	fmt.Printf("query (%s, %d patterns) over %d levels:\n%s\n\n",
-		sparql.Classify(q), len(q.Patterns)+len(q.Paths), lay.NumLevels, q)
-
-	if *explain {
-		printExplain(proc, lay, q)
+	if *explain || *analyze {
+		var plan *ping.Plan
+		if *analyze {
+			plan, _, err = proc.Analyze(ctx, q)
+		} else {
+			plan, err = proc.Explain(q)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		plan.Fingerprint = workload.Fingerprint(q)
+		if *planJSON {
+			err = plan.WriteJSON(os.Stdout)
+		} else {
+			err = plan.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
+
+	fmt.Printf("query (%s, %d patterns) over %d levels:\n%s\n\n",
+		sparql.Classify(q), len(q.Patterns)+len(q.Paths), lay.NumLevels, q)
 
 	if *exact {
 		start := time.Now()
@@ -197,35 +219,6 @@ func printDegradedBanner(missing []hpart.SubPartKey) {
 		fmt.Printf(" %s", k)
 	}
 	fmt.Println()
-}
-
-// printExplain shows the slice plan: per pattern, the candidate
-// sub-partitions (HL(t) of Algorithm 2) with their sizes, plus whether the
-// query is safe at all.
-func printExplain(proc *ping.Processor, lay *hpart.Layout, q *sparql.Query) {
-	fmt.Printf("safe: %v\n\n", proc.Safe(q))
-	show := func(label string, keys []hpart.SubPartKey) {
-		fmt.Printf("%s\n", label)
-		if len(keys) == 0 {
-			fmt.Println("  (no candidate sub-partitions: pattern cannot match)")
-			return
-		}
-		var rows int
-		for _, k := range keys {
-			rows += lay.SubPartRows[k]
-		}
-		fmt.Printf("  %d sub-partition(s), %d rows total\n", len(keys), rows)
-		for _, k := range keys {
-			prop := lay.Dict.TermString(k.Prop)
-			fmt.Printf("    L%-2d %-40s %6d rows\n", k.Level, prop, lay.SubPartRows[k])
-		}
-	}
-	for i, pat := range q.Patterns {
-		show(fmt.Sprintf("pattern %d: %s", i+1, pat), proc.PatternSlices(pat))
-	}
-	for i, pat := range q.Paths {
-		show(fmt.Sprintf("path %d: %s", i+1, pat), proc.PathPatternSlices(pat))
-	}
 }
 
 func printRelation(lay *hpart.Layout, rel *engine.Relation, maxRows int) {

@@ -1,0 +1,114 @@
+// Command pingworkload summarizes a workload snapshot captured by pingd
+// (-workload-out, or GET /workload?format=ndjson): a table of query
+// fingerprints with their traffic and latency aggregates, sorted by the
+// chosen column. It is the offline half of the workload profiler — the
+// input to workload-aware tuning decisions (which shapes recur, which of
+// them progressive answering serves poorly).
+//
+// Usage:
+//
+//	pingworkload -in workload.ndjson -top 10
+//	curl -s localhost:8080/workload?format=ndjson | pingworkload -sort p95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"ping/internal/workload"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "workload NDJSON snapshot file (-: stdin)")
+		top    = flag.Int("top", 0, "print only the first N fingerprints (0 = all)")
+		sortBy = flag.String("sort", "total", "sort column: total, mean, p95, max, count, errors")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	stats, err := workload.ReadNDJSON(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	key := func(s workload.FingerprintStats) float64 {
+		switch *sortBy {
+		case "total":
+			return s.TotalMs
+		case "mean":
+			return s.MeanMs
+		case "p95":
+			return s.P95Ms
+		case "max":
+			return s.MaxMs
+		case "count":
+			return float64(s.Count)
+		case "errors":
+			return float64(s.Errors)
+		default:
+			fatal(fmt.Errorf("unknown sort column %q", *sortBy))
+			return 0
+		}
+	}
+	sort.SliceStable(stats, func(i, j int) bool { return key(stats[i]) > key(stats[j]) })
+	if *top > 0 && *top < len(stats) {
+		stats = stats[:*top]
+	}
+
+	var totalQ, totalErr int64
+	var totalMs float64
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "FINGERPRINT\tSHAPE\tCOUNT\tERR\tDEG\tTOTAL ms\tMEAN ms\tP50 ms\tP95 ms\tP99 ms\tSTEPS→1st\tCANONICAL")
+	for _, s := range stats {
+		totalQ += s.Count
+		totalErr += s.Errors
+		totalMs += s.TotalMs
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.1f\t%s\n",
+			s.Fingerprint, s.Shape, s.Count, s.Errors, s.Degraded,
+			s.TotalMs, s.MeanMs, s.P50Ms, s.P95Ms, s.P99Ms,
+			s.MeanStepsToFirst, oneLine(s.Canonical, 60))
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%d fingerprint(s), %d query(ies), %d error(s), %.2f ms total\n",
+		len(stats), totalQ, totalErr, totalMs)
+}
+
+// oneLine flattens and truncates the canonical query for table display.
+func oneLine(s string, max int) string {
+	out := make([]rune, 0, len(s))
+	space := false
+	for _, r := range s {
+		if r == '\n' || r == '\t' || r == ' ' {
+			space = true
+			continue
+		}
+		if space && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		space = false
+		out = append(out, r)
+	}
+	if len(out) > max {
+		out = append(out[:max-1], '…')
+	}
+	return string(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pingworkload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package engine
+
+// GreedyJoinOrder predicts the order in which joinAll will consume a set
+// of relations, given only their variable sets and (estimated) input
+// cardinalities — the planning-time view EXPLAIN needs without
+// materializing anything. It replicates popSmallest exactly: start from
+// the smallest relation, then repeatedly take the smallest relation
+// sharing a variable with the accumulated result, falling back to an
+// unconnected relation (a cross product) only when none shares. Ties on
+// cardinality keep the earliest index, like popSmallest's strict <.
+func GreedyJoinOrder(varSets [][]string, cards []int64) []int {
+	n := len(varSets)
+	if n == 0 {
+		return nil
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	curVars := make(map[string]bool)
+	haveCur := false
+
+	pick := func() int {
+		best, bestShared := -1, false
+		for pos, idx := range remaining {
+			shared := false
+			if haveCur {
+				for _, v := range varSets[idx] {
+					if curVars[v] {
+						shared = true
+						break
+					}
+				}
+			}
+			switch {
+			case best < 0:
+				best, bestShared = pos, shared
+			case shared && !bestShared:
+				best, bestShared = pos, shared
+			case shared == bestShared && cards[idx] < cards[remaining[best]]:
+				best = pos
+			}
+		}
+		idx := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		return idx
+	}
+
+	order := make([]int, 0, n)
+	for len(remaining) > 0 {
+		idx := pick()
+		order = append(order, idx)
+		for _, v := range varSets[idx] {
+			curVars[v] = true
+		}
+		haveCur = true
+	}
+	return order
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+func TestGreedyJoinOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		varSets [][]string
+		cards   []int64
+		want    []int
+	}{
+		{name: "empty", varSets: nil, cards: nil, want: nil},
+		{name: "single", varSets: [][]string{{"x"}}, cards: []int64{5}, want: []int{0}},
+		{
+			// Starts at the smallest relation, then grows by shared vars.
+			name:    "chain smallest first",
+			varSets: [][]string{{"x", "y"}, {"y", "z"}, {"z", "w"}},
+			cards:   []int64{100, 10, 50},
+			want:    []int{1, 2, 0},
+		},
+		{
+			// A tiny relation sharing no variable with the current result
+			// loses to a bigger one that does (cross products are last
+			// resorts).
+			name:    "shared beats smaller",
+			varSets: [][]string{{"x", "y"}, {"y", "z"}, {"a", "b"}},
+			cards:   []int64{5, 1000, 1},
+			want:    []int{2, 0, 1},
+		},
+		{
+			// Ties on cardinality keep the earliest index, matching
+			// popSmallest's strict-less comparison.
+			name:    "tie keeps first index",
+			varSets: [][]string{{"x"}, {"x"}, {"x"}},
+			cards:   []int64{7, 7, 7},
+			want:    []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		if got := GreedyJoinOrder(tc.varSets, tc.cards); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: GreedyJoinOrder = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGreedyJoinOrderMatchesPopSmallest locks the predictor to the
+// executor: the order popSmallest actually consumes relations must equal
+// the predicted order for the same var sets and cardinalities.
+func TestGreedyJoinOrderMatchesPopSmallest(t *testing.T) {
+	varSets := [][]string{{"x", "y"}, {"y", "z"}, {"a", "b"}, {"z", "a"}, {"b", "c"}}
+	cards := []int64{40, 10, 25, 25, 3}
+
+	rels := make([]*Relation, len(varSets))
+	origin := make(map[*Relation]int)
+	for i, vs := range varSets {
+		r := &Relation{Vars: vs, Rows: make([][]rdf.ID, cards[i])}
+		for j := range r.Rows {
+			r.Rows[j] = make([]rdf.ID, len(vs))
+		}
+		rels[i] = r
+		origin[r] = i
+	}
+
+	// Replay joinAll's consumption loop without executing joins: the
+	// accumulated result's schema is the union of consumed var sets.
+	remaining := append([]*Relation(nil), rels...)
+	var executed []int
+	cur := popSmallest(&remaining, nil)
+	executed = append(executed, origin[cur])
+	acc := &Relation{Vars: append([]string(nil), cur.Vars...)}
+	for len(remaining) > 0 {
+		next := popSmallest(&remaining, acc)
+		executed = append(executed, origin[next])
+		for _, v := range next.Vars {
+			if acc.varIndex(v) < 0 {
+				acc.Vars = append(acc.Vars, v)
+			}
+		}
+	}
+
+	predicted := GreedyJoinOrder(varSets, cards)
+	if !reflect.DeepEqual(predicted, executed) {
+		t.Fatalf("predicted order %v, executor consumed %v", predicted, executed)
+	}
+}

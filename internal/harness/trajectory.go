@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"ping/internal/obs"
 	"ping/internal/ping"
 )
 
@@ -40,6 +41,12 @@ type BenchQuery struct {
 	// FirstAnswerMs is the elapsed time of the first step that produced
 	// any answer (0 when no step did).
 	FirstAnswerMs float64 `json:"first_answer_ms,omitempty"`
+	// StepP50Ms / StepP95Ms / StepP99Ms are step-latency quantiles of this
+	// query's run, interpolated from the ping_step_seconds histogram of a
+	// per-query metrics registry.
+	StepP50Ms float64 `json:"step_p50_ms"`
+	StepP95Ms float64 `json:"step_p95_ms"`
+	StepP99Ms float64 `json:"step_p99_ms"`
 }
 
 // BenchReport is the machine-readable result of one dataset's workload —
@@ -61,7 +68,6 @@ func (s *Suite) BenchJSON(name string) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	proc := s.Processor(b, ping.Options{})
 	rep := &BenchReport{
 		Dataset: name,
 		Triples: b.Data.Graph.Len(),
@@ -72,6 +78,11 @@ func (s *Suite) BenchJSON(name string) (*BenchReport, error) {
 	}
 	for _, lq := range s.Workload(b).All() {
 		bq := BenchQuery{Shape: lq.Shape, Query: lq.Query.String()}
+
+		// A per-query registry isolates this run's ping_step_seconds
+		// histogram, so the quantiles below describe this query alone.
+		reg := obs.NewRegistry()
+		proc := s.Processor(b, ping.Options{Metrics: reg})
 
 		res, err := proc.PQACtx(context.Background(), lq.Query)
 		if err != nil {
@@ -98,6 +109,10 @@ func (s *Suite) BenchJSON(name string) (*BenchReport, error) {
 		if n := len(res.Steps); n > 0 {
 			bq.PQATotalMs = ms(res.Steps[n-1].ElapsedCum)
 		}
+		stepHist := reg.Histogram("ping_step_seconds", obs.TimeBuckets, nil)
+		bq.StepP50Ms = stepHist.Quantile(0.5) * 1000
+		bq.StepP95Ms = stepHist.Quantile(0.95) * 1000
+		bq.StepP99Ms = stepHist.Quantile(0.99) * 1000
 
 		t0 := time.Now()
 		if _, err := proc.EQAFull(context.Background(), lq.Query); err != nil {

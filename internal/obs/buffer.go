@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SpanBuffer is a bounded ring of retained (root) spans — the retention
+// policy that lets a long-running server keep its most recent query
+// traces without growing memory without limit. When the ring is full the
+// oldest trace is overwritten and counted as dropped. A nil *SpanBuffer
+// is a valid no-op receiver, matching the package's nil-span convention.
+type SpanBuffer struct {
+	mu      sync.Mutex
+	buf     []*Span
+	next    int
+	dropped atomic.Int64
+}
+
+// NewSpanBuffer returns a ring holding at most capacity spans
+// (capacity <= 0 defaults to 64).
+func NewSpanBuffer(capacity int) *SpanBuffer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SpanBuffer{buf: make([]*Span, capacity)}
+}
+
+// Add retains s, evicting (and counting as dropped) the oldest retained
+// span when the ring is full. Nil spans are ignored.
+func (b *SpanBuffer) Add(s *Span) {
+	if b == nil || s == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.buf[b.next] != nil {
+		b.dropped.Add(1)
+	}
+	b.buf[b.next] = s
+	b.next = (b.next + 1) % len(b.buf)
+	b.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (b *SpanBuffer) Snapshot() []*Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Span, 0, len(b.buf))
+	for i := 0; i < len(b.buf); i++ {
+		if s := b.buf[(b.next+i)%len(b.buf)]; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained spans.
+func (b *SpanBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, s := range b.buf {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Dropped returns how many spans have been evicted from the ring.
+func (b *SpanBuffer) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// Sampler makes head-based sampling decisions: Sample keeps one in every
+// N calls. Head sampling decides before a query runs, so a kept query
+// pays the full tracing cost and a dropped one pays none — the right
+// trade for high-QPS serving where tracing every request costs too much.
+// A nil *Sampler keeps everything.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler keeps 1 in every calls; every <= 1 keeps all.
+func NewSampler(every int) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this call's unit of work should be traced. The
+// first call is always kept, then every N-th after it, so low-rate
+// sampling still yields a trace promptly after startup.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.every <= 1 {
+		return true
+	}
+	return (s.n.Add(1)-1)%s.every == 0
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", []float64{1, 2, 4, 8}, nil)
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// 4 observations in (1,2], 4 in (2,4].
+	for _, v := range []float64{1.5, 1.5, 2, 2, 3, 3, 4, 4} {
+		h.Observe(v)
+	}
+	// Median rank 4 lands exactly at the top of the (1,2] bucket.
+	if got := h.Quantile(0.5); !almostEqual(got, 2) {
+		t.Fatalf("p50 = %v, want 2", got)
+	}
+	// Rank 6 = halfway through the (2,4] bucket → 3 by interpolation.
+	if got := h.Quantile(0.75); !almostEqual(got, 3) {
+		t.Fatalf("p75 = %v, want 3", got)
+	}
+	if got := h.Quantile(1); !almostEqual(got, 4) {
+		t.Fatalf("p100 = %v, want 4", got)
+	}
+	// q outside [0,1] clamps rather than extrapolating.
+	if got := h.Quantile(-1); got > h.Quantile(0.1) {
+		t.Fatalf("q<0 gave %v, above the p10 %v", got, h.Quantile(0.1))
+	}
+	if got, want := h.Quantile(2), h.Quantile(1); !almostEqual(got, want) {
+		t.Fatalf("q>1 = %v, want clamp to p100 %v", got, want)
+	}
+
+	// An observation past the last bound lands in the implicit +Inf
+	// bucket; quantiles there clamp to the highest finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); !almostEqual(got, 8) {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 8", got)
+	}
+}
+
+func TestSpanBufferRingEviction(t *testing.T) {
+	b := NewSpanBuffer(3)
+	spans := make([]*Span, 5)
+	for i := range spans {
+		_, spans[i] = NewTrace(context.Background(), "q")
+		spans[i].SetAttr("i", i)
+		b.Add(spans[i])
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", b.Dropped())
+	}
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(snap))
+	}
+	for i, s := range snap {
+		if want := spans[i+2]; s != want {
+			t.Fatalf("Snapshot[%d] = %v, want span %d (oldest-first)", i, s.Attr("i"), i+2)
+		}
+	}
+
+	// Partially filled ring: no drops, insertion order preserved.
+	p := NewSpanBuffer(8)
+	p.Add(spans[0])
+	p.Add(spans[1])
+	if p.Len() != 2 || p.Dropped() != 0 {
+		t.Fatalf("partial ring: len %d dropped %d", p.Len(), p.Dropped())
+	}
+	if got := p.Snapshot(); len(got) != 2 || got[0] != spans[0] || got[1] != spans[1] {
+		t.Fatalf("partial ring snapshot out of order")
+	}
+
+	// Nil receiver and nil span are both no-ops.
+	var nb *SpanBuffer
+	nb.Add(spans[0])
+	if nb.Len() != 0 || nb.Dropped() != 0 || nb.Snapshot() != nil {
+		t.Fatal("nil SpanBuffer should be inert")
+	}
+	b.Add(nil)
+	if b.Len() != 3 {
+		t.Fatal("Add(nil) changed the ring")
+	}
+
+	if def := NewSpanBuffer(0); len(def.buf) != 64 {
+		t.Fatalf("default capacity %d, want 64", len(def.buf))
+	}
+}
+
+func TestSamplerHeadSampling(t *testing.T) {
+	var nilS *Sampler
+	for i := 0; i < 3; i++ {
+		if !nilS.Sample() {
+			t.Fatal("nil Sampler must keep everything")
+		}
+	}
+	all := NewSampler(0)
+	for i := 0; i < 3; i++ {
+		if !all.Sample() {
+			t.Fatal("every<=1 must keep everything")
+		}
+	}
+	s := NewSampler(3)
+	kept := 0
+	for i := 0; i < 9; i++ {
+		if s.Sample() {
+			if i%3 != 0 {
+				t.Fatalf("kept call %d, want only multiples of 3", i)
+			}
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d of 9, want 3", kept)
+	}
+}
+
+// TestLabelEscapingRoundTrip feeds adversarial fingerprint-style label
+// values through the registry and checks both the Prometheus rendering
+// and the Snapshot round-trip recover the original value.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`has "quotes" inside`,
+		`back\slash`,
+		"embedded\nnewline",
+		`trailing backslash \`,
+		`?x <p0> "lit\"eral"`,
+		`comma, and ="fake pair"`,
+		``,
+	}
+	r := NewRegistry()
+	for _, v := range hostile {
+		r.Counter("workload_queries_total", Labels{"fingerprint": v}).Inc()
+	}
+
+	snap := r.Snapshot()
+	got := map[string]bool{}
+	for _, m := range snap {
+		got[m.Labels["fingerprint"]] = true
+	}
+	for _, v := range hostile {
+		if !got[v] {
+			t.Errorf("label value %q did not round-trip through Snapshot; got %v", v, got)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`fingerprint="has \"quotes\" inside"`,
+		`fingerprint="back\\slash"`,
+		`fingerprint="embedded\nnewline"`,
+		`fingerprint="trailing backslash \\"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Escaped output must stay one line per series: a literal newline in a
+	// label value must never split the exposition line.
+	for _, ln := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if ln == "" {
+			t.Fatalf("blank line in exposition output:\n%s", out)
+		}
+		if !strings.HasPrefix(ln, "#") && !strings.Contains(ln, " ") {
+			t.Fatalf("line %q has no value separator; a label newline leaked", ln)
+		}
+	}
+}
+
+// TestPrometheusExportStableOrdering registers the same series in two
+// different (shuffled) orders and requires byte-for-byte identical
+// Prometheus and JSON exports — the property diff-based tests depend on.
+func TestPrometheusExportStableOrdering(t *testing.T) {
+	type seed struct {
+		name string
+		lbl  Labels
+	}
+	seeds := []seed{
+		{"workload_queries_total", Labels{"fingerprint": "aaa", "shape": "star"}},
+		{"workload_queries_total", Labels{"fingerprint": "bbb", "shape": "chain"}},
+		{"workload_queries_total", Labels{"fingerprint": "ccc", "shape": "complex"}},
+		{"ping_steps_total", nil},
+		{"aardvark_total", Labels{"k": "v"}},
+	}
+	build := func(order []int) *Registry {
+		r := NewRegistry()
+		r.Describe("workload_queries_total", "queries per fingerprint")
+		for _, i := range order {
+			r.Counter(seeds[i].name, seeds[i].lbl).Add(int64(i + 1))
+		}
+		r.Histogram("workload_query_seconds", []float64{0.1, 1}, Labels{"fingerprint": "aaa"}).Observe(0.5)
+		r.Gauge("workload_fingerprints", nil).Set(3)
+		return r
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	base := build([]int{0, 1, 2, 3, 4})
+	var want bytes.Buffer
+	if err := base.WritePrometheus(&want); err != nil {
+		t.Fatal(err)
+	}
+	var wantJSON bytes.Buffer
+	if err := base.WriteJSON(&wantJSON); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		order := rng.Perm(len(seeds))
+		r := build(order)
+		var got bytes.Buffer
+		if err := r.WritePrometheus(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("order %v changed Prometheus output:\n--- want ---\n%s--- got ---\n%s", order, want.String(), got.String())
+		}
+		var gotJSON bytes.Buffer
+		if err := r.WriteJSON(&gotJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+			t.Fatalf("order %v changed JSON output", order)
+		}
+	}
+
+	// Families appear sorted by name even though creation order differed.
+	out := want.String()
+	if strings.Index(out, "aardvark_total") > strings.Index(out, "workload_queries_total") {
+		t.Fatalf("families not name-sorted:\n%s", out)
+	}
+}

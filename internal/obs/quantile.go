@@ -1,0 +1,43 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution from the histogram's buckets, interpolating linearly
+// within the winning bucket — the same estimate Prometheus computes
+// server-side with histogram_quantile(). Estimates in the implicit +Inf
+// bucket clamp to the highest finite bound; an empty histogram yields 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	counts := h.BucketCounts()
+	var cum float64
+	lower := 0.0
+	for i, c := range counts {
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		if c > 0 && cum+float64(c) >= rank {
+			if math.IsInf(upper, 1) {
+				return lower // clamp: the bucket has no finite upper bound
+			}
+			frac := (rank - cum) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum += float64(c)
+		lower = upper
+	}
+	// Only reachable through float rounding; the last finite bound is the
+	// best remaining estimate.
+	return h.bounds[len(h.bounds)-1]
+}

@@ -456,6 +456,13 @@ type StepResult struct {
 	// Elapsed / ElapsedCum time this step and the run so far.
 	Elapsed    time.Duration
 	ElapsedCum time.Duration
+	// CacheHits / CacheMisses count this step's sub-partition loads served
+	// from the decoded LRU cache vs read from storage.
+	CacheHits   int64
+	CacheMisses int64
+	// Incremental reports whether the step was evaluated semi-naively
+	// (delta joins only) rather than from scratch.
+	Incremental bool
 	// Degraded reports that at least one candidate sub-partition could
 	// not be read so far (FailurePolicy Degrade only); the answers remain
 	// a sound subset of the exact result (Lemma 4.4).
@@ -653,6 +660,9 @@ func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(St
 			NewAnswers:      answers.Card() - state.prevAnswers,
 			Elapsed:         el,
 			ElapsedCum:      cum,
+			CacheHits:       state.cacheHitsStep,
+			CacheMisses:     state.cacheMissesStep,
+			Incremental:     state.inc != nil,
 			Degraded:        len(state.missing) > 0,
 			MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
 			Epoch:           lay.Epoch(),

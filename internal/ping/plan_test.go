@@ -1,0 +1,218 @@
+package ping
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"ping/internal/obs"
+	"ping/internal/sparql"
+)
+
+func TestExplainPlan(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <occursIn> ?b . ?x <hasKeyword> ?d }`)
+
+	plan, err := proc.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Safe {
+		t.Fatal("query is safe but plan says unsafe")
+	}
+	if plan.Analyzed {
+		t.Fatal("Explain must not mark the plan analyzed")
+	}
+	if plan.Shape != "star" {
+		t.Errorf("shape = %q, want star", plan.Shape)
+	}
+	if !plan.Incremental {
+		t.Error("plan should predict incremental evaluation")
+	}
+	if len(plan.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(plan.Patterns))
+	}
+	for _, pp := range plan.Patterns {
+		if !pp.Safe || pp.Candidates == 0 || pp.PredictedRows == 0 {
+			t.Errorf("pattern %q: %+v, want safe with candidates and rows", pp.Pattern, pp)
+		}
+	}
+	if len(plan.JoinOrder) != 2 {
+		t.Errorf("join order %v, want 2 entries", plan.JoinOrder)
+	}
+
+	// The schedule must match what PQA actually runs: same step count,
+	// same levels, and the per-step predicted rows equal the rows the run
+	// actually loads (nothing is cached or degraded here).
+	res, err := proc.PQA(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != len(res.Steps) {
+		t.Fatalf("plan has %d steps, run had %d", len(plan.Steps), len(res.Steps))
+	}
+	for i, ps := range plan.Steps {
+		sr := res.Steps[i]
+		if ps.Step != sr.Step || ps.MaxLevel != sr.MaxLevel {
+			t.Errorf("step %d: plan (step=%d level=%d) vs run (step=%d level=%d)",
+				i, ps.Step, ps.MaxLevel, sr.Step, sr.MaxLevel)
+		}
+		if len(ps.SubParts) != len(sr.NewSubParts) {
+			t.Errorf("step %d: plan loads %d subparts, run loaded %d", i, len(ps.SubParts), len(sr.NewSubParts))
+		}
+		if ps.PredictedRows != sr.RowsLoadedStep {
+			t.Errorf("step %d: predicted %d rows, run loaded %d", i, ps.PredictedRows, sr.RowsLoadedStep)
+		}
+	}
+
+	// A LIMIT query cannot run incrementally; the plan must say so.
+	ql := sparql.MustParse(`SELECT * WHERE { ?x <occursIn> ?b } LIMIT 1`)
+	planL, err := proc.Explain(ql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planL.Incremental {
+		t.Error("LIMIT plan should predict from-scratch evaluation")
+	}
+}
+
+func TestExplainUnsafeQuery(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <noSuchProperty> ?y }`)
+	plan, err := proc.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Safe || len(plan.Steps) != 0 {
+		t.Fatalf("unsafe query produced safe plan: %+v", plan)
+	}
+	var text bytes.Buffer
+	if err := plan.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "UNSAFE") {
+		t.Errorf("text rendering missing UNSAFE marker:\n%s", text.String())
+	}
+}
+
+// TestAnalyzeAgreesWithResult is the acceptance criterion: the analyzed
+// plan's per-step actual rows, answers, and coverage must agree with the
+// run's Result, and the step count must equal the run's increment of
+// ping_incremental_steps_total on a private registry.
+func TestAnalyzeAgreesWithResult(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{Metrics: reg})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <occursIn> ?b . ?x <hasKeyword> ?d }`)
+
+	incSteps := reg.Counter("ping_incremental_steps_total", nil)
+	before := incSteps.Value()
+
+	plan, res, err := proc.Analyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Analyzed {
+		t.Fatal("Analyze did not mark the plan analyzed")
+	}
+	if len(plan.Steps) != len(res.Steps) {
+		t.Fatalf("plan has %d steps, run had %d", len(plan.Steps), len(res.Steps))
+	}
+
+	delta := incSteps.Value() - before
+	if delta != int64(len(res.Steps)) {
+		t.Errorf("ping_incremental_steps_total grew by %d, run had %d steps", delta, len(res.Steps))
+	}
+
+	sawJoin := false
+	for i, ps := range plan.Steps {
+		sr := res.Steps[i]
+		if ps.ActualRows != sr.RowsLoadedStep {
+			t.Errorf("step %d: plan actual_rows %d, result %d", i, ps.ActualRows, sr.RowsLoadedStep)
+		}
+		if ps.Answers != sr.Answers.Card() {
+			t.Errorf("step %d: plan answers %d, result %d", i, ps.Answers, sr.Answers.Card())
+		}
+		if ps.NewAnswers != sr.NewAnswers {
+			t.Errorf("step %d: plan new_answers %d, result %d", i, ps.NewAnswers, sr.NewAnswers)
+		}
+		if want := res.Coverage(i); math.Abs(ps.Coverage-want) > 1e-12 {
+			t.Errorf("step %d: plan coverage %v, Result.Coverage %v", i, ps.Coverage, want)
+		}
+		if !ps.Incremental {
+			t.Errorf("step %d not marked incremental", i)
+		}
+		if ps.CacheHits+ps.CacheMisses != int64(len(ps.SubParts)) {
+			t.Errorf("step %d: cache hits %d + misses %d != %d loads",
+				i, ps.CacheHits, ps.CacheMisses, len(ps.SubParts))
+		}
+		if ps.ElapsedMs < 0 {
+			t.Errorf("step %d: negative elapsed %v", i, ps.ElapsedMs)
+		}
+		for _, j := range ps.Joins {
+			sawJoin = true
+			if j.LeftRows <= 0 || j.RightRows <= 0 {
+				t.Errorf("step %d: join with empty input: %+v", i, j)
+			}
+		}
+	}
+	if !sawJoin {
+		t.Error("no join was lifted off the trace for a two-pattern query")
+	}
+	if plan.Answers != res.Final.Card() {
+		t.Errorf("plan answers %d, final %d", plan.Answers, res.Final.Card())
+	}
+	if !plan.Exact {
+		t.Error("clean run should be exact")
+	}
+	if plan.TotalMs <= 0 {
+		t.Errorf("total %vms, want > 0", plan.TotalMs)
+	}
+	if last := plan.Steps[len(plan.Steps)-1]; math.Abs(last.Coverage-1) > 1e-12 {
+		t.Errorf("final step coverage %v, want 1", last.Coverage)
+	}
+
+	// Both renderings must work; JSON must round-trip the actuals.
+	var text bytes.Buffer
+	if err := plan.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ANALYZE", "coverage=", "join order:", "total:"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rt Plan
+	if err := json.Unmarshal(buf.Bytes(), &rt); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Answers != plan.Answers || len(rt.Steps) != len(plan.Steps) || !rt.Analyzed {
+		t.Errorf("JSON round-trip mismatch: %+v", rt)
+	}
+}
+
+// TestAnalyzeJoinsNestUnderCallerTrace checks Analyze piggybacks on an
+// existing trace instead of rooting a private one.
+func TestAnalyzeJoinsNestUnderCallerTrace(t *testing.T) {
+	g := fig1Graph()
+	proc := NewProcessor(mustPartition(t, g), Options{Metrics: obs.NewRegistry()})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <occursIn> ?b . ?x <hasKeyword> ?d }`)
+
+	ctx, root := obs.NewTrace(context.Background(), "caller")
+	if _, _, err := proc.Analyze(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if root.Find("analyze") == nil || root.Find("pqa") == nil {
+		t.Fatal("analyze/pqa spans not nested under the caller's trace")
+	}
+}

@@ -1,0 +1,110 @@
+// Package workload profiles the query workload served by a processor:
+// every query is fingerprinted by its variable-name-normalized (α-
+// equivalent) canonical form, and per-fingerprint aggregates — counts,
+// latency distribution, steps-to-first-answer, coverage at first answer,
+// degraded and error counts — accumulate in a bounded concurrent store.
+// Snapshots persist as NDJSON and serve pingd's /workload endpoint; a
+// threshold-triggered slow-query log shares the same record shapes.
+//
+// Captured workloads are the raw material for workload-driven layout
+// optimization (WORQ's reductions, WawPart's workload-aware
+// partitioning): the fingerprint aggregates say which BGP shapes recur
+// and which of them progressive answering serves poorly.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+)
+
+// renamer maps variable names to v0, v1, ... in first-occurrence order.
+type renamer struct {
+	names map[string]string
+}
+
+func (r *renamer) name(v string) string {
+	if n, ok := r.names[v]; ok {
+		return n
+	}
+	n := fmt.Sprintf("v%d", len(r.names))
+	r.names[v] = n
+	return n
+}
+
+func (r *renamer) term(t rdf.Term) rdf.Term {
+	if t.IsVar() {
+		t.Value = r.name(t.Value)
+	}
+	return t
+}
+
+func (r *renamer) expr(e sparql.Expr) sparql.Expr {
+	switch x := e.(type) {
+	case sparql.Comparison:
+		x.Left = r.term(x.Left)
+		x.Right = r.term(x.Right)
+		return x
+	case sparql.And:
+		parts := make([]sparql.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = r.expr(p)
+		}
+		return sparql.And{Parts: parts}
+	case sparql.Or:
+		parts := make([]sparql.Expr, len(x.Parts))
+		for i, p := range x.Parts {
+			parts[i] = r.expr(p)
+		}
+		return sparql.Or{Parts: parts}
+	case sparql.Not:
+		return sparql.Not{Sub: r.expr(x.Sub)}
+	default:
+		// Unknown expression kinds keep their surface text; they simply
+		// don't participate in α-normalization.
+		return e
+	}
+}
+
+// Canonical returns the query's variable-name-normalized surface text:
+// every variable is renamed to v0, v1, ... in first-occurrence order
+// (patterns, then paths, then filters, then the projection), so two
+// queries that differ only in variable naming render identically.
+// Pattern order is deliberately preserved — reordered BGPs are different
+// plans and different workload entries.
+func Canonical(q *sparql.Query) string {
+	ren := &renamer{names: make(map[string]string)}
+	cq := &sparql.Query{Distinct: q.Distinct, Limit: q.Limit}
+	for _, p := range q.Patterns {
+		cq.Patterns = append(cq.Patterns, sparql.TriplePattern{
+			S: ren.term(p.S), P: ren.term(p.P), O: ren.term(p.O),
+		})
+	}
+	for _, p := range q.Paths {
+		cq.Paths = append(cq.Paths, sparql.PathPattern{
+			S: ren.term(p.S), O: ren.term(p.O), Path: p.Path,
+		})
+	}
+	for _, f := range q.Filters {
+		cq.Filters = append(cq.Filters, ren.expr(f))
+	}
+	for _, v := range q.Vars {
+		cq.Vars = append(cq.Vars, ren.name(v))
+	}
+	return cq.String()
+}
+
+// Fingerprint returns the 16-hex-digit FNV-64a hash of the query's
+// canonical form — the aggregation key of the workload profiler.
+func Fingerprint(q *sparql.Query) string {
+	return FingerprintCanonical(Canonical(q))
+}
+
+// FingerprintCanonical hashes an already-canonicalized query text.
+func FingerprintCanonical(canonical string) string {
+	h := fnv.New64a()
+	h.Write([]byte(canonical))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
