@@ -3,7 +3,7 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json bench-compare cover workload-report
+.PHONY: check build vet fmt test race bench bench-json bench-compare cover workload-report fuzz
 
 # check is the full gate: build, vet, formatting, the race-enabled test
 # suite, and the coverage floor. CI and pre-commit should run `make check`.
@@ -26,6 +26,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fuzz hammers the durable-cursor decoders (client tokens and on-disk
+# records): untrusted bytes must never panic, and accepted inputs must
+# round-trip canonically. Go allows one -fuzz pattern per invocation,
+# so each target gets its own run.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseToken$$' -fuzztime=$(FUZZTIME) ./internal/cursor/
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeRecord$$' -fuzztime=$(FUZZTIME) ./internal/cursor/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

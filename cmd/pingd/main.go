@@ -42,10 +42,6 @@ import (
 	"ping/internal/workload"
 )
 
-// shutdownGrace bounds how long in-flight requests may drain after a
-// termination signal.
-const shutdownGrace = 5 * time.Second
-
 func main() {
 	var (
 		store    = flag.String("store", "", "store directory written by pingload (required)")
@@ -67,6 +63,12 @@ func main() {
 		trace         = flag.Bool("trace", false, "retain per-query trace trees, served at /traces")
 		traceSample   = flag.Int("trace-sample", 1, "trace 1 in N queries (head sampling; 1 = all)")
 		traceBuffer   = flag.Int("trace-buffer", 64, "how many trace trees the /traces ring retains")
+
+		grace       = flag.Duration("shutdown-grace", 5*time.Second, "how long in-flight queries may drain (pausing as cursors) after SIGTERM/SIGINT")
+		cursorTTL   = flag.Duration("cursor-ttl", 15*time.Minute, "how long a paused query stays resumable (bounds its snapshot lease)")
+		cursorIdle  = flag.Duration("cursor-idle-evict", time.Minute, "idle time before an in-memory cursor hibernates to disk")
+		cursorMax   = flag.Int("max-cursors", 1024, "maximum paused queries retained")
+		cursorSweep = flag.Duration("cursor-sweep", 30*time.Second, "interval of the cursor TTL/idle-eviction sweep")
 	)
 	flag.Parse()
 	if *store == "" {
@@ -92,6 +94,9 @@ func main() {
 		RowLimit:        *rows,
 		UseBloomPruning: *useBloom,
 		Persist:         fs,
+		CursorTTL:       *cursorTTL,
+		CursorIdleEvict: *cursorIdle,
+		MaxCursors:      *cursorMax,
 		MaxFingerprints: *workloadMax,
 		Trace:           *trace,
 		TraceSample:     *traceSample,
@@ -114,6 +119,7 @@ func main() {
 
 	logger := log.New(os.Stderr, "pingd: ", log.LstdFlags)
 	srv := newServer(hpart.NewStore(lay), cfg)
+	stopSweeper := srv.startSweeper(*cursorSweep)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler(logger.Printf)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -134,8 +140,11 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("signal received; draining for up to %v", shutdownGrace)
-	shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	logger.Printf("signal received; draining for up to %v", *grace)
+	// In-flight queries pause at their next step boundary and park as
+	// cursors, so the drain completes quickly and nothing is lost.
+	srv.beginDrain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		logger.Printf("forced shutdown: %v", err)
@@ -143,6 +152,12 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
+	}
+	stopSweeper()
+	if n, err := srv.cursors.HibernateAll(); err != nil {
+		logger.Printf("cursor checkpoint: %v", err)
+	} else if n > 0 {
+		logger.Printf("checkpointed %d paused queries to disk", n)
 	}
 	if *workloadOut != "" {
 		if err := srv.profiler.SaveFile(*workloadOut); err != nil {

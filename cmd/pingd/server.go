@@ -3,13 +3,16 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ping/internal/cursor"
 	"ping/internal/dataflow"
 	"ping/internal/dfs"
 	"ping/internal/hpart"
@@ -29,7 +32,8 @@ type serverConfig struct {
 	MaxInflight int
 	MaxQueue    int
 	// QueryTimeout is the per-query deadline, queue wait included
-	// (0 = none).
+	// (0 = none). A run that times out mid-flight parks as a cursor, so
+	// the work already done stays resumable.
 	QueryTimeout time.Duration
 	// RowLimit caps the bindings included per step line when the client
 	// asks for them (0 = never include bindings).
@@ -42,6 +46,16 @@ type serverConfig struct {
 	// Persist, when non-nil, is the on-disk file system whose manifest
 	// (and the dictionary) is saved after each successful update.
 	Persist *dfs.FS
+	// CursorFS is the durable layer for hibernated cursors (default:
+	// Persist). Nil with nil Persist keeps cursors memory-only.
+	CursorFS *dfs.FS
+	// CursorTTL bounds how long a paused query stays resumable (and how
+	// long its epoch lease pins the snapshot); CursorIdleEvict is the
+	// in-memory idle time before a cursor hibernates to CursorFS;
+	// MaxCursors caps the cursor table. Zero = cursor.Config defaults.
+	CursorTTL       time.Duration
+	CursorIdleEvict time.Duration
+	MaxCursors      int
 	// Metrics receives the daemon's and the processors' series
 	// (nil: obs.Default).
 	Metrics *obs.Registry
@@ -61,7 +75,9 @@ type serverConfig struct {
 // server is the pingd HTTP surface over one epoch store. Queries pin
 // snapshots (each request builds a cheap processor with its own dataflow
 // pool, so cancellation never crosses requests); updates go through the
-// single snapshot-mode maintainer guarded by maintMu.
+// single snapshot-mode maintainer guarded by maintMu. Interrupted or
+// budget-bounded queries park as durable cursors in the cursor manager
+// and resume via /resume.
 type server struct {
 	store *hpart.Store
 	cfg   serverConfig
@@ -82,6 +98,11 @@ type server struct {
 	slow     *workload.SlowLog
 	sampler  *obs.Sampler
 	traces   *obs.SpanBuffer
+
+	cursors *cursor.Manager
+	// draining flips on SIGTERM: in-flight runs pause at their next step
+	// boundary and park as cursors instead of running to completion.
+	draining atomic.Bool
 
 	// stepHook, when set (tests only), runs after each delivered step
 	// line, with the response already flushed. Set and cleared via
@@ -114,6 +135,16 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 	}
 	reg.Describe("pingd_rejected_total", "queries rejected by admission control (HTTP 429)")
 	reg.Describe("pingd_updates_total", "update batches applied and published as new epochs")
+	cursorFS := cfg.CursorFS
+	if cursorFS == nil {
+		cursorFS = cfg.Persist
+	}
+	var persist func() error
+	if cursorFS != nil && cursorFS == cfg.Persist {
+		// Hibernated records only survive a restart if the manifest
+		// knows about them.
+		persist = cursorFS.SaveManifest
+	}
 	s := &server{
 		store:    store,
 		cfg:      cfg,
@@ -124,6 +155,15 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		updates:  reg.Counter("pingd_updates_total", nil),
 		profiler: workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
 		slow:     cfg.SlowLog,
+		cursors: cursor.New(cursor.Config{
+			FS:         cursorFS,
+			TTL:        cfg.CursorTTL,
+			IdleEvict:  cfg.CursorIdleEvict,
+			MaxCursors: cfg.MaxCursors,
+			Store:      store,
+			Metrics:    reg,
+			Persist:    persist,
+		}),
 	}
 	if cfg.Trace {
 		s.sampler = obs.NewSampler(cfg.TraceSample)
@@ -132,11 +172,39 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 	return s
 }
 
+// beginDrain makes every in-flight query pause at its next step
+// boundary and park as a cursor. Called on SIGTERM before the HTTP
+// server drains.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// startSweeper runs the cursor idle-eviction/TTL sweep on a ticker;
+// the returned function stops it.
+func (s *server) startSweeper(interval time.Duration) func() {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.cursors.Sweep()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
 // handler mounts the daemon's routes. The obs introspection mux
 // (/metrics, /debug/vars, pprof) serves everything not claimed here.
 func (s *server) handler(logf func(format string, args ...any)) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/query", obs.Instrument(s.reg, "/query", logf, http.HandlerFunc(s.handleQuery)))
+	mux.Handle("/resume", obs.Instrument(s.reg, "/resume", logf, http.HandlerFunc(s.handleResume)))
 	mux.Handle("/update", obs.Instrument(s.reg, "/update", logf, http.HandlerFunc(s.handleUpdate)))
 	mux.Handle("/stats", obs.Instrument(s.reg, "/stats", logf, http.HandlerFunc(s.handleStats)))
 	mux.Handle("/explain", obs.Instrument(s.reg, "/explain", logf, http.HandlerFunc(s.handleExplain)))
@@ -171,9 +239,61 @@ func (s *server) admit(ctx context.Context) (func(), int) {
 	}
 }
 
+// reject answers an admission failure. Overload (429) carries a
+// Retry-After hint and a JSON body so clients can back off without
+// sniffing prose: {"error":"overloaded","queue":N}.
+func (s *server) reject(w http.ResponseWriter, code int) {
+	s.rejected.Inc()
+	if code != http.StatusTooManyRequests {
+		http.Error(w, http.StatusText(code), code)
+		return
+	}
+	queued := len(s.queue)
+	// Every queued query must wait for an execution slot; assume about a
+	// second per slot turn as the floor for the client's next attempt.
+	retry := 1 + queued/max(1, s.cfg.MaxInflight)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": "overloaded", "queue": queued})
+}
+
+// parseBudget reads the client's ?max_steps=, ?max_rows= and ?deadline=
+// budget bounds. A budgeted run executes the longest schedule prefix
+// whose predicted loaded rows fit (the predicted-coverage-maximal
+// prefix) and then pauses with a resumable cursor instead of erroring.
+func parseBudget(r *http.Request) (ping.Budget, error) {
+	var b ping.Budget
+	q := r.URL.Query()
+	if v := q.Get("max_steps"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("bad max_steps %q", v)
+		}
+		b.MaxSteps = n
+	}
+	if v := q.Get("max_rows"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("bad max_rows %q", v)
+		}
+		b.MaxLoadedRows = n
+	}
+	if v := q.Get("deadline"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return b, fmt.Errorf("bad deadline %q", v)
+		}
+		b.Deadline = d
+	}
+	return b, nil
+}
+
 // stepLine is one NDJSON line of a streaming query response: the state
 // of the progressive answer after one slice step. Epoch is constant
 // across all lines of one response — the run is pinned to a snapshot.
+// Cursor is the resume token as of this step: whatever line the client
+// saw last, it can hand that token to /resume.
 type stepLine struct {
 	Step        int                 `json:"step"`
 	MaxLevel    int                 `json:"max_level"`
@@ -182,6 +302,8 @@ type stepLine struct {
 	NewAnswers  int                 `json:"new_answers"`
 	RowsLoaded  int64               `json:"rows_loaded_cum"`
 	ElapsedMS   float64             `json:"elapsed_ms"`
+	Cursor      string              `json:"cursor,omitempty"`
+	Restarted   bool                `json:"restarted,omitempty"`
 	Degraded    bool                `json:"degraded,omitempty"`
 	MissingSubP int                 `json:"missing_subparts,omitempty"`
 	Bindings    []map[string]string `json:"bindings,omitempty"`
@@ -194,7 +316,23 @@ type doneLine struct {
 	Answers   int     `json:"answers"`
 	Epoch     uint64  `json:"epoch"`
 	Exact     bool    `json:"exact"`
+	Segments  int     `json:"segments,omitempty"`
+	Restarted bool    `json:"restarted,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// pausedLine terminates a segment that stopped before the final step:
+// the run is parked as a cursor and Cursor resumes it.
+type pausedLine struct {
+	Paused       bool    `json:"paused"`
+	Reason       string  `json:"reason"`
+	Cursor       string  `json:"cursor"`
+	Steps        int     `json:"steps"`
+	PlannedSteps int     `json:"planned_steps"`
+	Answers      int     `json:"answers"`
+	Epoch        uint64  `json:"epoch"`
+	Restarted    bool    `json:"restarted,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
 // errLine reports a failure after streaming has started (the status
@@ -203,9 +341,164 @@ type errLine struct {
 	Error string `json:"error"`
 }
 
-// handleQuery streams a progressive query: one JSON object per PQA step,
-// then a done line. ?q= carries the SPARQL text (or the POST body does);
-// ?bindings=1 includes up to RowLimit decoded rows per step.
+// segment is the handler-side state of one run segment of a query
+// lineage: the NDJSON emitter plus everything the pause/complete paths
+// need (latest step, latest checkpoint, per-step counters).
+type segment struct {
+	s            *server
+	enc          *json.Encoder
+	flusher      http.Flusher
+	id           [16]byte
+	dict         *rdf.Dict
+	wantBindings bool
+	restarted    bool
+
+	steps       int
+	last        ping.StepResult
+	lastCp      *ping.Checkpoint
+	stepMs      []float64
+	stepAnswers []int
+	subParts    int
+}
+
+func (s *server) newSegment(w http.ResponseWriter, id [16]byte, wantBindings bool) *segment {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	return &segment{
+		s:            s,
+		enc:          json.NewEncoder(w),
+		flusher:      flusher,
+		id:           id,
+		dict:         s.store.Current().Dict,
+		wantBindings: wantBindings,
+	}
+}
+
+func (g *segment) emit(v any) {
+	_ = g.enc.Encode(v)
+	if g.flusher != nil {
+		g.flusher.Flush()
+	}
+}
+
+// step is the PQA callback: record the step, stream its line (stamped
+// with a resume token), and keep going unless the client is gone or the
+// server is draining.
+func (g *segment) step(ctx context.Context) func(ping.StepResult, *ping.Checkpoint) bool {
+	return func(st ping.StepResult, cp *ping.Checkpoint) bool {
+		g.steps++
+		g.last = st
+		g.lastCp = cp
+		g.stepMs = append(g.stepMs, float64(st.Elapsed.Microseconds())/1e3)
+		g.stepAnswers = append(g.stepAnswers, st.Answers.Card())
+		g.subParts += len(st.NewSubParts)
+		line := stepLine{
+			Step:        st.Step,
+			MaxLevel:    st.MaxLevel,
+			Epoch:       st.Epoch,
+			Answers:     st.Answers.Card(),
+			NewAnswers:  st.NewAnswers,
+			RowsLoaded:  st.RowsLoadedCum,
+			ElapsedMS:   float64(st.ElapsedCum.Microseconds()) / 1e3,
+			Cursor:      cursor.Token(g.id, st.Step),
+			Restarted:   g.restarted,
+			Degraded:    st.Degraded,
+			MissingSubP: len(st.MissingSubParts),
+		}
+		if g.wantBindings {
+			for i, row := range st.Answers.BindingMaps() {
+				if i >= g.s.cfg.RowLimit {
+					break
+				}
+				m := make(map[string]string, len(row))
+				for v, id := range row {
+					m[v] = g.dict.TermString(id)
+				}
+				line.Bindings = append(line.Bindings, m)
+			}
+		}
+		g.emit(line)
+		if hook := g.s.stepHook.Load(); hook != nil {
+			(*hook)()
+		}
+		return ctx.Err() == nil && !g.s.draining.Load()
+	}
+}
+
+// pauseReason maps a segment outcome to the reason string on the paused
+// line.
+func (g *segment) pauseReason(ctx context.Context, st *ping.RunStatus) string {
+	if st.Reason != ping.StopCallback {
+		return string(st.Reason)
+	}
+	if g.s.draining.Load() {
+		return "draining"
+	}
+	if ctx.Err() != nil {
+		return "disconnected"
+	}
+	return string(ping.StopCallback)
+}
+
+// lineageObservation folds a COMPLETED lineage into the workload
+// profiler and slow-query log — called exactly once per lineage, with
+// the latency summed across its segments.
+func (s *server) lineageObservation(fp, canonical, shape, text string, latency time.Duration, segments int, stepAnswers []int, g *segment, runErr error) {
+	obsv := workload.Observation{
+		Latency:  latency,
+		Steps:    len(stepAnswers),
+		Segments: segments,
+		Error:    runErr != nil,
+	}
+	var sq workload.SlowQuery
+	if len(stepAnswers) > 0 && g.steps > 0 {
+		final := g.last.Answers.Card()
+		obsv.Answers = final
+		obsv.Epoch = g.last.Epoch
+		obsv.Degraded = g.last.Degraded
+		obsv.Coverage = make([]float64, len(stepAnswers))
+		for i, n := range stepAnswers {
+			if final > 0 {
+				obsv.Coverage[i] = float64(n) / float64(final)
+			} else {
+				obsv.Coverage[i] = 1
+			}
+			if obsv.StepsToFirstAnswer == 0 && n > 0 {
+				obsv.StepsToFirstAnswer = i + 1
+			}
+		}
+		if obsv.StepsToFirstAnswer > 0 {
+			obsv.CoverageAtFirstAnswer = obsv.Coverage[obsv.StepsToFirstAnswer-1]
+		}
+		sq.Plan = &workload.PlanSummary{
+			Strategy:    s.cfg.Strategy.String(),
+			Steps:       len(stepAnswers),
+			SubParts:    g.subParts,
+			MaxLevel:    g.last.MaxLevel,
+			Incremental: g.last.Incremental,
+		}
+	}
+	s.profiler.ObserveFingerprint(fp, canonical, shape, obsv)
+	sq.Fingerprint = fp
+	sq.Canonical = canonical
+	sq.Query = text
+	sq.Epoch = obsv.Epoch
+	sq.StepMs = g.stepMs
+	sq.Answers = obsv.Answers
+	sq.Degraded = obsv.Degraded
+	if runErr != nil {
+		sq.Error = runErr.Error()
+	}
+	s.slow.Observe(sq, latency)
+}
+
+// handleQuery streams a progressive query: one JSON object per PQA step
+// (each stamped with a resume cursor token), then a done or paused
+// line. ?q= carries the SPARQL text (or the POST body does);
+// ?bindings=1 includes up to RowLimit decoded rows per step;
+// ?max_steps=/?max_rows=/?deadline= bound the segment, pausing with a
+// cursor at the budget boundary.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	text := r.URL.Query().Get("q")
 	if text == "" && r.Body != nil {
@@ -219,6 +512,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := sparql.Parse(text)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("parse: %v", err), http.StatusBadRequest)
+		return
+	}
+	budget, err := parseBudget(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	wantBindings := r.URL.Query().Get("bindings") == "1" && s.cfg.RowLimit > 0
@@ -235,8 +533,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	release, code := s.admit(ctx)
 	if release == nil {
-		s.rejected.Inc()
-		http.Error(w, http.StatusText(code), code)
+		s.reject(w, code)
 		return
 	}
 	defer release()
@@ -254,144 +551,244 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	proc := ping.NewProcessorStore(s.store, ping.Options{
-		Context:         dataflow.NewContext(s.cfg.Workers),
-		Strategy:        s.cfg.Strategy,
-		FailurePolicy:   s.cfg.FailurePolicy,
-		UseBloomPruning: s.cfg.UseBloomPruning,
-		Metrics:         s.cfg.Metrics,
-	})
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Accel-Buffering", "no")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(v any) {
-		_ = enc.Encode(v)
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-
-	dict := s.store.Current().Dict
-	start := time.Now()
-	var last ping.StepResult
-	steps := 0
-	var (
-		stepMs      []float64
-		stepAnswers []int
-		toFirst     int
-		subParts    int
-	)
-	// record folds the run into the workload profiler and, when slow (or
-	// failed), the slow-query log. Called on both exits of the handler.
-	record := func(runErr error) {
-		latency := time.Since(start)
-		obsv := workload.Observation{
-			Latency: latency,
-			Steps:   steps,
-			Error:   runErr != nil,
-		}
-		var sq workload.SlowQuery
-		if steps > 0 {
-			final := last.Answers.Card()
-			obsv.Answers = final
-			obsv.Epoch = last.Epoch
-			obsv.Degraded = last.Degraded
-			obsv.Coverage = make([]float64, len(stepAnswers))
-			for i, n := range stepAnswers {
-				if final > 0 {
-					obsv.Coverage[i] = float64(n) / float64(final)
-				} else {
-					obsv.Coverage[i] = 1
-				}
-			}
-			if toFirst > 0 {
-				obsv.StepsToFirstAnswer = toFirst
-				obsv.CoverageAtFirstAnswer = obsv.Coverage[toFirst-1]
-			}
-			sq.Plan = &workload.PlanSummary{
-				Strategy:    s.cfg.Strategy.String(),
-				Steps:       steps,
-				SubParts:    subParts,
-				MaxLevel:    last.MaxLevel,
-				Incremental: last.Incremental,
-			}
-		}
-		s.profiler.ObserveFingerprint(fp, canonical, shape, obsv)
-		sq.Fingerprint = fp
-		sq.Canonical = canonical
-		sq.Query = text
-		sq.Epoch = obsv.Epoch
-		sq.StepMs = stepMs
-		sq.Answers = obsv.Answers
-		sq.Degraded = obsv.Degraded
-		if runErr != nil {
-			sq.Error = runErr.Error()
-		}
-		s.slow.Observe(sq, latency)
-	}
-	err = proc.PQAStepsCtx(ctx, q, func(st ping.StepResult) bool {
-		steps++
-		last = st
-		stepMs = append(stepMs, float64(st.Elapsed.Microseconds())/1e3)
-		stepAnswers = append(stepAnswers, st.Answers.Card())
-		subParts += len(st.NewSubParts)
-		if toFirst == 0 && st.Answers.Card() > 0 {
-			toFirst = st.Step
-		}
-		line := stepLine{
-			Step:        st.Step,
-			MaxLevel:    st.MaxLevel,
-			Epoch:       st.Epoch,
-			Answers:     st.Answers.Card(),
-			NewAnswers:  st.NewAnswers,
-			RowsLoaded:  st.RowsLoadedCum,
-			ElapsedMS:   float64(st.ElapsedCum.Microseconds()) / 1e3,
-			Degraded:    st.Degraded,
-			MissingSubP: len(st.MissingSubParts),
-		}
-		if wantBindings {
-			for i, row := range st.Answers.BindingMaps() {
-				if i >= s.cfg.RowLimit {
-					break
-				}
-				m := make(map[string]string, len(row))
-				for v, id := range row {
-					m[v] = dict.TermString(id)
-				}
-				line.Bindings = append(line.Bindings, m)
-			}
-		}
-		emit(line)
-		if hook := s.stepHook.Load(); hook != nil {
-			(*hook)()
-		}
-		return ctx.Err() == nil
-	})
-	record(err)
+	proc := s.newProcessor(s.cfg.Strategy, s.cfg.FailurePolicy)
+	id, err := cursor.NewID()
 	if err != nil {
-		// Streaming may have started; an in-band error line is all we
-		// can still deliver.
-		emit(errLine{Error: err.Error()})
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// Lease the snapshot up front: if this segment pauses, the cursor
+	// inherits the lease and the resume continues on the exact same
+	// snapshot (until the lease TTL reclaims it).
+	lease, lay := s.cursors.Lease()
+
+	g := s.newSegment(w, id, wantBindings)
+	start := time.Now()
+	st, err := proc.PQARunOn(ctx, lay, q, budget, g.step(ctx))
+	latency := time.Since(start)
+
+	if err != nil {
+		// Interrupted mid-step (client disconnect or timeout): the last
+		// completed step's checkpoint still parks as a cursor, so the
+		// client's tokens keep working.
+		if ctx.Err() != nil && g.lastCp != nil {
+			s.parkSegment(g, ctx, &ping.RunStatus{Reason: ping.StopCallback, Checkpoint: g.lastCp},
+				fp, lease, latency, start)
+			return
+		}
+		lease.Release()
+		s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, err)
+		g.emit(errLine{Error: err.Error()})
+		return
+	}
+	if !st.Done {
+		s.parkSegment(g, ctx, st, fp, lease, latency, start)
+		return
+	}
+	lease.Release()
+	s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, nil)
 	done := doneLine{
 		Done:      true,
-		Steps:     steps,
+		Steps:     g.steps,
 		Epoch:     s.store.Epoch(),
-		Exact:     steps > 0 && !last.Degraded,
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+		Exact:     g.steps > 0 && !g.last.Degraded,
+		Segments:  1,
+		ElapsedMS: float64(latency.Microseconds()) / 1e3,
 	}
-	if steps > 0 {
-		done.Epoch = last.Epoch
-		done.Answers = last.Answers.Card()
+	if g.steps > 0 {
+		done.Epoch = g.last.Epoch
+		done.Answers = g.last.Answers.Card()
 	} else {
 		// Unsafe query: no slice can hold answers; the empty result is
 		// exact.
 		done.Exact = true
 	}
-	emit(done)
+	g.emit(done)
+}
+
+// parkSegment creates the cursor for a first segment that paused, and
+// emits the paused line.
+func (s *server) parkSegment(g *segment, ctx context.Context, st *ping.RunStatus, fp string, lease *hpart.Lease, latency time.Duration, start time.Time) {
+	h, err := s.cursors.Create(&cursor.Record{
+		ID:          g.id,
+		Fingerprint: fp,
+		LatencyNS:   int64(latency),
+		StepAnswers: append([]int(nil), g.stepAnswers...),
+		Checkpoint:  *st.Checkpoint,
+	}, lease)
+	if err != nil {
+		g.emit(errLine{Error: err.Error()})
+		return
+	}
+	g.emit(pausedLine{
+		Paused:       true,
+		Reason:       g.pauseReason(ctx, st),
+		Cursor:       h.Token(st.Checkpoint.StepsDone),
+		Steps:        st.Checkpoint.StepsDone,
+		PlannedSteps: st.PlannedSteps,
+		Answers:      st.Checkpoint.PrevAnswers,
+		Epoch:        st.Checkpoint.Epoch,
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// newProcessor builds a per-request processor. Strategy and policy are
+// parameters because a resume must mirror the checkpoint's, not the
+// server's current defaults.
+func (s *server) newProcessor(strategy ping.SliceStrategy, policy ping.FailurePolicy) *ping.Processor {
+	return ping.NewProcessorStore(s.store, ping.Options{
+		Context:         dataflow.NewContext(s.cfg.Workers),
+		Strategy:        strategy,
+		FailurePolicy:   policy,
+		UseBloomPruning: s.cfg.UseBloomPruning,
+		Metrics:         s.cfg.Metrics,
+	})
+}
+
+// handleResume continues a paused query from its cursor: GET
+// /resume?cursor=<token>. The response is the same NDJSON stream as
+// /query, continuing at the step after the checkpoint. Budget
+// parameters apply to the new segment; a segment that pauses again
+// re-parks the cursor. If the cursor's snapshot lease expired AND the
+// data changed, the run restarts from scratch on the current snapshot
+// with restarted:true stamped on every line (answers stay sound — only
+// the already-completed steps are lost).
+func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("cursor")
+	if token == "" {
+		http.Error(w, "missing ?cursor=", http.StatusBadRequest)
+		return
+	}
+	budget, err := parseBudget(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wantBindings := r.URL.Query().Get("bindings") == "1" && s.cfg.RowLimit > 0
+
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	release, code := s.admit(ctx)
+	if release == nil {
+		s.reject(w, code)
+		return
+	}
+	defer release()
+
+	h, err := s.cursors.Checkout(token)
+	switch {
+	case errors.Is(err, cursor.ErrBadToken):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, cursor.ErrNotFound):
+		http.Error(w, "unknown or expired cursor", http.StatusNotFound)
+		return
+	case errors.Is(err, cursor.ErrBusy):
+		http.Error(w, "cursor resume already in flight", http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rec := h.Record()
+	cp := h.Checkpoint()
+	q, err := sparql.Parse(cp.Query)
+	if err != nil {
+		h.Abort()
+		http.Error(w, fmt.Sprintf("cursor query: %v", err), http.StatusInternalServerError)
+		return
+	}
+	canonical := workload.Canonical(q)
+	shape := sparql.Classify(q).String()
+	proc := s.newProcessor(cp.Strategy, cp.FailurePolicy)
+
+	// Prefer the snapshot the lineage is pinned to; fall back to the
+	// current one (a fresh lease) when the lease died or never survived
+	// a restart.
+	var (
+		lay      *hpart.Layout
+		newLease *hpart.Lease
+	)
+	if l := h.Lease(); l != nil {
+		if la, unpin, ok := l.Acquire(); ok {
+			lay = la
+			defer unpin()
+		}
+	}
+	if lay == nil {
+		newLease, lay = s.cursors.Lease()
+	}
+
+	g := s.newSegment(w, rec.ID, wantBindings)
+	g.restarted = rec.Restarted
+	start := time.Now()
+	st, err := proc.PQAResumeRun(ctx, lay, cp, budget, g.step(ctx))
+	if errors.Is(err, ping.ErrSnapshotMismatch) {
+		// The leased snapshot is gone and the data changed: restart from
+		// scratch on the current snapshot, marked restarted.
+		g.restarted = true
+		g.steps, g.lastCp, g.stepMs, g.stepAnswers, g.subParts = 0, nil, nil, nil, 0
+		st, err = proc.PQARunOn(ctx, lay, q, budget, g.step(ctx))
+		rec.StepAnswers = nil // the old lineage's trajectory no longer applies
+	}
+	latency := time.Since(start)
+
+	finishPause := func(pauseCp *ping.Checkpoint, reason string, planned int) {
+		rec.StepAnswers = append(rec.StepAnswers, g.stepAnswers...)
+		h.Pause(pauseCp, latency, g.restarted && !rec.Restarted, newLease)
+		g.emit(pausedLine{
+			Paused:       true,
+			Reason:       reason,
+			Cursor:       h.Token(pauseCp.StepsDone),
+			Steps:        pauseCp.StepsDone,
+			PlannedSteps: planned,
+			Answers:      pauseCp.PrevAnswers,
+			Epoch:        pauseCp.Epoch,
+			Restarted:    g.restarted,
+			ElapsedMS:    float64(latency.Microseconds()) / 1e3,
+		})
+	}
+
+	if err != nil {
+		if ctx.Err() != nil && g.lastCp != nil {
+			finishPause(g.lastCp, "disconnected", 0)
+			return
+		}
+		// The resume failed outright; the cursor keeps its old state for
+		// another attempt.
+		h.Abort()
+		newLease.Release()
+		g.emit(errLine{Error: err.Error()})
+		return
+	}
+	if !st.Done {
+		finishPause(st.Checkpoint, g.pauseReason(ctx, st), st.PlannedSteps)
+		return
+	}
+
+	// Lineage complete: observe it exactly once, with totals.
+	newLease.Release()
+	lineageAnswers := append(append([]int(nil), rec.StepAnswers...), g.stepAnswers...)
+	final := h.Complete(latency)
+	s.lineageObservation(final.Fingerprint, canonical, shape, cp.Query,
+		time.Duration(final.LatencyNS), final.Segments, lineageAnswers, g, nil)
+	done := doneLine{
+		Done:      true,
+		Steps:     st.StepsDone,
+		Epoch:     g.last.Epoch,
+		Exact:     !g.last.Degraded,
+		Segments:  final.Segments,
+		Restarted: final.Restarted || g.restarted,
+		ElapsedMS: float64(latency.Microseconds()) / 1e3,
+	}
+	if g.steps > 0 {
+		done.Answers = g.last.Answers.Card()
+	}
+	g.emit(done)
 }
 
 // updateResponse acknowledges a published epoch.
@@ -480,16 +877,20 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is the /stats document.
 type statsResponse struct {
-	Epoch         uint64 `json:"epoch"`
-	Levels        int    `json:"levels"`
-	Triples       int64  `json:"triples"`
-	SubPartitions int    `json:"sub_partitions"`
-	PinnedQueries int    `json:"pinned_queries"`
-	PinnedEpochs  int    `json:"pinned_epochs"`
-	RetiredFiles  int    `json:"retired_files"`
-	FilesRemoved  int64  `json:"files_removed"`
-	Inflight      int    `json:"inflight_queries"`
-	Queued        int    `json:"queued_queries"`
+	Epoch         uint64       `json:"epoch"`
+	Levels        int          `json:"levels"`
+	Triples       int64        `json:"triples"`
+	SubPartitions int          `json:"sub_partitions"`
+	PinnedQueries int          `json:"pinned_queries"`
+	PinnedEpochs  int          `json:"pinned_epochs"`
+	RetiredFiles  int          `json:"retired_files"`
+	FilesRemoved  int64        `json:"files_removed"`
+	ActiveLeases  int          `json:"active_leases"`
+	LeasesExpired int64        `json:"leases_expired"`
+	Inflight      int          `json:"inflight_queries"`
+	Queued        int          `json:"queued_queries"`
+	Draining      bool         `json:"draining,omitempty"`
+	Cursors       cursor.Stats `json:"cursors"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -505,8 +906,12 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PinnedEpochs:  st.PinnedEpochs,
 		RetiredFiles:  st.RetiredFiles,
 		FilesRemoved:  st.FilesRemoved,
+		ActiveLeases:  st.ActiveLeases,
+		LeasesExpired: st.LeasesExpired,
 		Inflight:      len(s.sem),
 		Queued:        len(s.queue),
+		Draining:      s.draining.Load(),
+		Cursors:       s.cursors.Stats(),
 	})
 }
 

@@ -11,16 +11,20 @@
 //	pingquery -store ./uniprot-store -file q.rq -metrics-addr :0 -trace-out trace.json
 //	pingquery -store ./uniprot-store -file q.rq -explain          # static plan
 //	pingquery -store ./uniprot-store -file q.rq -analyze -json    # plan + actuals
+//	pingquery -store ./uniprot-store -file q.rq -budget-steps 2 -cursor-out q.cur
+//	pingquery -store ./uniprot-store -resume q.cur -cursor-out q.cur   # next segment
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"ping/internal/cursor"
 	"ping/internal/dataflow"
 	"ping/internal/dfs"
 	"ping/internal/engine"
@@ -48,15 +52,35 @@ func main() {
 		retries  = flag.Int("retries", 2, "extra replica-failover rounds per block read (-1 disables retries)")
 		timeout  = flag.Duration("timeout", 0, "overall query deadline, e.g. 30s (0 = none)")
 
+		budgetSteps    = flag.Int("budget-steps", 0, "run at most this many PQA steps, then pause with a cursor (0 = no bound)")
+		budgetRows     = flag.Int64("budget-rows", 0, "load at most this many predicted rows — the run keeps the longest schedule prefix that fits (0 = no bound)")
+		budgetDeadline = flag.Duration("budget-deadline", 0, "pause at the first step boundary past this elapsed time (0 = no bound)")
+		cursorOut      = flag.String("cursor-out", "", "write the resumable cursor record here when the run pauses")
+		resume         = flag.String("resume", "", "resume from a cursor record written by -cursor-out (the query text comes from the cursor; -query/-file may be omitted)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the query runs (e.g. :9090 or :0)")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the query finishes (for scraping short queries)")
 		traceOut    = flag.String("trace-out", "", "write the query's span tree as indented JSON to this file")
 	)
 	flag.Parse()
-	if *store == "" || (*queryStr == "" && *file == "") {
+	if *store == "" || (*queryStr == "" && *file == "" && *resume == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// A resumed run carries its own query text, lineage bookkeeping, and
+	// strategy in the cursor record.
+	var rec *cursor.Record
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		if rec, err = cursor.DecodeRecord(data); err != nil {
+			fatal(err)
+		}
+	}
+
 	text := *queryStr
 	if *file != "" {
 		data, err := os.ReadFile(*file)
@@ -64,6 +88,9 @@ func main() {
 			fatal(err)
 		}
 		text = string(data)
+	}
+	if text == "" && rec != nil {
+		text = rec.Checkpoint.Query
 	}
 	q, err := sparql.Parse(text)
 	if err != nil {
@@ -185,9 +212,16 @@ func main() {
 		return
 	}
 
+	budget := ping.Budget{
+		MaxSteps:      *budgetSteps,
+		MaxLoadedRows: *budgetRows,
+		Deadline:      *budgetDeadline,
+	}
 	var last ping.StepResult
-	err = proc.PQAStepsCtx(ctx, q, func(st ping.StepResult) bool {
+	var stepAnswers []int
+	fn := func(st ping.StepResult, _ *ping.Checkpoint) bool {
 		last = st
+		stepAnswers = append(stepAnswers, st.Answers.Card())
 		degraded := ""
 		if st.Degraded {
 			degraded = fmt.Sprintf(" [degraded: %d sub-partitions missing]", len(st.MissingSubParts))
@@ -199,13 +233,57 @@ func main() {
 			printRelation(lay, st.Answers, *maxRows)
 		}
 		return true
-	})
+	}
+
+	start := time.Now()
+	var st *ping.RunStatus
+	if rec != nil {
+		fmt.Printf("resuming after step %d of a prior run (%d segments so far)\n\n",
+			rec.Checkpoint.StepsDone, rec.Segments)
+		st, err = proc.PQAResumeRun(ctx, nil, &rec.Checkpoint, budget, fn)
+		if errors.Is(err, ping.ErrSnapshotMismatch) {
+			fatal(fmt.Errorf("%v\nthe store changed since the cursor was written; rerun without -resume", err))
+		}
+	} else {
+		st, err = proc.PQARun(ctx, q, budget, fn)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	if last.Degraded {
 		printDegradedBanner(last.MissingSubParts)
 	}
+	if st.Done {
+		if rec != nil {
+			fmt.Printf("lineage complete after %d segments\n", rec.Segments+1)
+		}
+		return
+	}
+
+	// Paused under budget: persist the cursor so a later invocation can
+	// pick up where this one stopped.
+	if rec == nil {
+		id, err := cursor.NewID()
+		if err != nil {
+			fatal(err)
+		}
+		rec = &cursor.Record{ID: id, Fingerprint: workload.Fingerprint(q)}
+	}
+	rec.Checkpoint = *st.Checkpoint
+	rec.Segments++
+	rec.LatencyNS += int64(time.Since(start))
+	rec.StepAnswers = append(rec.StepAnswers, stepAnswers...)
+	fmt.Printf("paused after step %d/%d (%s): %d answers so far — a sound subset of the exact result\n",
+		st.StepsDone, st.PlannedSteps, st.Reason, st.Checkpoint.PrevAnswers)
+	if *cursorOut == "" {
+		fmt.Println("no -cursor-out given; the remaining steps cannot be resumed")
+		return
+	}
+	if err := os.WriteFile(*cursorOut, cursor.EncodeRecord(rec), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cursor written to %s\nresume with: pingquery -store %s -resume %s\n",
+		*cursorOut, *store, *cursorOut)
 }
 
 // printDegradedBanner warns that the answer is a sound subset, not the

@@ -101,6 +101,87 @@ func (inc *Incremental) Answers() *Relation {
 	return &Relation{Vars: inc.proj, Rows: inc.answers.Rows[:len(inc.answers.Rows):len(inc.answers.Rows)]}
 }
 
+// Snapshot returns stable copies of the evaluator's accumulated state at
+// a step boundary: the per-pattern relations (triple patterns first,
+// then paths, in NewIncremental's layout) and the cumulative distinct
+// answers. The copies share row storage with the evaluator through
+// capped slices, so taking a snapshot per step is cheap and later steps
+// cannot mutate it.
+func (inc *Incremental) Snapshot() (rels []*Relation, answers *Relation) {
+	rels = make([]*Relation, len(inc.full))
+	for i, r := range inc.full {
+		rels[i] = &Relation{Vars: r.Vars, Rows: r.Rows[:len(r.Rows):len(r.Rows)]}
+	}
+	return rels, inc.Answers()
+}
+
+// Restore primes a freshly constructed evaluator with a Snapshot taken
+// at a step boundary, plus the accumulated groups of every path pattern
+// (a path recomputes over all of its groups when a delta arrives, so the
+// groups — not just the materialized relation — must survive
+// hibernation). Subsequent Steps behave exactly as if this evaluator had
+// processed the original steps itself: the per-pattern full relations,
+// path seen-sets, and answer set all continue from the restored state,
+// so the delta expansion of the package comment still enumerates every
+// new join result and the answer *set* matches an uninterrupted run.
+func (inc *Incremental) Restore(rels []*Relation, pathGroups [][]PropGroup, answers *Relation) error {
+	if len(rels) != len(inc.full) {
+		return fmt.Errorf("engine: restore with %d relations, want %d", len(rels), len(inc.full))
+	}
+	if len(pathGroups) != len(inc.pathGroups) {
+		return fmt.Errorf("engine: restore with %d path group lists, want %d", len(pathGroups), len(inc.pathGroups))
+	}
+	for i, r := range rels {
+		if r == nil {
+			return fmt.Errorf("engine: restore relation %d is nil", i)
+		}
+		if !sameVars(r.Vars, inc.full[i].Vars) {
+			return fmt.Errorf("engine: restore relation %d has vars %v, want %v", i, r.Vars, inc.full[i].Vars)
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Vars) {
+				return fmt.Errorf("engine: restore relation %d has a row of width %d, want %d", i, len(row), len(r.Vars))
+			}
+		}
+		inc.full[i] = &Relation{Vars: inc.full[i].Vars, Rows: r.Rows[:len(r.Rows):len(r.Rows)]}
+	}
+	for j := range inc.pathGroups {
+		inc.pathGroups[j] = append([]PropGroup(nil), pathGroups[j]...)
+		seen := newRowSet(len(rels[inc.nPat+j].Rows))
+		for _, row := range rels[inc.nPat+j].Rows {
+			seen.add(row)
+		}
+		inc.pathSeen[j] = seen
+	}
+	if answers == nil {
+		answers = &Relation{Vars: inc.proj}
+	}
+	for _, row := range answers.Rows {
+		if len(row) != len(inc.proj) {
+			return fmt.Errorf("engine: restore answer row of width %d, want %d", len(row), len(inc.proj))
+		}
+	}
+	inc.answers = &Relation{Vars: inc.proj, Rows: answers.Rows[:len(answers.Rows):len(answers.Rows)]}
+	set := newRowSet(len(answers.Rows))
+	for _, row := range answers.Rows {
+		set.add(row)
+	}
+	inc.answerSet = set
+	return nil
+}
+
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Step folds one batch of newly loaded groups into the evaluation.
 // patDeltas aligns with q.Patterns and pathDeltas with q.Paths; an empty
 // group list means the pattern saw no new data this step. It returns the

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ping/internal/rdf"
+)
+
+// Binary relation serialization, used by the durable-cursor subsystem to
+// hibernate a PQA's accumulated per-pattern relations and cached answers
+// to storage and rehydrate them on resume.
+//
+// Format (all integers unsigned varints):
+//
+//	nVars | nVars × (len | bytes) | nRows | nRows × nVars × ID
+//
+// Row order is preserved exactly — resumed evaluation must see the rows
+// in the order the interrupted run accumulated them so that first-
+// occurrence DISTINCT semantics and row ordering stay deterministic.
+//
+// Decoding is defensive: the input may come from a disk record that was
+// truncated or corrupted (the cursor layer's CRC catches random damage,
+// but the decoder must also survive adversarial input — it is fuzzed).
+
+// AppendRelation appends r's binary encoding to buf and returns the
+// extended slice. A nil relation encodes as an empty one.
+func AppendRelation(buf []byte, r *Relation) []byte {
+	if r == nil {
+		r = &Relation{}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Vars)))
+	for _, v := range r.Vars {
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		for _, id := range row {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	return buf
+}
+
+// DecodeRelation decodes one relation from the front of data, returning
+// it and the remaining bytes.
+func DecodeRelation(data []byte) (*Relation, []byte, error) {
+	nVars, data, err := decodeUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: relation vars: %w", err)
+	}
+	// Each var costs at least one length byte; bound before allocating.
+	if nVars > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("engine: relation claims %d vars in %d bytes", nVars, len(data))
+	}
+	r := &Relation{Vars: make([]string, nVars)}
+	for i := range r.Vars {
+		var n uint64
+		n, data, err = decodeUvarint(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: var length: %w", err)
+		}
+		if n > uint64(len(data)) {
+			return nil, nil, fmt.Errorf("engine: var of %d bytes in %d remaining", n, len(data))
+		}
+		r.Vars[i] = string(data[:n])
+		data = data[n:]
+	}
+	nRows, data, err := decodeUvarint(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: relation rows: %w", err)
+	}
+	// Each cell costs at least one byte.
+	if nVars > 0 && nRows > uint64(len(data))/nVars {
+		return nil, nil, fmt.Errorf("engine: relation claims %d×%d cells in %d bytes", nRows, nVars, len(data))
+	}
+	if nVars == 0 {
+		// Width-0 rows (fully concrete patterns) carry no payload bytes,
+		// so the row count alone must be bounded.
+		if nRows > 1<<20 {
+			return nil, nil, fmt.Errorf("engine: %d zero-width rows", nRows)
+		}
+		if nRows > 0 {
+			r.Rows = make([][]rdf.ID, nRows)
+		}
+		return r, data, nil
+	}
+	if nRows > 0 {
+		cells := make([]rdf.ID, nRows*nVars)
+		r.Rows = make([][]rdf.ID, nRows)
+		for i := range r.Rows {
+			row := cells[uint64(i)*nVars : (uint64(i)+1)*nVars : (uint64(i)+1)*nVars]
+			for j := range row {
+				var v uint64
+				v, data, err = decodeUvarint(data)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: row %d: %w", i, err)
+				}
+				if v > uint64(^rdf.ID(0)) {
+					return nil, nil, fmt.Errorf("engine: row %d: ID %d out of range", i, v)
+				}
+				row[j] = rdf.ID(v)
+			}
+			r.Rows[i] = row
+		}
+	}
+	return r, data, nil
+}
+
+func decodeUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("truncated varint")
+	}
+	return v, data[n:], nil
+}

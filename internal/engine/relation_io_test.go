@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ping/internal/rdf"
+)
+
+func TestRelationRoundTrip(t *testing.T) {
+	cases := []*Relation{
+		nil,
+		{},
+		{Vars: []string{"x"}},
+		{Vars: []string{"x", "y"}, Rows: [][]rdf.ID{{1, 2}, {3, 4}, {0, ^rdf.ID(0) - 1}}},
+		{Vars: []string{""}, Rows: [][]rdf.ID{{7}}},
+		{Rows: [][]rdf.ID{{}, {}}}, // width-0 rows (fully concrete pattern)
+	}
+	var buf []byte
+	for _, r := range cases {
+		buf = AppendRelation(buf, r)
+	}
+	rest := buf
+	for i, want := range cases {
+		var got *Relation
+		var err error
+		got, rest, err = DecodeRelation(rest)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if want == nil {
+			want = &Relation{}
+		}
+		if len(got.Vars) != len(want.Vars) || (len(want.Vars) > 0 && !reflect.DeepEqual(got.Vars, want.Vars)) {
+			t.Fatalf("case %d: vars %v, want %v", i, got.Vars, want.Vars)
+		}
+		if got.Card() != want.Card() {
+			t.Fatalf("case %d: %d rows, want %d", i, got.Card(), want.Card())
+		}
+		for j := range want.Rows {
+			if len(want.Rows[j]) == 0 && len(got.Rows[j]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got.Rows[j], want.Rows[j]) {
+				t.Fatalf("case %d row %d: %v, want %v", i, j, got.Rows[j], want.Rows[j])
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestDecodeRelationRejectsGarbage(t *testing.T) {
+	good := AppendRelation(nil, &Relation{Vars: []string{"x", "y"}, Rows: [][]rdf.ID{{1, 2}, {3, 4}}})
+	// Any strict prefix must fail (the encoding is not self-delimiting in
+	// a way that allows truncation).
+	for i := 0; i < len(good); i++ {
+		if _, _, err := DecodeRelation(good[:i]); err == nil && i < len(good) {
+			// A prefix may decode to a shorter valid relation only if the
+			// remaining bytes were row payload; re-encode to check.
+			r, rest, _ := DecodeRelation(good[:i])
+			if len(rest) == 0 && r != nil {
+				rb := AppendRelation(nil, r)
+				if bytes.Equal(rb, good[:i]) {
+					continue // legitimately a complete shorter encoding
+				}
+			}
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Absurd counts must be rejected, not allocated.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := DecodeRelation(huge); err == nil {
+		t.Fatal("absurd var count accepted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // retiredFile is a generation file superseded by an epoch transition:
@@ -54,13 +55,22 @@ type Store struct {
 	retired []retiredFile
 	// filesRemoved counts generation files deleted by the GC.
 	filesRemoved int64
+
+	// leases holds the TTL-bounded pins of hibernated cursors (see
+	// lease.go); leaseSeq hands out their ids and leasesExpired counts
+	// the ones the TTL reclaimed.
+	leases        map[uint64]*leaseEntry
+	leaseSeq      uint64
+	leasesExpired int64
+	// nowFn overrides the time source for lease expiry (tests only).
+	nowFn func() time.Time
 }
 
 // NewStore wraps a layout as epoch 0 of a snapshot store. The layout
 // must not be mutated directly afterwards; route all updates through a
 // maintainer created with NewStoreMaintainer.
 func NewStore(lay *Layout) *Store {
-	s := &Store{pins: make(map[uint64]int)}
+	s := &Store{pins: make(map[uint64]int), leases: make(map[uint64]*leaseEntry)}
 	s.cur.Store(lay)
 	return s
 }
@@ -87,9 +97,7 @@ func (s *Store) Pin() (*Layout, func()) {
 	release := func() {
 		once.Do(func() {
 			s.mu.Lock()
-			if s.pins[lay.epoch]--; s.pins[lay.epoch] <= 0 {
-				delete(s.pins, lay.epoch)
-			}
+			s.unpinLocked(lay.epoch)
 			s.collect()
 			s.mu.Unlock()
 		})
@@ -115,8 +123,11 @@ func (s *Store) publish(next *Layout, retired []retiredFile) {
 // collect deletes every retired file no pinned epoch can still read: a
 // file retired as of epoch N is needed only by epochs < N, so it is
 // dead once the oldest pinned epoch is >= N (or nothing is pinned at
-// all — the current epoch never reads retired files). Caller holds mu.
+// all — the current epoch never reads retired files). Expired leases
+// are reclaimed first, so a hibernated cursor whose TTL lapsed can
+// never hold the GC back. Caller holds mu.
 func (s *Store) collect() {
+	s.expireLocked(s.now())
 	minPinned := uint64(math.MaxUint64)
 	for e := range s.pins {
 		if e < minPinned {
@@ -162,17 +173,29 @@ type StoreStats struct {
 	RetiredFiles int
 	// FilesRemoved is the cumulative number of files the GC deleted.
 	FilesRemoved int64
+	// ActiveLeases is the number of live TTL epoch leases (hibernated
+	// cursors); their pins are included in PinnedQueries.
+	ActiveLeases int
+	// LeasesExpired is the cumulative number of leases the TTL
+	// reclaimed.
+	LeasesExpired int64
 }
 
-// Stats reports the store's current epoch and GC accounting.
+// Stats reports the store's current epoch and GC accounting. Expired
+// leases are reclaimed before counting, so the report never shows a pin
+// a lapsed TTL should have released.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	s.collect()
 	st := StoreStats{
-		Epoch:        s.cur.Load().epoch,
-		PinnedEpochs: len(s.pins),
-		RetiredFiles: len(s.retired),
-		FilesRemoved: s.filesRemoved,
+		Epoch:         s.cur.Load().epoch,
+		PinnedEpochs:  len(s.pins),
+		RetiredFiles:  len(s.retired),
+		FilesRemoved:  s.filesRemoved,
+		ActiveLeases:  len(s.leases),
+		LeasesExpired: s.leasesExpired,
 	}
 	for _, n := range s.pins {
 		st.PinnedQueries += n

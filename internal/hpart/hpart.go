@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"maps"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ping/internal/columnar"
@@ -83,6 +84,10 @@ type Layout struct {
 	// epoch numbers the snapshot this layout represents; 0 for a fresh
 	// or loaded layout, assigned by Store.publish afterwards.
 	epoch uint64
+	// sig caches the content signature (see Signature); 0 means not yet
+	// computed. Deliberately not copied by Clone — a mutated clone must
+	// hash afresh.
+	sig atomic.Uint64
 
 	// cache is the optional LRU of decoded sub-partitions (see
 	// EnableSubPartCache); cacheMu guards installation/removal.

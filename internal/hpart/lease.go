@@ -1,0 +1,191 @@
+// TTL-bounded epoch pin leases.
+//
+// A hibernated query cursor must keep its layout snapshot's files alive
+// so that resuming later re-reads exactly the data the interrupted run
+// saw — but a dead client must never be able to block the epoch GC
+// forever. A Lease squares that circle: it holds a normal epoch pin on
+// behalf of an absent client, bounded by a TTL that every touch renews.
+// When the TTL lapses the store drops the pin during its next GC pass
+// (expiry is checked inside collect, so an expired lease can never keep
+// a retired file on disk past the next publish/release/stats call). A
+// resume against an expired lease simply re-pins the current epoch and
+// reports the run as restarted.
+package hpart
+
+import (
+	"sync"
+	"time"
+)
+
+// leaseEntry is the store-side state of one lease. The store's mutex
+// guards it.
+type leaseEntry struct {
+	epoch   uint64
+	lay     *Layout
+	expires time.Time
+}
+
+// Lease is a TTL-bounded pin on one epoch snapshot. The zero of *Lease
+// (nil) is valid and behaves as an already-expired lease, so callers
+// without a store can pass leases around unconditionally.
+type Lease struct {
+	s  *Store
+	id uint64
+}
+
+// PinLease pins the current epoch under a lease that expires ttl from
+// now unless renewed. The returned layout is the pinned snapshot.
+func (s *Store) PinLease(ttl time.Duration) (*Lease, *Layout) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lay := s.cur.Load()
+	s.pins[lay.epoch]++
+	s.leaseSeq++
+	id := s.leaseSeq
+	s.leases[id] = &leaseEntry{epoch: lay.epoch, lay: lay, expires: s.now().Add(ttl)}
+	return &Lease{s: s, id: id}, lay
+}
+
+// Acquire converts the lease into a regular pin for the duration of one
+// run: the leased snapshot is returned together with a release func, and
+// the extra pin guarantees the snapshot survives even if the lease
+// expires mid-run. It returns ok=false when the lease has already
+// expired (or was released), in which case the caller should Pin the
+// current epoch and treat the run as restarted.
+func (l *Lease) Acquire() (*Layout, func(), bool) {
+	if l == nil || l.s == nil {
+		return nil, nil, false
+	}
+	s := l.s
+	s.mu.Lock()
+	le := s.leases[l.id]
+	if le == nil || s.now().After(le.expires) {
+		s.expireLocked(s.now())
+		s.collect()
+		s.mu.Unlock()
+		return nil, nil, false
+	}
+	s.pins[le.epoch]++
+	s.mu.Unlock()
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.unpinLocked(le.epoch)
+			s.collect()
+			s.mu.Unlock()
+		})
+	}
+	return le.lay, release, true
+}
+
+// Renew extends the lease's TTL to now+ttl. It returns false when the
+// lease already expired (renewal cannot resurrect it).
+func (l *Lease) Renew(ttl time.Duration) bool {
+	if l == nil || l.s == nil {
+		return false
+	}
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	le := s.leases[l.id]
+	if le == nil {
+		return false
+	}
+	now := s.now()
+	if now.After(le.expires) {
+		s.expireLocked(now)
+		s.collect()
+		return false
+	}
+	le.expires = now.Add(ttl)
+	return true
+}
+
+// Valid reports whether the lease still holds its pin.
+func (l *Lease) Valid() bool {
+	if l == nil || l.s == nil {
+		return false
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	le := l.s.leases[l.id]
+	return le != nil && !l.s.now().After(le.expires)
+}
+
+// Epoch returns the leased epoch (0 after expiry or release).
+func (l *Lease) Epoch() uint64 {
+	if l == nil || l.s == nil {
+		return 0
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	if le := l.s.leases[l.id]; le != nil {
+		return le.epoch
+	}
+	return 0
+}
+
+// Release drops the lease (and its pin) immediately. Idempotent.
+func (l *Lease) Release() {
+	if l == nil || l.s == nil {
+		return
+	}
+	s := l.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if le := s.leases[l.id]; le != nil {
+		delete(s.leases, l.id)
+		s.unpinLocked(le.epoch)
+		s.collect()
+	}
+}
+
+// ExpireLeases drops every lease whose TTL has lapsed and runs the GC.
+// It returns the number of leases expired by this call. The store also
+// expires lazily on every collect, so calling this is an optimization
+// (a periodic sweep), not a correctness requirement.
+func (s *Store) ExpireLeases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	before := s.leasesExpired
+	s.expireLocked(s.now())
+	s.collect()
+	return int(s.leasesExpired - before)
+}
+
+// SetClock replaces the store's time source (tests only; nil restores
+// time.Now).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nowFn = now
+}
+
+// now returns the store's current time. Caller holds mu.
+func (s *Store) now() time.Time {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	return time.Now()
+}
+
+// expireLocked drops every lease past its TTL, releasing its pin so the
+// next collect can reclaim the files. Caller holds mu.
+func (s *Store) expireLocked(now time.Time) {
+	for id, le := range s.leases {
+		if now.After(le.expires) {
+			delete(s.leases, id)
+			s.unpinLocked(le.epoch)
+			s.leasesExpired++
+		}
+	}
+}
+
+// unpinLocked decrements one epoch's pin refcount. Caller holds mu.
+func (s *Store) unpinLocked(epoch uint64) {
+	if s.pins[epoch]--; s.pins[epoch] <= 0 {
+		delete(s.pins, epoch)
+	}
+}

@@ -1,0 +1,194 @@
+package hpart
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ping/internal/dfs"
+	"ping/internal/rdf"
+)
+
+func leaseTestStore(t *testing.T) (*Store, *Maintainer, *rdf.Graph) {
+	t.Helper()
+	g := rdf.NewGraph()
+	iri := rdf.NewIRI
+	for i := 0; i < 20; i++ {
+		g.Add(iri(fmt.Sprintf("s%d", i)), iri("p0"), iri(fmt.Sprintf("o%d", i)))
+	}
+	lay, err := Partition(g, Options{FS: dfs.New(dfs.Config{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(lay)
+	m, err := NewStoreMaintainer(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, m, g
+}
+
+// rewriteBatch adds one triple reusing an existing subject and property,
+// forcing a rewrite (and retirement) of that sub-partition's file.
+func rewriteBatch(g *rdf.Graph) []rdf.Triple {
+	return []rdf.Triple{{
+		S: g.Dict.EncodeIRI("s0"),
+		P: g.Dict.EncodeIRI("p0"),
+		O: g.Dict.EncodeIRI("oNew"),
+	}}
+}
+
+// advance installs a fake clock and returns a function that moves it
+// forward.
+func advance(s *Store) func(d time.Duration) {
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+	return func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestLeasePinsEpochAcrossPublish(t *testing.T) {
+	store, m, g := leaseTestStore(t)
+	tick := advance(store)
+
+	lease, leased := store.PinLease(time.Minute)
+	if got := store.Stats(); got.ActiveLeases != 1 || got.PinnedQueries != 1 {
+		t.Fatalf("after PinLease: %+v", got)
+	}
+
+	// Publish a new epoch rewriting the leased files; the lease must keep
+	// them readable.
+	if err := m.Apply(rewriteBatch(g), nil); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if st := store.Stats(); st.RetiredFiles == 0 {
+		t.Fatal("publish retired no files despite rewrite")
+	}
+	lay, release, ok := lease.Acquire()
+	if !ok || lay.Epoch() != leased.Epoch() {
+		t.Fatalf("Acquire: ok=%v, want leased epoch %d", ok, leased.Epoch())
+	}
+	for _, k := range lay.SubPartitions() {
+		if _, err := lay.ReadSubPartition(k); err != nil {
+			t.Fatalf("leased snapshot lost %s: %v", k, err)
+		}
+	}
+	release()
+	tick(30 * time.Second)
+	if !lease.Renew(time.Minute) {
+		t.Fatal("renew of a live lease failed")
+	}
+	lease.Release()
+	st := store.Stats()
+	if st.ActiveLeases != 0 || st.PinnedQueries != 0 || st.RetiredFiles != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+// TestExpiredLeaseNeverBlocksGC is the acceptance property: once a
+// lease's TTL lapses, the next GC pass reclaims the retired files even
+// though the client never released it.
+func TestExpiredLeaseNeverBlocksGC(t *testing.T) {
+	store, m, g := leaseTestStore(t)
+	tick := advance(store)
+
+	lease, _ := store.PinLease(time.Minute)
+	if err := m.Apply(rewriteBatch(g), nil); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if st := store.Stats(); st.RetiredFiles == 0 {
+		t.Fatal("want retired files held by the lease")
+	}
+
+	tick(2 * time.Minute) // lease lapses
+	st := store.Stats()   // Stats itself must reclaim
+	if st.ActiveLeases != 0 {
+		t.Fatalf("expired lease still active: %+v", st)
+	}
+	if st.PinnedQueries != 0 || st.PinnedEpochs != 0 {
+		t.Fatalf("expired lease still pins an epoch: %+v", st)
+	}
+	if st.RetiredFiles != 0 {
+		t.Fatalf("expired lease blocked GC: %+v", st)
+	}
+	if st.LeasesExpired != 1 {
+		t.Fatalf("LeasesExpired = %d, want 1", st.LeasesExpired)
+	}
+
+	// Everything about the dead lease now degrades gracefully.
+	if lease.Valid() {
+		t.Fatal("expired lease claims validity")
+	}
+	if _, _, ok := lease.Acquire(); ok {
+		t.Fatal("expired lease acquired")
+	}
+	if lease.Renew(time.Hour) {
+		t.Fatal("expired lease renewed")
+	}
+	lease.Release() // no-op, must not panic or corrupt counts
+	if st := store.Stats(); st.PinnedQueries != 0 {
+		t.Fatalf("release after expiry corrupted pins: %+v", st)
+	}
+}
+
+// TestLeaseAcquireOutlivesExpiry: a run that acquired its lease before
+// the TTL lapsed keeps its snapshot until the run's release, but the
+// lease itself is gone afterwards.
+func TestLeaseAcquireOutlivesExpiry(t *testing.T) {
+	store, m, g := leaseTestStore(t)
+	tick := advance(store)
+
+	lease, leased := store.PinLease(time.Minute)
+	lay, release, ok := lease.Acquire()
+	if !ok {
+		t.Fatal("acquire failed")
+	}
+	tick(2 * time.Minute)
+	if err := m.Apply(rewriteBatch(g), nil); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	// The lease expired mid-run, but the run's own pin keeps the files.
+	if lay.Epoch() != leased.Epoch() {
+		t.Fatal("acquired snapshot changed")
+	}
+	for _, k := range lay.SubPartitions() {
+		if _, err := lay.ReadSubPartition(k); err != nil {
+			t.Fatalf("in-flight snapshot lost %s: %v", k, err)
+		}
+	}
+	release()
+	st := store.Stats()
+	if st.PinnedQueries != 0 || st.RetiredFiles != 0 || st.ActiveLeases != 0 {
+		t.Fatalf("after run release: %+v", st)
+	}
+}
+
+func TestNilLeaseIsExpired(t *testing.T) {
+	var l *Lease
+	if l.Valid() {
+		t.Fatal("nil lease valid")
+	}
+	if _, _, ok := l.Acquire(); ok {
+		t.Fatal("nil lease acquired")
+	}
+	if l.Renew(time.Minute) {
+		t.Fatal("nil lease renewed")
+	}
+	l.Release()
+}
+
+func TestSignatureTracksContent(t *testing.T) {
+	store, m, g := leaseTestStore(t)
+	before := store.Current().Signature()
+	if before == 0 {
+		t.Fatal("zero signature")
+	}
+	if again := store.Current().Signature(); again != before {
+		t.Fatal("signature not stable")
+	}
+	if err := m.Apply(rewriteBatch(g), nil); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if after := store.Current().Signature(); after == before {
+		t.Fatal("signature unchanged by an update batch")
+	}
+}

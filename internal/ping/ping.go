@@ -161,6 +161,8 @@ type procMetrics struct {
 	cacheHits       *obs.Counter
 	cacheMisses     *obs.Counter
 	incSteps        *obs.Counter
+	resumes         *obs.Counter
+	budgetPauses    *obs.Counter
 	stepSeconds     *obs.Histogram
 	pqaSeconds      *obs.Histogram
 	eqaSeconds      *obs.Histogram
@@ -181,6 +183,8 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 	reg.Describe("ping_subparts_cache_hits_total", "sub-partition loads served from the decoded LRU cache")
 	reg.Describe("ping_subparts_cache_misses_total", "sub-partition loads that had to read storage")
 	reg.Describe("ping_incremental_steps_total", "PQA steps evaluated semi-naively (delta joins only)")
+	reg.Describe("ping_resumed_runs_total", "PQA segments resumed from a checkpoint")
+	reg.Describe("ping_budget_paused_total", "PQA segments paused at a budget bound with a resumable checkpoint")
 	reg.Describe("ping_step_seconds", "wall-clock duration of one slice step (load + evaluate)")
 	reg.Describe("ping_query_seconds", "wall-clock duration of one query run by mode")
 	reg.Describe("ping_epoch", "epoch of the most recently pinned layout snapshot")
@@ -196,6 +200,8 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 		cacheHits:       reg.Counter("ping_subparts_cache_hits_total", nil),
 		cacheMisses:     reg.Counter("ping_subparts_cache_misses_total", nil),
 		incSteps:        reg.Counter("ping_incremental_steps_total", nil),
+		resumes:         reg.Counter("ping_resumed_runs_total", nil),
+		budgetPauses:    reg.Counter("ping_budget_paused_total", nil),
 		stepSeconds:     reg.Histogram("ping_step_seconds", obs.TimeBuckets, nil),
 		pqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "pqa"}),
 		eqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "eqa"}),
@@ -547,166 +553,18 @@ func (p *Processor) PQASteps(q *sparql.Query, fn func(StepResult) bool) error {
 
 // PQAStepsCtx is PQASteps honouring ctx: cancellation aborts storage
 // reads (including failover retries) and drains the dataflow worker
-// pool, returning ctx.Err().
+// pool, returning ctx.Err(). It is a thin wrapper over the resumable
+// core runner (see checkpoint.go) with checkpointing off.
 func (p *Processor) PQAStepsCtx(ctx context.Context, q *sparql.Query, fn func(StepResult) bool) error {
-	if len(q.Patterns)+len(q.Paths) == 0 {
-		return fmt.Errorf("ping: query has no patterns")
-	}
 	// Pin the layout snapshot for the whole run: candidate computation,
 	// scheduling, and every file read below see one immutable epoch,
 	// regardless of concurrently published updates.
 	lay, release := p.pin()
 	defer release()
-	p.met.epoch.Set(float64(lay.Epoch()))
-	p.met.inflight.Add(1)
-	defer p.met.inflight.Add(-1)
-
-	hl := p.querySlices(lay, q)
-	hlPaths := p.queryPathSlices(lay, q)
-	for _, candidates := range hl {
-		if len(candidates) == 0 {
-			// Unsafe on every slice: no answers anywhere (soundness of
-			// the index: absent symbols cannot match).
-			return nil
-		}
-	}
-	for _, candidates := range hlPaths {
-		if len(candidates) == 0 {
-			return nil
-		}
-	}
-
-	steps, err := p.sliceSchedule(lay, append(append([][]hpart.SubPartKey{}, hl...), hlPaths...))
-	if err != nil {
-		return err
-	}
-
-	ctx, qspan := obs.StartSpan(ctx, "pqa")
-	defer qspan.End()
-	qspan.SetAttr("strategy", p.opts.Strategy.String())
-	qspan.SetAttr("patterns", len(q.Patterns))
-	qspan.SetAttr("paths", len(q.Paths))
-	qspan.SetAttr("planned_steps", len(steps))
-	qspan.SetAttr("epoch", lay.Epoch())
-
-	detach := p.ctx.AttachContext(ctx)
-	defer detach()
-
-	p.met.pqaQueries.Inc()
-	state := newEvalState(p, lay, q, hl, hlPaths, !p.opts.DisableIncremental)
-	qspan.SetAttr("incremental", state.inc != nil)
-	start := time.Now()
-	defer func() { p.met.pqaSeconds.Observe(time.Since(start).Seconds()) }()
-
-	// Step spans collect a "coverage" attribute only once the run is done:
-	// coverage is relative to the final answer count, which the early steps
-	// cannot know yet. The rule mirrors Result.Coverage exactly (final
-	// cardinality zero means coverage 1 everywhere).
-	var (
-		stepSpans   []*obs.Span
-		stepAnswers []int
-	)
-	setCoverage := func() {
-		if len(stepAnswers) == 0 {
-			return
-		}
-		final := stepAnswers[len(stepAnswers)-1]
-		for i, sp := range stepSpans {
-			cov := 1.0
-			if final > 0 {
-				cov = float64(stepAnswers[i]) / float64(final)
-			}
-			sp.SetAttr("coverage", cov)
-		}
-	}
-
-	var cum time.Duration
-	for i, step := range steps {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		sctx, ss := obs.StartSpan(ctx, "slice")
-		sdetach := p.ctx.AttachContext(sctx)
-		state.span = ss
-		prevMissing := len(state.missing)
-		t0 := time.Now()
-		err := state.load(sctx, step.newKeys)
-		var answers *engine.Relation
-		if err == nil {
-			answers, err = state.evaluate()
-		}
-		state.span = nil
-		sdetach()
-		if err != nil {
-			ss.SetAttr("error", err.Error())
-			ss.End()
-			return err
-		}
-		// A cancellation mid-evaluation leaves partial dataflow output;
-		// discard it rather than deliver an unsound step.
-		if err := ctx.Err(); err != nil {
-			ss.End()
-			return err
-		}
-		el := time.Since(t0)
-		cum = time.Since(start)
-		sr := StepResult{
-			Step:            i + 1,
-			MaxLevel:        step.maxLevel,
-			NewSubParts:     step.newKeys,
-			RowsLoadedStep:  state.rowsLoadedStep,
-			RowsLoadedCum:   state.rowsLoadedCum,
-			Answers:         answers,
-			NewAnswers:      answers.Card() - state.prevAnswers,
-			Elapsed:         el,
-			ElapsedCum:      cum,
-			CacheHits:       state.cacheHitsStep,
-			CacheMisses:     state.cacheMissesStep,
-			Incremental:     state.inc != nil,
-			Degraded:        len(state.missing) > 0,
-			MissingSubParts: append([]hpart.SubPartKey(nil), state.missing...),
-			Epoch:           lay.Epoch(),
-		}
-		ss.SetAttr("step", sr.Step)
-		ss.SetAttr("max_level", sr.MaxLevel)
-		ss.SetAttr("new_subparts", len(sr.NewSubParts))
-		ss.SetAttr("rows_loaded_step", sr.RowsLoadedStep)
-		ss.SetAttr("rows_loaded_cum", sr.RowsLoadedCum)
-		ss.SetAttr("answers", answers.Card())
-		ss.SetAttr("new_answers", sr.NewAnswers)
-		ss.SetAttr("degraded", sr.Degraded)
-		if n := len(sr.MissingSubParts); n > 0 {
-			ss.SetAttr("missing_subparts", n)
-		}
-		if state.cacheHitsStep > 0 || state.cacheMissesStep > 0 {
-			ss.SetAttr("cache_hits", state.cacheHitsStep)
-			ss.SetAttr("cache_misses", state.cacheMissesStep)
-		}
-		ss.End()
-		stepSpans = append(stepSpans, ss)
-		stepAnswers = append(stepAnswers, answers.Card())
-
-		missedNow := len(state.missing) - prevMissing
-		p.met.steps.Inc()
-		p.met.rowsLoaded.Add(sr.RowsLoadedStep)
-		p.met.subparts.Add(int64(len(step.newKeys) - missedNow))
-		p.met.missingSubparts.Add(int64(missedNow))
-		if sr.Degraded {
-			p.met.degradedSteps.Inc()
-		}
-		if state.inc != nil {
-			p.met.incSteps.Inc()
-		}
-		p.met.stepSeconds.Observe(el.Seconds())
-
-		state.prevAnswers = answers.Card()
-		if !fn(sr) {
-			setCoverage()
-			return nil
-		}
-	}
-	setCoverage()
-	return nil
+	_, err := p.runPQA(ctx, lay, q, runConfig{}, func(sr StepResult, _ *Checkpoint) bool {
+		return fn(sr)
+	})
+	return err
 }
 
 // ExactResult is the answer of EQAFull plus degradation metadata.

@@ -253,6 +253,9 @@ type evalState struct {
 	pathDelta  [][]engine.PropGroup
 
 	loadedSet map[hpart.SubPartKey]bool
+	// loaded lists the accumulator's keys in load order — the durable
+	// record a checkpoint needs to rebuild C on resume.
+	loaded []hpart.SubPartKey
 	// missing accumulates sub-partitions skipped because their reads
 	// failed under FailurePolicy Degrade; missingSet guards re-attempts.
 	missing    []hpart.SubPartKey
@@ -391,6 +394,7 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 		} else {
 			st.cacheMissesStep++
 		}
+		st.loaded = append(st.loaded, k)
 		st.rowsLoadedStep += int64(len(r.pairs))
 		st.fold(k, r.pairs)
 	}

@@ -32,6 +32,11 @@ type Observation struct {
 	Latency time.Duration
 	// Steps is how many progressive steps the run delivered.
 	Steps int
+	// Segments is how many run segments the query lineage took (1 = an
+	// uninterrupted run; >1 = paused and resumed via a cursor). Zero is
+	// treated as 1. A resumed lineage is observed ONCE, at completion,
+	// with its latency summed across segments — never once per segment.
+	Segments int
 	// StepsToFirstAnswer is the 1-based step that delivered the first
 	// answer (0: no answer was ever delivered).
 	StepsToFirstAnswer int
@@ -62,6 +67,7 @@ type aggregate struct {
 	min         time.Duration
 	max         time.Duration
 	steps       int64
+	segments    int64
 	toFirst     int64
 	firstSeen   int64 // observations that delivered at least one answer
 	covAtFirst  float64
@@ -154,6 +160,11 @@ func (p *Profiler) ObserveFingerprint(fp, canonical, shape string, o Observation
 		agg.max = o.Latency
 	}
 	agg.steps += int64(o.Steps)
+	if o.Segments > 0 {
+		agg.segments += int64(o.Segments)
+	} else {
+		agg.segments++
+	}
 	if o.StepsToFirstAnswer > 0 {
 		agg.firstSeen++
 		agg.toFirst += int64(o.StepsToFirstAnswer)
@@ -204,6 +215,9 @@ type FingerprintStats struct {
 	P99Ms       float64 `json:"p99_ms"`
 	// MeanSteps is the average number of progressive steps per run.
 	MeanSteps float64 `json:"mean_steps,omitempty"`
+	// MeanSegments is the average number of run segments per lineage
+	// (1.0 = never paused; higher = budget-paused or disconnect-resumed).
+	MeanSegments float64 `json:"mean_segments,omitempty"`
 	// MeanStepsToFirst averages the step that produced the first answer,
 	// over the runs that produced any.
 	MeanStepsToFirst float64 `json:"mean_steps_to_first,omitempty"`
@@ -244,6 +258,7 @@ func (p *Profiler) Snapshot() []FingerprintStats {
 		if agg.count > 0 {
 			st.MeanMs = st.TotalMs / float64(agg.count)
 			st.MeanSteps = float64(agg.steps) / float64(agg.count)
+			st.MeanSegments = float64(agg.segments) / float64(agg.count)
 		}
 		if agg.firstSeen > 0 {
 			st.MeanStepsToFirst = float64(agg.toFirst) / float64(agg.firstSeen)

@@ -269,3 +269,37 @@ func TestSlowLogThreshold(t *testing.T) {
 		t.Fatal("nil SlowLog should be inert")
 	}
 }
+
+// TestResumedLineageCountsOnce is the no-double-counting rule for
+// resumable queries: a lineage that ran as several cursor segments is
+// folded in as ONE observation with the segment latencies summed, so
+// Count, the latency aggregates, and the histogram all see one query —
+// only MeanSegments reveals the pauses.
+func TestResumedLineageCountsOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewProfiler(Options{Metrics: reg})
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p> ?y }`)
+
+	// An uninterrupted run, then a 3-segment lineage of the same shape
+	// (10+20+30ms segments observed once, summed).
+	p.Observe(q, Observation{Latency: 5 * time.Millisecond, Steps: 4, Segments: 1})
+	p.Observe(q, Observation{Latency: 60 * time.Millisecond, Steps: 4, Segments: 3})
+
+	snap := p.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d fingerprints, want 1", len(snap))
+	}
+	st := snap[0]
+	if st.Count != 2 {
+		t.Fatalf("count %d, want 2 (one per lineage, not per segment)", st.Count)
+	}
+	if st.TotalMs != 65 || st.MaxMs != 60 {
+		t.Fatalf("latency total=%v max=%v, want 65/60 (segments summed)", st.TotalMs, st.MaxMs)
+	}
+	if st.MeanSteps != 4 {
+		t.Fatalf("mean steps %v, want 4 (lineage steps, not doubled)", st.MeanSteps)
+	}
+	if st.MeanSegments != 2 {
+		t.Fatalf("mean segments %v, want 2", st.MeanSegments)
+	}
+}
