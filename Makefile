@@ -3,11 +3,12 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json bench-compare cover workload-report fuzz
+.PHONY: check build vet fmt test race bench bench-json bench-compare cover workload-report fuzz noskip lint
 
 # check is the full gate: build, vet, formatting, the race-enabled test
-# suite, and the coverage floor. CI and pre-commit should run `make check`.
-check: build vet fmt race cover
+# suite, the coverage floor, and the no-skip guard on the SLO and
+# wide-event suites. CI and pre-commit should run `make check`.
+check: build vet fmt race cover noskip
 
 build:
 	$(GO) build ./...
@@ -75,6 +76,29 @@ TOP ?= 10
 SNAPSHOT ?= workload.ndjson
 workload-report:
 	$(GO) run ./cmd/pingworkload -in $(SNAPSHOT) -top $(TOP)
+
+# noskip guards the SLO and wide-event suites: they back the
+# observability acceptance criteria, so a skipped test (an overeager
+# t.Skip gate, a renamed helper) must fail the build, not silently pass.
+noskip:
+	@out="$$($(GO) test -v -count=1 ./internal/obs/slo/ && \
+	         $(GO) test -v -count=1 -run 'EventLog|WideEvent|SLO' ./internal/obs/ ./cmd/pingd/)" || \
+		{ echo "$$out" | tail -40; exit 1; }; \
+	if echo "$$out" | grep -q -- '--- SKIP'; then \
+		echo "SLO/wide-event tests were skipped:"; echo "$$out" | grep -- '--- SKIP'; exit 1; \
+	fi; \
+	if ! echo "$$out" | grep -q -- '--- PASS'; then \
+		echo "no SLO/wide-event tests ran (test name pattern rot?)"; exit 1; \
+	fi; \
+	echo "slo/wide-event suites: all ran, none skipped"
+
+# lint runs staticcheck and govulncheck when installed (CI installs
+# both; locally they are optional extras on top of go vet).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping"; fi
 
 # cover enforces a minimum statement coverage on the observability layer
 # (the rest of the suite is gated by correctness properties, not lines).

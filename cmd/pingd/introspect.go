@@ -9,6 +9,7 @@ import (
 
 	"ping/internal/dataflow"
 	"ping/internal/obs"
+	"ping/internal/obs/slo"
 	"ping/internal/ping"
 	"ping/internal/sparql"
 	"ping/internal/workload"
@@ -115,6 +116,21 @@ func (s *server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(workloadResponse{Fingerprints: stats, Dropped: s.profiler.Dropped()})
 }
 
+// sloResponse is the /slo document.
+type sloResponse struct {
+	Objectives []slo.Status `json:"objectives"`
+}
+
+// handleSLO serves every objective's current state: the four rolling
+// windows' good/bad counts, burn rates, and the alert state the
+// multi-window policy derives from them.
+func (s *server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sloResponse{Objectives: s.slo.Snapshot()})
+}
+
 // tracesResponse is the /traces document.
 type tracesResponse struct {
 	Dropped int64       `json:"dropped"`
@@ -122,9 +138,17 @@ type tracesResponse struct {
 }
 
 // handleTraces serves the retained query trace trees, oldest first.
+// ?format=chrome renders them in the Chrome trace_event format, directly
+// loadable in chrome://tracing or Perfetto.
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.traces == nil {
 		http.Error(w, "tracing disabled (start pingd with -trace)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="pingd-trace.json"`)
+		_ = obs.WriteChromeTrace(w, s.traces.Snapshot()...)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -161,11 +185,19 @@ const dashboardHTML = `<!DOCTYPE html>
          overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
   svg polyline { fill: none; stroke: #4361ee; stroke-width: 1.5; }
   #err { color: #b00020; }
+  .slo-ok { color: #1b7f3b; font-weight: 600; }
+  .slo-warning { color: #b07d00; font-weight: 600; }
+  .slo-page { color: #b00020; font-weight: 600; }
 </style>
 </head>
 <body>
 <h1>pingd <span id="err"></span></h1>
 <div class="cards" id="cards"></div>
+<h2>Service-level objectives</h2>
+<table id="slo"><thead><tr>
+  <th class="c">objective</th><th class="c">description</th><th>target</th><th class="c">state</th>
+  <th>burn 5m</th><th>burn 1h</th><th>burn 30m</th><th>burn 6h</th><th>bad/6h</th>
+</tr></thead><tbody></tbody></table>
 <h2>Top fingerprints by total latency</h2>
 <table id="wl"><thead><tr>
   <th class="c">fingerprint</th><th class="c">canonical</th><th>shape</th><th>count</th>
@@ -178,27 +210,61 @@ function card(k, v) {
 }
 function spark(cov) {
   if (!cov || !cov.length) return '';
-  var w = 80, h = 18, pts = cov.map(function (c, i) {
-    var x = cov.length === 1 ? w : i * w / (cov.length - 1);
-    return x.toFixed(1) + ',' + ((1 - c) * (h - 2) + 1).toFixed(1);
-  });
+  var w = 80, h = 18;
+  function y(c) {
+    // Clamp non-finite and out-of-range values so the SVG never gets NaN.
+    var v = (typeof c === 'number' && isFinite(c)) ? Math.max(0, Math.min(1, c)) : 0;
+    return ((1 - v) * (h - 2) + 1).toFixed(1);
+  }
+  var pts;
+  if (cov.length === 1) {
+    // A single point has no segment to draw; render a flat line at its level.
+    pts = ['1,' + y(cov[0]), (w - 1) + ',' + y(cov[0])];
+  } else {
+    pts = cov.map(function (c, i) {
+      return (i * w / (cov.length - 1)).toFixed(1) + ',' + y(c);
+    });
+  }
   return '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts.join(' ') + '"/></svg>';
 }
 function esc(s) {
   return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
 }
+function burnCell(ws, name) {
+  for (var i = 0; i < ws.length; i++) {
+    if (ws[i].window === name) return ws[i].burn.toFixed(2);
+  }
+  return '';
+}
 function refresh() {
   Promise.all([
     fetch('/stats').then(function (r) { return r.json(); }),
-    fetch('/workload?top=15').then(function (r) { return r.json(); })
+    fetch('/workload?top=15').then(function (r) { return r.json(); }),
+    fetch('/slo').then(function (r) { return r.json(); })
   ]).then(function (res) {
-    var st = res[0], wl = res[1];
+    var st = res[0], wl = res[1], sl = res[2];
     document.getElementById('err').textContent = '';
+    var paging = 0;
+    (sl.objectives || []).forEach(function (o) { if (o.state === 'page') paging++; });
     document.getElementById('cards').innerHTML =
       card('epoch', st.epoch) + card('triples', st.triples) +
       card('levels', st.levels) + card('sub-partitions', st.sub_partitions) +
       card('inflight', st.inflight_queries) + card('queued', st.queued_queries) +
-      card('pinned epochs', st.pinned_epochs) + card('dropped fps', wl.dropped);
+      card('pinned epochs', st.pinned_epochs) + card('dropped fps', wl.dropped) +
+      card('SLOs paging', paging);
+    var sloRows = (sl.objectives || []).map(function (o) {
+      var ws = o.windows || [];
+      var bad6h = '';
+      for (var i = 0; i < ws.length; i++) { if (ws[i].window === '6h') bad6h = ws[i].bad + '/' + (ws[i].good + ws[i].bad); }
+      return '<tr><td class="c">' + esc(o.name) + '</td>' +
+        '<td class="c">' + esc(o.description) + '</td>' +
+        '<td>' + (o.target * 100).toFixed(1) + '%</td>' +
+        '<td class="c slo-' + esc(o.state) + '">' + esc(o.state) + '</td>' +
+        '<td>' + burnCell(ws, '5m') + '</td><td>' + burnCell(ws, '1h') + '</td>' +
+        '<td>' + burnCell(ws, '30m') + '</td><td>' + burnCell(ws, '6h') + '</td>' +
+        '<td>' + bad6h + '</td></tr>';
+    });
+    document.querySelector('#slo tbody').innerHTML = sloRows.join('');
     var rows = (wl.fingerprints || []).map(function (f) {
       return '<tr><td class="c">' + esc(f.fingerprint) + '</td>' +
         '<td class="c" title="' + esc(f.canonical) + '">' + esc(f.canonical) + '</td>' +

@@ -17,7 +17,8 @@
 //	GET      /metrics         Prometheus text format (plus /debug/vars, pprof)
 //	GET/POST /explain?q=...   query plan; ?analyze=1 runs it, ?format=text
 //	GET      /workload        per-fingerprint aggregates; ?top=N, ?format=ndjson
-//	GET      /traces          retained query trace trees (-trace)
+//	GET      /slo             objectives, burn rates, alert states
+//	GET      /traces          retained query trace trees (-trace); ?format=chrome
 //	GET      /dashboard       live HTML dashboard polling the endpoints above
 //
 // Usage:
@@ -39,6 +40,8 @@ import (
 
 	"ping/internal/dfs"
 	"ping/internal/hpart"
+	"ping/internal/obs"
+	"ping/internal/obs/slo"
 	"ping/internal/workload"
 )
 
@@ -58,11 +61,24 @@ func main() {
 
 		slowLog       = flag.String("slow-query-log", "", "append NDJSON records for slow queries to this file (empty = off)")
 		slowThreshold = flag.Duration("slow-query-threshold", 500*time.Millisecond, "latency at or above which a query is logged as slow")
+		logMaxBytes   = flag.Int64("log-max-bytes", obs.DefaultLogMaxBytes, "size cap per log generation (slow-query log, wide events, trace export)")
+		logMaxFiles   = flag.Int("log-max-files", 3, "rotated generations kept per log")
+		wideEvents    = flag.String("wide-events", "", "append one wide NDJSON event per completed query lineage to this file (empty = off)")
+		eventQueue    = flag.Int("wide-events-queue", 1024, "bounded queue of the async wide-event sink (full = drop, never block)")
 		workloadMax   = flag.Int("workload-max", 512, "maximum distinct query fingerprints tracked by the workload profiler")
 		workloadOut   = flag.String("workload-out", "", "write the workload snapshot (NDJSON) to this file on shutdown")
 		trace         = flag.Bool("trace", false, "retain per-query trace trees, served at /traces")
-		traceSample   = flag.Int("trace-sample", 1, "trace 1 in N queries (head sampling; 1 = all)")
+		traceSample   = flag.Int("trace-sample", 1, "trace 1 in N queries (head sampling; 1 = all); traceparent requests are always traced")
 		traceBuffer   = flag.Int("trace-buffer", 64, "how many trace trees the /traces ring retains")
+		traceExport   = flag.String("trace-export", "", "append finished trace spans (NDJSON, one span per line) to this file (empty = off)")
+
+		sloLatency    = flag.Duration("slo-latency", 2*time.Second, "latency SLO threshold: queries should finish within this")
+		sloLatencyPct = flag.Float64("slo-latency-target", 0.99, "fraction of queries that must meet -slo-latency")
+		sloFirstSteps = flag.Int("slo-first-answer-steps", 3, "first-answer SLO: first answer within this many slice steps")
+		sloFirstPct   = flag.Float64("slo-first-answer-target", 0.95, "fraction of answer-bearing queries that must meet -slo-first-answer-steps")
+		sloCoverage   = flag.Float64("slo-coverage", 0.5, "coverage SLO: budgeted queries should reach this coverage at budget exhaustion")
+		sloCovPct     = flag.Float64("slo-coverage-target", 0.95, "fraction of budgeted queries that must meet -slo-coverage")
+		sloAvailPct   = flag.Float64("slo-availability-target", 0.999, "fraction of queries that must complete without error or degradation")
 
 		grace       = flag.Duration("shutdown-grace", 5*time.Second, "how long in-flight queries may drain (pausing as cursors) after SIGTERM/SIGINT")
 		cursorTTL   = flag.Duration("cursor-ttl", 15*time.Minute, "how long a paused query stays resumable (bounds its snapshot lease)")
@@ -103,13 +119,37 @@ func main() {
 		TraceBuffer:     *traceBuffer,
 	}
 	if *slowLog != "" {
-		f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// The slow-query log rotates at -log-max-bytes so a long-running
+		// daemon cannot grow it without bound.
+		f, err := obs.OpenRotatingFile(*slowLog, *logMaxBytes, *logMaxFiles)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
 		cfg.SlowLog = workload.NewSlowLog(f, *slowThreshold)
 	}
+	if *wideEvents != "" {
+		f, err := obs.OpenRotatingFile(*wideEvents, *logMaxBytes, *logMaxFiles)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Events = obs.NewEventLog(f, *eventQueue, nil)
+		defer cfg.Events.Close()
+	}
+	if *traceExport != "" {
+		f, err := obs.OpenRotatingFile(*traceExport, *logMaxBytes, *logMaxFiles)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.SpanSink = obs.NewAsyncSink(f, 0)
+		defer cfg.SpanSink.Close()
+	}
+	cfg.SLO = slo.NewEngine(nil,
+		slo.Latency("latency", *sloLatencyPct, *sloLatency),
+		slo.FirstAnswerSteps("first-answer", *sloFirstPct, *sloFirstSteps),
+		slo.CoverageAtBudget("coverage-at-budget", *sloCovPct, *sloCoverage),
+		slo.Availability("availability", *sloAvailPct),
+	)
 	if cfg.Strategy, err = parseStrategy(*strategy); err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"ping/internal/dfs"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/slo"
 	"ping/internal/ping"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
@@ -66,10 +67,33 @@ type serverConfig struct {
 	MaxFingerprints int
 	// Trace retains per-query trace trees in a bounded ring served at
 	// /traces. TraceSample keeps 1 in N queries (<=1: all); TraceBuffer
-	// is the ring capacity (<=0: 64).
+	// is the ring capacity (<=0: 64). A request carrying a valid
+	// traceparent header is always traced, regardless of sampling.
 	Trace       bool
 	TraceSample int
 	TraceBuffer int
+	// Events, when non-nil, receives one wide query event per completed
+	// lineage (the canonical per-query telemetry record).
+	Events *obs.EventLog
+	// SpanSink, when non-nil, receives every finished query trace as
+	// flattened span NDJSON (one line per span).
+	SpanSink *obs.AsyncSink
+	// SLO evaluates the daemon's service-level objectives over the
+	// lineage stream (nil: an engine with the default objectives).
+	SLO *slo.Engine
+}
+
+// defaultObjectives are the SLOs pingd evaluates when the caller does
+// not supply an engine: latency, the paper's two progressiveness
+// signals (steps to first answer, coverage at budget exhaustion), and
+// availability.
+func defaultObjectives() []*slo.Objective {
+	return []*slo.Objective{
+		slo.Latency("latency", 0.99, 2*time.Second),
+		slo.FirstAnswerSteps("first-answer", 0.95, 3),
+		slo.CoverageAtBudget("coverage-at-budget", 0.95, 0.5),
+		slo.Availability("availability", 0.999),
+	}
 }
 
 // server is the pingd HTTP surface over one epoch store. Queries pin
@@ -98,6 +122,9 @@ type server struct {
 	slow     *workload.SlowLog
 	sampler  *obs.Sampler
 	traces   *obs.SpanBuffer
+	events   *obs.EventLog
+	spans    *obs.AsyncSink
+	slo      *slo.Engine
 
 	cursors *cursor.Manager
 	// draining flips on SIGTERM: in-flight runs pause at their next step
@@ -155,6 +182,9 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		updates:  reg.Counter("pingd_updates_total", nil),
 		profiler: workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
 		slow:     cfg.SlowLog,
+		events:   cfg.Events,
+		spans:    cfg.SpanSink,
+		slo:      cfg.SLO,
 		cursors: cursor.New(cursor.Config{
 			FS:         cursorFS,
 			TTL:        cfg.CursorTTL,
@@ -168,6 +198,9 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 	if cfg.Trace {
 		s.sampler = obs.NewSampler(cfg.TraceSample)
 		s.traces = obs.NewSpanBuffer(cfg.TraceBuffer)
+	}
+	if s.slo == nil {
+		s.slo = slo.NewEngine(reg, defaultObjectives()...)
 	}
 	return s
 }
@@ -199,18 +232,41 @@ func (s *server) startSweeper(interval time.Duration) func() {
 	return func() { close(done) }
 }
 
+// route is one mounted endpoint with the Content-Type its successful
+// responses carry. The table drives both handler() and the endpoint
+// regression test, so a route cannot be mounted without declaring its
+// content type (or tested against a stale list).
+type route struct {
+	path        string
+	contentType string
+	// jsonBody marks routes whose plain-GET 200 body is one JSON
+	// document (the walk test decodes it).
+	jsonBody bool
+	h        http.HandlerFunc
+}
+
+// routes lists every endpoint pingd serves (beyond the obs fallback).
+func (s *server) routes() []route {
+	return []route{
+		{"/query", "application/x-ndjson", false, s.handleQuery},
+		{"/resume", "application/x-ndjson", false, s.handleResume},
+		{"/update", "application/json", true, s.handleUpdate},
+		{"/stats", "application/json", true, s.handleStats},
+		{"/explain", "application/json", true, s.handleExplain},
+		{"/workload", "application/json", true, s.handleWorkload},
+		{"/slo", "application/json", true, s.handleSLO},
+		{"/traces", "application/json", true, s.handleTraces},
+		{"/dashboard", "text/html; charset=utf-8", false, s.handleDashboard},
+	}
+}
+
 // handler mounts the daemon's routes. The obs introspection mux
 // (/metrics, /debug/vars, pprof) serves everything not claimed here.
 func (s *server) handler(logf func(format string, args ...any)) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/query", obs.Instrument(s.reg, "/query", logf, http.HandlerFunc(s.handleQuery)))
-	mux.Handle("/resume", obs.Instrument(s.reg, "/resume", logf, http.HandlerFunc(s.handleResume)))
-	mux.Handle("/update", obs.Instrument(s.reg, "/update", logf, http.HandlerFunc(s.handleUpdate)))
-	mux.Handle("/stats", obs.Instrument(s.reg, "/stats", logf, http.HandlerFunc(s.handleStats)))
-	mux.Handle("/explain", obs.Instrument(s.reg, "/explain", logf, http.HandlerFunc(s.handleExplain)))
-	mux.Handle("/workload", obs.Instrument(s.reg, "/workload", logf, http.HandlerFunc(s.handleWorkload)))
-	mux.Handle("/traces", obs.Instrument(s.reg, "/traces", logf, http.HandlerFunc(s.handleTraces)))
-	mux.Handle("/dashboard", obs.Instrument(s.reg, "/dashboard", logf, http.HandlerFunc(s.handleDashboard)))
+	for _, rt := range s.routes() {
+		mux.Handle(rt.path, obs.Instrument(s.reg, rt.path, logf, rt.h))
+	}
 	mux.Handle("/", obs.Handler(s.reg))
 	return mux
 }
@@ -359,6 +415,8 @@ type segment struct {
 	stepMs      []float64
 	stepAnswers []int
 	subParts    int
+	cacheHits   int64
+	cacheMisses int64
 }
 
 func (s *server) newSegment(w http.ResponseWriter, id [16]byte, wantBindings bool) *segment {
@@ -393,6 +451,8 @@ func (g *segment) step(ctx context.Context) func(ping.StepResult, *ping.Checkpoi
 		g.stepMs = append(g.stepMs, float64(st.Elapsed.Microseconds())/1e3)
 		g.stepAnswers = append(g.stepAnswers, st.Answers.Card())
 		g.subParts += len(st.NewSubParts)
+		g.cacheHits += st.CacheHits
+		g.cacheMisses += st.CacheMisses
 		line := stepLine{
 			Step:        st.Step,
 			MaxLevel:    st.MaxLevel,
@@ -441,10 +501,71 @@ func (g *segment) pauseReason(ctx context.Context, st *ping.RunStatus) string {
 	return string(ping.StopCallback)
 }
 
+// lineageMeta carries the completion context lineageObservation cannot
+// recover from the segment alone: the trace identity, the budget the
+// client declared, the snapshot signature, and — for resumed lineages —
+// which cursor they came through and where the last budget pause left
+// them.
+type lineageMeta struct {
+	traceID   string
+	layoutSig uint64
+	budget    ping.Budget
+	// resumedFrom identifies the cursor a multi-segment lineage resumed
+	// through ("" for single-segment runs).
+	resumedFrom string
+	// budgetExhaustedStep is the 1-based step the client's (latest)
+	// budget ran out at — the point whose coverage the coverage-at-budget
+	// SLO measures. 0 when the lineage never ran under a step budget.
+	budgetExhaustedStep int
+}
+
+// maybeTrace roots a query span for the request: always when the client
+// propagated a traceparent header (the trace already exists — refusing
+// to continue it would orphan the client's span), otherwise when
+// tracing is on and head sampling picks the request. It returns the
+// (possibly span-carrying) context, the hex trace ID ("" when
+// untraced), and a finish func that ends the span, retains it in the
+// /traces ring and exports it to the span sink.
+func (s *server) maybeTrace(ctx context.Context, name, fp, text string) (context.Context, string, func()) {
+	remote, hasRemote := obs.RemoteFromContext(ctx)
+	if !hasRemote && (s.traces == nil || !s.sampler.Sample()) {
+		return ctx, "", func() {}
+	}
+	var qspan *obs.Span
+	if hasRemote {
+		ctx, qspan = obs.NewTraceFrom(ctx, name, remote)
+	} else {
+		ctx, qspan = obs.NewTrace(ctx, name)
+	}
+	qspan.SetAttr("fingerprint", fp)
+	qspan.SetAttr("query", text)
+	return ctx, qspan.TraceID().String(), func() {
+		qspan.End()
+		if s.traces != nil {
+			s.traces.Add(qspan)
+		}
+		s.exportTrace(qspan)
+	}
+}
+
+// exportTrace writes a finished trace to the span sink, one flattened
+// span per NDJSON line.
+func (s *server) exportTrace(root *obs.Span) {
+	if s.spans == nil {
+		return
+	}
+	for _, rec := range obs.Flatten(root) {
+		if line, err := json.Marshal(rec); err == nil {
+			s.spans.Emit(line)
+		}
+	}
+}
+
 // lineageObservation folds a COMPLETED lineage into the workload
-// profiler and slow-query log — called exactly once per lineage, with
-// the latency summed across its segments.
-func (s *server) lineageObservation(fp, canonical, shape, text string, latency time.Duration, segments int, stepAnswers []int, g *segment, runErr error) {
+// profiler, the slow-query log, the wide-event stream and the SLO
+// engine — called exactly once per lineage, with the latency summed
+// across its segments.
+func (s *server) lineageObservation(fp, canonical, shape, text string, latency time.Duration, segments int, stepAnswers []int, g *segment, runErr error, meta lineageMeta) {
 	obsv := workload.Observation{
 		Latency:  latency,
 		Steps:    len(stepAnswers),
@@ -491,6 +612,54 @@ func (s *server) lineageObservation(fp, canonical, shape, text string, latency t
 		sq.Error = runErr.Error()
 	}
 	s.slow.Observe(sq, latency)
+
+	ev := obs.WideEvent{
+		TraceID:            meta.traceID,
+		Fingerprint:        fp,
+		Shape:              shape,
+		Canonical:          canonical,
+		Query:              text,
+		Epoch:              obsv.Epoch,
+		LayoutSig:          meta.layoutSig,
+		Strategy:           s.cfg.Strategy.String(),
+		BudgetSteps:        meta.budget.MaxSteps,
+		BudgetRows:         meta.budget.MaxLoadedRows,
+		BudgetDeadline:     float64(meta.budget.Deadline.Microseconds()) / 1e3,
+		Segments:           segments,
+		ResumedFrom:        meta.resumedFrom,
+		Steps:              len(stepAnswers),
+		StepMs:             g.stepMs,
+		Coverage:           obsv.Coverage,
+		StepsToFirstAnswer: obsv.StepsToFirstAnswer,
+		CoverageAtFirst:    obsv.CoverageAtFirstAnswer,
+		Answers:            obsv.Answers,
+		LatencyMs:          float64(latency.Microseconds()) / 1e3,
+	}
+	if g.steps > 0 {
+		ev.RowsLoaded = g.last.RowsLoadedCum
+		ev.CacheHits = g.cacheHits
+		ev.CacheMisses = g.cacheMisses
+		ev.Incremental = g.last.Incremental
+		ev.Degraded = g.last.Degraded
+		ev.MissingSubParts = len(g.last.MissingSubParts)
+	}
+	if runErr != nil {
+		ev.Error = runErr.Error()
+	}
+	s.events.Emit(ev)
+
+	sev := slo.Event{
+		Latency:            latency,
+		StepsToFirstAnswer: obsv.StepsToFirstAnswer,
+		Answers:            obsv.Answers,
+		Err:                runErr != nil,
+		Degraded:           obsv.Degraded,
+	}
+	if n := meta.budgetExhaustedStep; n > 0 && n <= len(obsv.Coverage) {
+		sev.Budgeted = true
+		sev.Coverage = obsv.Coverage[n-1]
+	}
+	s.slo.Observe(sev)
 }
 
 // handleQuery streams a progressive query: one JSON object per PQA step
@@ -539,17 +708,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	// Head-sampled tracing: the run's whole span tree (pqa → slice →
-	// join) lands in the bounded ring served at /traces.
-	if s.traces != nil && s.sampler.Sample() {
-		var qspan *obs.Span
-		ctx, qspan = obs.NewTrace(ctx, "query")
-		qspan.SetAttr("fingerprint", fp)
-		qspan.SetAttr("query", text)
-		defer func() {
-			qspan.End()
-			s.traces.Add(qspan)
-		}()
-	}
+	// join) lands in the bounded ring served at /traces and the span
+	// export sink. A propagated traceparent forces the trace on.
+	ctx, traceID, finishTrace := s.maybeTrace(ctx, "query", fp, text)
+	defer finishTrace()
 
 	proc := s.newProcessor(s.cfg.Strategy, s.cfg.FailurePolicy)
 	id, err := cursor.NewID()
@@ -563,6 +725,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	lease, lay := s.cursors.Lease()
 
 	g := s.newSegment(w, id, wantBindings)
+	meta := lineageMeta{traceID: traceID, layoutSig: lay.Signature(), budget: budget}
 	start := time.Now()
 	st, err := proc.PQARunOn(ctx, lay, q, budget, g.step(ctx))
 	latency := time.Since(start)
@@ -577,7 +740,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		lease.Release()
-		s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, err)
+		s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, err, meta)
 		g.emit(errLine{Error: err.Error()})
 		return
 	}
@@ -586,7 +749,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	lease.Release()
-	s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, nil)
+	if budget.MaxSteps > 0 {
+		// The budget never bound the run (it completed); coverage at the
+		// budget boundary is still the progressive contract's measure.
+		meta.budgetExhaustedStep = min(budget.MaxSteps, g.steps)
+	}
+	s.lineageObservation(fp, canonical, shape, text, latency, 1, g.stepAnswers, g, nil, meta)
 	done := doneLine{
 		Done:      true,
 		Steps:     g.steps,
@@ -706,6 +874,9 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 	shape := sparql.Classify(q).String()
 	proc := s.newProcessor(cp.Strategy, cp.FailurePolicy)
 
+	ctx, traceID, finishTrace := s.maybeTrace(ctx, "resume", rec.Fingerprint, cp.Query)
+	defer finishTrace()
+
 	// Prefer the snapshot the lineage is pinned to; fall back to the
 	// current one (a fresh lease) when the lease died or never survived
 	// a restart.
@@ -773,9 +944,22 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 	// Lineage complete: observe it exactly once, with totals.
 	newLease.Release()
 	lineageAnswers := append(append([]int(nil), rec.StepAnswers...), g.stepAnswers...)
+	meta := lineageMeta{
+		traceID:     traceID,
+		layoutSig:   lay.Signature(),
+		budget:      budget,
+		resumedFrom: fmt.Sprintf("%x", rec.ID),
+	}
+	if n := len(rec.StepAnswers); n > 0 {
+		// Coverage at budget exhaustion: where the lineage last paused is
+		// where the client's budget ran out.
+		meta.budgetExhaustedStep = n
+	} else if budget.MaxSteps > 0 {
+		meta.budgetExhaustedStep = min(budget.MaxSteps, len(lineageAnswers))
+	}
 	final := h.Complete(latency)
 	s.lineageObservation(final.Fingerprint, canonical, shape, cp.Query,
-		time.Duration(final.LatencyNS), final.Segments, lineageAnswers, g, nil)
+		time.Duration(final.LatencyNS), final.Segments, lineageAnswers, g, nil, meta)
 	done := doneLine{
 		Done:      true,
 		Steps:     st.StepsDone,
@@ -891,11 +1075,20 @@ type statsResponse struct {
 	Queued        int          `json:"queued_queries"`
 	Draining      bool         `json:"draining,omitempty"`
 	Cursors       cursor.Stats `json:"cursors"`
+	// SLOStates maps each objective to its alert state (ok, warning,
+	// page); /slo has the full window breakdown.
+	SLOStates map[string]string `json:"slo_states,omitempty"`
+	// EventsDropped counts wide query events lost to backpressure.
+	EventsDropped int64 `json:"wide_events_dropped,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
 	cur := s.store.Current()
+	sloStates := make(map[string]string)
+	for _, o := range s.slo.Snapshot() {
+		sloStates[o.Name] = o.State
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(statsResponse{
 		Epoch:         st.Epoch,
@@ -912,6 +1105,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Queued:        len(s.queue),
 		Draining:      s.draining.Load(),
 		Cursors:       s.cursors.Stats(),
+		SLOStates:     sloStates,
+		EventsDropped: s.events.Dropped(),
 	})
 }
 

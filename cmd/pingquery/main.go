@@ -13,6 +13,7 @@
 //	pingquery -store ./uniprot-store -file q.rq -analyze -json    # plan + actuals
 //	pingquery -store ./uniprot-store -file q.rq -budget-steps 2 -cursor-out q.cur
 //	pingquery -store ./uniprot-store -resume q.cur -cursor-out q.cur   # next segment
+//	pingquery -server http://localhost:8080 -file q.rq -budget-steps 2 # remote, traced
 package main
 
 import (
@@ -61,8 +62,28 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while the query runs (e.g. :9090 or :0)")
 		metricsHold = flag.Duration("metrics-hold", 0, "keep the metrics endpoint up this long after the query finishes (for scraping short queries)")
 		traceOut    = flag.String("trace-out", "", "write the query's span tree as indented JSON to this file")
+		server      = flag.String("server", "", "stream the query against a running pingd at this base URL instead of a local store (propagates a traceparent)")
 	)
 	flag.Parse()
+	if *server != "" {
+		text := *queryStr
+		if *file != "" {
+			data, err := os.ReadFile(*file)
+			if err != nil {
+				fatal(err)
+			}
+			text = string(data)
+		}
+		if text == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		budget := ping.Budget{MaxSteps: *budgetSteps, MaxLoadedRows: *budgetRows, Deadline: *budgetDeadline}
+		if err := runRemote(*server, text, budget, *timeout, *maxRows > 0, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *store == "" || (*queryStr == "" && *file == "" && *resume == "") {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ping/internal/obs"
+	"ping/internal/ping"
+)
+
+// runRemote streams the query against a running pingd instead of a
+// local store. The client roots a trace and propagates it as a W3C
+// traceparent header, so the daemon continues the same trace: its
+// exported spans, wide event, and metric exemplars all carry this
+// invocation's trace ID.
+func runRemote(server, text string, budget ping.Budget, timeout time.Duration, bindings bool, traceOut string) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ctx, root := obs.NewTrace(ctx, "pingquery")
+	root.SetAttr("server", server)
+	defer func() {
+		root.End()
+		if traceOut == "" {
+			return
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return
+		}
+		err = root.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
+	}()
+	fmt.Fprintf(os.Stderr, "trace %s\n", root.TraceID())
+
+	params := url.Values{}
+	if budget.MaxSteps > 0 {
+		params.Set("max_steps", strconv.Itoa(budget.MaxSteps))
+	}
+	if budget.MaxLoadedRows > 0 {
+		params.Set("max_rows", strconv.FormatInt(budget.MaxLoadedRows, 10))
+	}
+	if budget.Deadline > 0 {
+		params.Set("deadline", budget.Deadline.String())
+	}
+	if bindings {
+		params.Set("bindings", "1")
+	}
+	u := strings.TrimRight(server, "/") + "/query"
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(text))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/sparql-query")
+	obs.InjectTraceparent(req, root.SpanContext())
+
+	span := root.StartChild("http-query")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		span.End()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		span.End()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	// The response is NDJSON, one line per progressive step followed by a
+	// done/paused/error line; relay it verbatim — each line is already a
+	// self-describing JSON document.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+		lines++
+	}
+	span.SetAttr("lines", lines)
+	span.End()
+	return sc.Err()
+}

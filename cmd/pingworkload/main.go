@@ -5,9 +5,15 @@
 // input to workload-aware tuning decisions (which shapes recur, which of
 // them progressive answering serves poorly).
 //
+// With -events the input is a wide-event stream (pingd -wide-events)
+// instead of an aggregate snapshot: the per-lineage events are replayed
+// through a fresh profiler, producing the same aggregates the live
+// server would have — so raw telemetry files can be mined offline.
+//
 // Usage:
 //
 //	pingworkload -in workload.ndjson -top 10
+//	pingworkload -events -in events.ndjson -sort count
 //	curl -s localhost:8080/workload?format=ndjson | pingworkload -sort p95
 package main
 
@@ -18,12 +24,14 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"ping/internal/obs"
 	"ping/internal/workload"
 )
 
 func main() {
 	var (
 		in     = flag.String("in", "-", "workload NDJSON snapshot file (-: stdin)")
+		events = flag.Bool("events", false, "treat the input as a wide-event stream (pingd -wide-events) and aggregate it")
 		top    = flag.Int("top", 0, "print only the first N fingerprints (0 = all)")
 		sortBy = flag.String("sort", "total", "sort column: total, mean, p95, max, count, errors")
 	)
@@ -38,9 +46,20 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	stats, err := workload.ReadNDJSON(r)
-	if err != nil {
-		fatal(err)
+	var stats []workload.FingerprintStats
+	if *events {
+		prof, n, err := workload.ReplayEvents(r, workload.Options{Metrics: obs.NewRegistry()})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replayed %d wide event(s)\n", n)
+		stats = prof.Snapshot()
+	} else {
+		var err error
+		stats, err = workload.ReadNDJSON(r)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	key := func(s workload.FingerprintStats) float64 {

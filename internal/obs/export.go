@@ -11,9 +11,12 @@ import (
 )
 
 // SnapshotBucket is one histogram bucket in a snapshot (non-cumulative).
+// Exemplar, when present, links the bucket to the trace of its latest
+// traced observation.
 type SnapshotBucket struct {
-	LE    float64 `json:"le"`
-	Count int64   `json:"count"`
+	LE       float64   `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the +Inf bound as the string "+Inf" (JSON numbers
@@ -24,21 +27,24 @@ func (b SnapshotBucket) MarshalJSON() ([]byte, error) {
 		le = "+Inf"
 	}
 	return json.Marshal(struct {
-		LE    any   `json:"le"`
-		Count int64 `json:"count"`
-	}{le, b.Count})
+		LE       any       `json:"le"`
+		Count    int64     `json:"count"`
+		Exemplar *Exemplar `json:"exemplar,omitempty"`
+	}{le, b.Count, b.Exemplar})
 }
 
 // UnmarshalJSON accepts both numeric bounds and the "+Inf" string.
 func (b *SnapshotBucket) UnmarshalJSON(data []byte) error {
 	var raw struct {
-		LE    json.RawMessage `json:"le"`
-		Count int64           `json:"count"`
+		LE       json.RawMessage `json:"le"`
+		Count    int64           `json:"count"`
+		Exemplar *Exemplar       `json:"exemplar"`
 	}
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
 	b.Count = raw.Count
+	b.Exemplar = raw.Exemplar
 	if string(raw.LE) == `"+Inf"` {
 		b.LE = math.Inf(1)
 		return nil
@@ -97,10 +103,13 @@ func (r *Registry) Snapshot() []SnapshotMetric {
 			m.Count = h.Count()
 			m.Sum = h.Sum()
 			counts := h.BucketCounts()
+			exemplars := h.Exemplars()
 			for i, b := range h.bounds {
-				m.Buckets = append(m.Buckets, SnapshotBucket{LE: b, Count: counts[i]})
+				m.Buckets = append(m.Buckets, SnapshotBucket{LE: b, Count: counts[i], Exemplar: exemplars[i]})
 			}
-			m.Buckets = append(m.Buckets, SnapshotBucket{LE: math.Inf(1), Count: counts[len(counts)-1]})
+			m.Buckets = append(m.Buckets, SnapshotBucket{
+				LE: math.Inf(1), Count: counts[len(counts)-1], Exemplar: exemplars[len(exemplars)-1],
+			})
 		}
 		out = append(out, m)
 	}

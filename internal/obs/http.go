@@ -71,14 +71,28 @@ func (w *statusWriter) Flush() {
 //
 // When logf is non-nil every request is also logged with method, path,
 // status, and latency — the request log of the CLI servers.
+//
+// Instrument is also the server half of W3C trace propagation: a valid
+// `traceparent` header is parsed and attached to the request context
+// (RemoteFromContext), so handlers that trace can continue the caller's
+// trace via NewTraceFrom instead of starting a fresh one.
 func Instrument(reg *Registry, route string, logf func(format string, args ...any), next http.Handler) http.Handler {
 	lat := reg.Histogram("http_request_seconds", TimeBuckets, Labels{"route": route})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if tc, ok := ExtractTraceparent(r); ok {
+			r = r.WithContext(ContextWithRemote(r.Context(), tc))
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
-		lat.Observe(elapsed.Seconds())
+		// Exemplar: link this request's latency observation to the
+		// caller's trace when one was propagated.
+		tid := ""
+		if tc, ok := RemoteFromContext(r.Context()); ok {
+			tid = tc.TraceID.String()
+		}
+		lat.ObserveExemplar(elapsed.Seconds(), tid)
 		reg.Counter("http_requests_total", Labels{
 			"route": route,
 			"code":  strconv.Itoa(sw.status),

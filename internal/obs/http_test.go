@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -65,6 +66,91 @@ func TestServeBindsAndServes(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "x_total 2") {
 		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+}
+
+// TestInstrumentConcurrentStreamingWithTraceparent hammers the
+// instrumented middleware with concurrent streaming (flushing) requests,
+// each carrying its own traceparent. Run with -race: it pins down that
+// the statusWriter's Flush path, the shared latency histogram, and the
+// per-bucket exemplar pointers are all safe under concurrency, and that
+// each request's remote trace context reaches both the handler and the
+// recorded exemplars.
+func TestInstrumentConcurrentStreamingWithTraceparent(t *testing.T) {
+	r := NewRegistry()
+	var seen sync.Map // traceID -> true, as observed inside the handler
+	h := Instrument(r, "/query", nil, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if tc, ok := RemoteFromContext(req.Context()); ok {
+			seen.Store(tc.TraceID.String(), true)
+		}
+		f, _ := w.(http.Flusher)
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, "{\"step\":%d}\n", i)
+			if f != nil {
+				f.Flush()
+			}
+		}
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	const n = 16
+	traceIDs := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+		traceIDs[i] = tc.TraceID.String()
+		wg.Add(1)
+		go func(tc TraceContext) {
+			defer wg.Done()
+			req, _ := http.NewRequest("GET", srv.URL+"/", nil)
+			InjectTraceparent(req, tc)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if got := strings.Count(string(body), "\n"); got != 5 {
+				errs <- fmt.Errorf("streamed %d lines, want 5", got)
+			}
+		}(tc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for _, tid := range traceIDs {
+		if _, ok := seen.Load(tid); !ok {
+			t.Fatalf("handler never saw remote trace %s", tid)
+		}
+	}
+	lat := r.Histogram("http_request_seconds", TimeBuckets, Labels{"route": "/query"})
+	if got := lat.Count(); got != n {
+		t.Fatalf("latency observations = %d, want %d", got, n)
+	}
+	// At least one bucket carries an exemplar, and every exemplar points
+	// at one of the propagated traces.
+	found := 0
+	valid := make(map[string]bool, n)
+	for _, tid := range traceIDs {
+		valid[tid] = true
+	}
+	for _, ex := range lat.Exemplars() {
+		if ex == nil {
+			continue
+		}
+		found++
+		if !valid[ex.TraceID] {
+			t.Fatalf("exemplar trace %s is not one of the propagated IDs", ex.TraceID)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no exemplars recorded despite traceparent on every request")
 	}
 }
 

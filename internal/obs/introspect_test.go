@@ -52,6 +52,49 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the degenerate inputs the
+// dashboard feeds straight into SVG coordinates: no samples, one
+// sample, NaN q, and a histogram declared with no buckets must all
+// produce finite numbers — never NaN, never a panic.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// One sample: every quantile is that sample's bucket estimate, and
+	// every estimate is finite.
+	one := r.Histogram("q_one", []float64{1, 2, 4}, nil)
+	one.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := one.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("1-sample Quantile(%v) = %v, want finite", q, got)
+		}
+		if got < 1 || got > 2 {
+			t.Fatalf("1-sample Quantile(%v) = %v, want within the (1,2] bucket", q, got)
+		}
+	}
+
+	// NaN q yields 0, not NaN.
+	if got := one.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+
+	// A histogram with no finite bounds can't estimate anything; it must
+	// still return 0 rather than divide into NaN.
+	unbounded := r.Histogram("q_none", []float64{}, nil)
+	unbounded.Observe(3)
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Fatalf("no-bounds Quantile(0.5) = %v, want 0", got)
+	}
+
+	// A sample in the +Inf bucket only: clamps to the highest finite
+	// bound's lower edge, still finite.
+	inf := r.Histogram("q_inf", []float64{1}, nil)
+	inf.Observe(50)
+	if got := inf.Quantile(0.99); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("+Inf-only Quantile = %v, want finite", got)
+	}
+}
+
 func TestSpanBufferRingEviction(t *testing.T) {
 	b := NewSpanBuffer(3)
 	spans := make([]*Span, 5)

@@ -67,10 +67,19 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // the rest. Bounds are fixed at creation (log-scale via LogBuckets for
 // latencies and row counts), so observation is lock-free.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
-	count   atomic.Int64
-	sumBits atomic.Uint64
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is +Inf
+	count     atomic.Int64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // per bucket; latest traced observation
+}
+
+// Exemplar links one histogram observation to the trace it was recorded
+// under — the breadcrumb from a latency bucket back to a concrete query
+// trace (OpenMetrics-style; exported in the JSON snapshot).
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // Observe records one value.
@@ -79,6 +88,29 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	addFloat(&h.sumBits, v)
+}
+
+// ObserveExemplar is Observe plus, when traceID is non-empty, recording
+// the observation as the bucket's latest exemplar. Exemplar storage is a
+// single atomic pointer per bucket, so tracing adds one store to the hot
+// path and nothing when traceID is "".
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID})
+}
+
+// Exemplars returns the latest exemplar per bucket (nil entries where no
+// traced observation landed); the last entry is the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -241,8 +273,9 @@ func (r *Registry) Histogram(name string, bounds []float64, labels Labels) *Hist
 			}
 		}
 		s.hist = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
+			bounds:    append([]float64(nil), bounds...),
+			counts:    make([]atomic.Int64, len(bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 		}
 	}
 	return s.hist

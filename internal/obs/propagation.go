@@ -1,0 +1,164 @@
+// W3C Trace Context propagation: parsing and rendering the `traceparent`
+// HTTP header (https://www.w3.org/TR/trace-context/), so one trace spans
+// processes — pingquery's client span and pingd's server span share a
+// trace ID, and a future scatter-gather coordinator can forward the same
+// context to its shards.
+//
+// Only the level-1 header is implemented (version 00, fixed-length
+// field layout); `tracestate` is intentionally ignored — the stack has
+// no vendor state to carry.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// TraceID is the 16-byte identifier shared by every span of one trace.
+type TraceID [16]byte
+
+// String renders the ID as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// SpanID is the 8-byte identifier of one span.
+type SpanID [8]byte
+
+// String renders the ID as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is all zeroes (invalid per W3C).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// NewTraceID returns a random trace ID. crypto/rand never fails on the
+// supported platforms; on the impossible error path the ID degrades to
+// zero (callers treat zero as "no trace").
+func NewTraceID() TraceID {
+	var t TraceID
+	_, _ = rand.Read(t[:])
+	return t
+}
+
+// NewSpanID returns a random span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	_, _ = rand.Read(s[:])
+	return s
+}
+
+// TraceContext is the propagated identity of a trace position: which
+// trace, which parent span, and the sampled flag. The zero value is
+// invalid (Valid() == false).
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether the context identifies a trace (both IDs
+// non-zero, as the W3C spec requires).
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// Sampled reports the sampled flag bit.
+func (tc TraceContext) Sampled() bool { return tc.Flags&1 == 1 }
+
+// Traceparent renders the context as a version-00 traceparent header
+// value: 00-<trace-id>-<parent-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(tc.TraceID.String())
+	b.WriteByte('-')
+	b.WriteString(tc.SpanID.String())
+	b.WriteByte('-')
+	flags := [1]byte{tc.Flags}
+	b.WriteString(hex.EncodeToString(flags[:]))
+	return b.String()
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except the invalid ff, requiring the version-00 field layout
+// (the spec's forward-compatibility rule: unknown versions are parsed as
+// 00 when the prefix matches). Returns ok == false for malformed values
+// and for all-zero trace or span IDs.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	var tc TraceContext
+	h = strings.TrimSpace(h)
+	// 2 (version) + 1 + 32 (trace-id) + 1 + 16 (parent-id) + 1 + 2 (flags)
+	if len(h) < 55 {
+		return tc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	ver, err := hex.DecodeString(h[0:2])
+	if err != nil || ver[0] == 0xff {
+		return tc, false
+	}
+	// Version 00 must be exactly 55 chars; future versions may append
+	// "-..." fields after the flags.
+	if len(h) > 55 && (ver[0] == 0 || h[55] != '-') {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(h[3:35])); err != nil {
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(h[36:52])); err != nil {
+		return tc, false
+	}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return tc, false
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return tc, false
+	}
+	return tc, true
+}
+
+// remoteCtxKey carries a remote (incoming) trace context through a
+// request's context.Context, separate from the local span chain.
+type remoteCtxKey struct{}
+
+// ContextWithRemote attaches an incoming trace context to ctx. The
+// Instrument middleware calls this for every request that carries a
+// valid traceparent header; handlers that decide to trace pick it up
+// with RemoteFromContext and root their trace via NewTraceFrom.
+func ContextWithRemote(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, remoteCtxKey{}, tc)
+}
+
+// RemoteFromContext returns the incoming trace context attached by
+// ContextWithRemote, if any.
+func RemoteFromContext(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(remoteCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// InjectTraceparent stamps req with the traceparent header for tc (the
+// client half of propagation). Invalid contexts stamp nothing.
+func InjectTraceparent(req *http.Request, tc TraceContext) {
+	if tc.Valid() {
+		req.Header.Set("Traceparent", tc.Traceparent())
+	}
+}
+
+// ExtractTraceparent reads and validates the traceparent header of an
+// incoming request (the server half of propagation).
+func ExtractTraceparent(r *http.Request) (TraceContext, bool) {
+	h := r.Header.Get("Traceparent")
+	if h == "" {
+		return TraceContext{}, false
+	}
+	return ParseTraceparent(h)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	h := tc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent length = %d, want 55 (%q)", len(h), h)
+	}
+	if !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent %q does not start with version 00", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", h)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, tc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}.Traceparent()
+	cases := map[string]string{
+		"empty":            "",
+		"short":            valid[:54],
+		"bad dash":         strings.Replace(valid, "-", "_", 1),
+		"version ff":       "ff" + valid[2:],
+		"non-hex trace id": valid[:3] + strings.Repeat("z", 32) + valid[35:],
+		"zero trace id":    valid[:3] + strings.Repeat("0", 32) + valid[35:],
+		"zero span id":     valid[:36] + strings.Repeat("0", 16) + valid[52:],
+		"v00 with suffix":  valid + "-extra",
+		"future no dash":   "01" + valid[2:] + "x",
+	}
+	for name, h := range cases {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want reject", name, h)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// Future versions may append "-..." after the flags; the version-00
+	// prefix must still parse (the spec's forward-compat rule).
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	h := "01" + tc.Traceparent()[2:] + "-futurefield"
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("future version with suffix rejected: %q", h)
+	}
+	if got.TraceID != tc.TraceID || got.SpanID != tc.SpanID {
+		t.Fatalf("future version parsed wrong IDs")
+	}
+}
+
+func TestInjectExtractTraceparent(t *testing.T) {
+	tc := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	req := httptest.NewRequest("GET", "/query", nil)
+	InjectTraceparent(req, tc)
+	got, ok := ExtractTraceparent(req)
+	if !ok || got != tc {
+		t.Fatalf("extract after inject: got %+v ok=%v, want %+v", got, ok, tc)
+	}
+
+	// Invalid contexts must stamp nothing.
+	req2 := httptest.NewRequest("GET", "/query", nil)
+	InjectTraceparent(req2, TraceContext{})
+	if req2.Header.Get("Traceparent") != "" {
+		t.Fatalf("invalid context stamped a traceparent header")
+	}
+}
+
+func TestNewTraceFromContinuesRemoteTrace(t *testing.T) {
+	remote := TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 1}
+	ctx, span := NewTraceFrom(context.Background(), "server", remote)
+	defer span.End()
+	if span.TraceID() != remote.TraceID {
+		t.Fatalf("server span trace ID %s, want remote %s", span.TraceID(), remote.TraceID)
+	}
+	if span.ParentSpanID() != remote.SpanID {
+		t.Fatalf("server span parent %s, want remote span %s", span.ParentSpanID(), remote.SpanID)
+	}
+	if span.SpanID() == remote.SpanID {
+		t.Fatalf("server span reused the remote span ID")
+	}
+	if TraceIDFromContext(ctx) != remote.TraceID.String() {
+		t.Fatalf("TraceIDFromContext = %q, want %q", TraceIDFromContext(ctx), remote.TraceID)
+	}
+
+	// Children inherit the remote trace ID too.
+	child := span.StartChild("step")
+	child.End()
+	if child.TraceID() != remote.TraceID || child.ParentSpanID() != span.SpanID() {
+		t.Fatalf("child did not inherit the continued trace")
+	}
+
+	// Invalid remote context degrades to a fresh trace.
+	_, s2 := NewTraceFrom(context.Background(), "server", TraceContext{})
+	defer s2.End()
+	if s2.TraceID().IsZero() {
+		t.Fatalf("NewTraceFrom with invalid remote produced a zero trace ID")
+	}
+}

@@ -6,10 +6,12 @@ import "math"
 // distribution from the histogram's buckets, interpolating linearly
 // within the winning bucket — the same estimate Prometheus computes
 // server-side with histogram_quantile(). Estimates in the implicit +Inf
-// bucket clamp to the highest finite bound; an empty histogram yields 0.
+// bucket clamp to the highest finite bound; an empty histogram, a
+// histogram with no finite buckets, or a NaN q all yield 0 (never NaN,
+// never a panic — the dashboard renders these values straight into SVG).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.Count()
-	if total == 0 {
+	if total == 0 || len(h.bounds) == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q < 0 {

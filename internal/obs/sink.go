@@ -1,0 +1,247 @@
+// Bounded, size-capped NDJSON sinks: the durable output path of the
+// observability layer. RotatingFile bounds a log's disk footprint with
+// size-based rotation to generation-suffixed files; AsyncSink decouples
+// the recording hot path from disk latency with a bounded queue and a
+// single background writer (full queue = dropped line + counter, never a
+// blocked query). The slow-query log, the wide-event query telemetry and
+// the span exporter all write through these.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// RotatingFile is an io.WriteCloser that caps the active file at
+// MaxBytes: when a write would exceed the cap, the active file is closed
+// and renamed to <path>.<generation> (monotonically increasing) and a
+// fresh <path> is opened. At most MaxFiles rotated generations are kept;
+// older ones are removed. Each Write is expected to be one complete
+// NDJSON line — rotation only happens between writes, so lines are never
+// split across generations.
+type RotatingFile struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	maxFiles int
+	f        *os.File
+	size     int64
+	gen      int64 // next generation suffix to use
+}
+
+// DefaultLogMaxBytes caps one log generation at 64 MiB.
+const DefaultLogMaxBytes = 64 << 20
+
+// OpenRotatingFile opens (appending) path as a rotating NDJSON log.
+// maxBytes <= 0 defaults to DefaultLogMaxBytes; maxFiles <= 0 keeps 3
+// rotated generations. Existing <path>.<n> generations are detected so
+// restarts continue the numbering instead of overwriting history.
+func OpenRotatingFile(path string, maxBytes int64, maxFiles int) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultLogMaxBytes
+	}
+	if maxFiles <= 0 {
+		maxFiles = 3
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &RotatingFile{path: path, maxBytes: maxBytes, maxFiles: maxFiles, f: f, size: st.Size()}
+	for _, g := range r.generations() {
+		if g >= r.gen {
+			r.gen = g + 1
+		}
+	}
+	return r, nil
+}
+
+// generations lists the existing rotated generation numbers, ascending.
+func (r *RotatingFile) generations() []int64 {
+	matches, _ := filepath.Glob(r.path + ".*")
+	var gens []int64
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, r.path+".")
+		if g, err := strconv.ParseInt(suffix, 10, 64); err == nil && g >= 0 {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens
+}
+
+// Write appends one line, rotating first when the cap would be exceeded.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return 0, os.ErrClosed
+	}
+	if r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked closes the active file, renames it to the next
+// generation, prunes old generations, and opens a fresh active file.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(r.path, fmt.Sprintf("%s.%d", r.path, r.gen)); err != nil {
+		return err
+	}
+	r.gen++
+	if gens := r.generations(); len(gens) > r.maxFiles {
+		for _, g := range gens[:len(gens)-r.maxFiles] {
+			os.Remove(fmt.Sprintf("%s.%d", r.path, g))
+		}
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		r.f = nil
+		return err
+	}
+	r.f = f
+	r.size = 0
+	return nil
+}
+
+// Size returns the active file's current size.
+func (r *RotatingFile) Size() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Close closes the active file. Further writes fail.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// AsyncSink writes pre-encoded lines through a bounded queue drained by
+// one background goroutine. Emit never blocks: when the queue is full
+// the line is dropped and counted, so a slow disk degrades telemetry,
+// never query latency. A nil *AsyncSink drops everything silently, so
+// call sites need no guards.
+type AsyncSink struct {
+	mu      sync.RWMutex // guards ch against close-during-send
+	closed  bool
+	ch      chan []byte
+	w       interface{ Write([]byte) (int, error) }
+	closer  func() error
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+	written atomic.Int64
+}
+
+// NewAsyncSink starts a sink draining into w (closed by Close when it
+// implements io.Closer). queue <= 0 defaults to 1024 buffered lines.
+func NewAsyncSink(w interface{ Write([]byte) (int, error) }, queue int) *AsyncSink {
+	if queue <= 0 {
+		queue = 1024
+	}
+	s := &AsyncSink{ch: make(chan []byte, queue), w: w}
+	if c, ok := w.(interface{ Close() error }); ok {
+		s.closer = c.Close
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for line := range s.ch {
+			if _, err := s.w.Write(line); err == nil {
+				s.written.Add(1)
+			} else {
+				s.dropped.Add(1)
+			}
+		}
+	}()
+	return s
+}
+
+// Emit enqueues one line (a '\n' is appended when missing). It reports
+// whether the line was accepted; false means the queue was full or the
+// sink closed, and the line was dropped.
+func (s *AsyncSink) Emit(line []byte) bool {
+	if s == nil {
+		return false
+	}
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		line = append(line, '\n')
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.dropped.Add(1)
+		return false
+	}
+	select {
+	case s.ch <- line:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Dropped returns how many lines were discarded (full queue, closed
+// sink, or write error).
+func (s *AsyncSink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Written returns how many lines reached the underlying writer.
+func (s *AsyncSink) Written() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.written.Load()
+}
+
+// Close drains the queue, stops the writer goroutine and closes the
+// underlying writer when it is closable. Safe to call twice; Emit after
+// Close drops.
+func (s *AsyncSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.ch)
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.closer != nil {
+		return s.closer()
+	}
+	return nil
+}

@@ -15,6 +15,12 @@ import (
 // *Span is a valid no-op receiver, so instrumented layers call span
 // methods unconditionally — tracing costs nothing when no trace is
 // attached to the context.
+//
+// Every span carries W3C-style identifiers: a 16-byte trace ID shared by
+// the whole tree and an 8-byte span ID of its own. A root started with
+// NewTraceFrom adopts the trace ID of a remote parent (a `traceparent`
+// HTTP header), so one trace spans client → pingd (and tomorrow,
+// coordinator → shards).
 type Span struct {
 	mu       sync.Mutex
 	name     string
@@ -22,6 +28,10 @@ type Span struct {
 	end      time.Time
 	attrs    []spanAttr
 	children []*Span
+
+	traceID TraceID
+	spanID  SpanID
+	parent  SpanID // zero for a local root with no remote parent
 }
 
 type spanAttr struct {
@@ -31,11 +41,23 @@ type spanAttr struct {
 
 type spanCtxKey struct{}
 
-// NewTrace starts a root span and returns a context carrying it. The
-// caller must End the span and can then serialize the tree with
-// WriteJSON.
+// NewTrace starts a root span (with a fresh trace ID) and returns a
+// context carrying it. The caller must End the span and can then
+// serialize the tree with WriteJSON.
 func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), traceID: NewTraceID(), spanID: NewSpanID()}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// NewTraceFrom starts a root span continuing a remote trace: the span
+// adopts tc's trace ID and records tc's span as its parent, so exporters
+// can stitch the client's and the server's spans into one tree. An
+// invalid tc behaves like NewTrace.
+func NewTraceFrom(ctx context.Context, name string, tc TraceContext) (context.Context, *Span) {
+	if !tc.Valid() {
+		return NewTrace(ctx, name)
+	}
+	s := &Span{name: name, start: time.Now(), traceID: tc.TraceID, spanID: NewSpanID(), parent: tc.SpanID}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
@@ -47,10 +69,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	s := &Span{name: name, start: time.Now()}
-	parent.mu.Lock()
-	parent.children = append(parent.children, s)
-	parent.mu.Unlock()
+	s := parent.StartChild(name)
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
@@ -61,11 +80,57 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, start: time.Now(), traceID: s.traceID, spanID: NewSpanID(), parent: s.spanID}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// TraceID returns the span's trace identifier (zero for nil spans).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own identifier (zero for nil spans).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// ParentSpanID returns the identifier of the span's parent (zero for
+// roots with no remote parent, and for nil spans).
+func (s *Span) ParentSpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.parent
+}
+
+// SpanContext returns the span's propagation context — what an outgoing
+// request's traceparent header should carry. Zero (invalid) for nil
+// spans.
+func (s *Span) SpanContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.spanID, Flags: 1}
+}
+
+// TraceIDFromContext returns the hex trace ID of the span carried by
+// ctx, or "" when ctx carries no trace. The one-liner instrumented
+// layers use to link metric exemplars to traces.
+func TraceIDFromContext(ctx context.Context) string {
+	s := SpanFromContext(ctx)
+	if s == nil || !s.SpanContext().Valid() {
+		return ""
+	}
+	return s.traceID.String()
 }
 
 // SpanFromContext returns the span carried by ctx, or nil.

@@ -1,0 +1,151 @@
+// Span export: flattening a finished span tree into flat records and
+// rendering them as NDJSON (one span per line, greppable and joinable
+// with wide events on trace_id) or as the Chrome trace_event JSON format
+// that chrome://tracing and Perfetto load directly.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// SpanRecord is one flattened span: the tree structure is carried by
+// (trace_id, span_id, parent_span_id) instead of nesting, which is what
+// every downstream join (wide events, exemplars) keys on.
+type SpanRecord struct {
+	TraceID      string         `json:"trace_id"`
+	SpanID       string         `json:"span_id"`
+	ParentSpanID string         `json:"parent_span_id,omitempty"`
+	Name         string         `json:"name"`
+	Start        string         `json:"start"` // RFC3339Nano
+	DurationMs   float64        `json:"duration_ms"`
+	Attrs        map[string]any `json:"attrs,omitempty"`
+
+	start time.Time // retained for Chrome export (µs precision)
+	durUS float64
+}
+
+// Flatten walks the span tree depth-first and returns one record per
+// span, root first. Nil spans flatten to nothing.
+func Flatten(root *Span) []SpanRecord {
+	var out []SpanRecord
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s == nil {
+			return
+		}
+		s.mu.Lock()
+		rec := SpanRecord{
+			TraceID:    s.traceID.String(),
+			SpanID:     s.spanID.String(),
+			Name:       s.name,
+			Start:      s.start.Format(time.RFC3339Nano),
+			start:      s.start,
+			DurationMs: float64(s.durationLocked().Microseconds()) / 1000,
+		}
+		if !s.parent.IsZero() {
+			rec.ParentSpanID = s.parent.String()
+		}
+		if len(s.attrs) > 0 {
+			rec.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				rec.Attrs[a.key] = a.val
+			}
+		}
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		rec.durUS = rec.DurationMs * 1000
+		out = append(out, rec)
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// durationLocked is Duration without locking (callers hold s.mu).
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// WriteSpanNDJSON writes one JSON line per span of the tree.
+func WriteSpanNDJSON(w io.Writer, root *Span) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range Flatten(root) {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace_event
+// format: timestamps and durations in microseconds, pid/tid grouping the
+// track. Trace and span IDs ride in args so the viewer shows them.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders one or more span trees as a Chrome
+// trace_event JSON document ({"traceEvents": [...]}) loadable in
+// chrome://tracing or Perfetto. Each root becomes its own tid track;
+// timestamps are µs relative to the earliest span so tracks align.
+func WriteChromeTrace(w io.Writer, roots ...*Span) error {
+	var events []chromeEvent
+	var origin time.Time
+	type flat struct {
+		recs []SpanRecord
+		tid  int
+	}
+	var flats []flat
+	tid := 1
+	for _, root := range roots {
+		recs := Flatten(root)
+		if len(recs) == 0 {
+			continue
+		}
+		if origin.IsZero() || recs[0].start.Before(origin) {
+			origin = recs[0].start
+		}
+		flats = append(flats, flat{recs: recs, tid: tid})
+		tid++
+	}
+	for _, f := range flats {
+		for _, rec := range f.recs {
+			args := map[string]any{"trace_id": rec.TraceID, "span_id": rec.SpanID}
+			if rec.ParentSpanID != "" {
+				args["parent_span_id"] = rec.ParentSpanID
+			}
+			for k, v := range rec.Attrs {
+				args[k] = v
+			}
+			events = append(events, chromeEvent{
+				Name: rec.Name,
+				Ph:   "X",
+				Ts:   float64(rec.start.Sub(origin).Microseconds()),
+				Dur:  rec.durUS,
+				Pid:  1,
+				Tid:  f.tid,
+				Args: args,
+			})
+		}
+	}
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events})
+}

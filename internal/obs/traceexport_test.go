@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func buildTrace(t *testing.T) *Span {
+	t.Helper()
+	_, root := NewTrace(context.Background(), "query")
+	root.SetAttr("fingerprint", "fp")
+	c1 := root.StartChild("slice-1")
+	c1.SetAttr("answers", 3)
+	g := c1.StartChild("join")
+	g.End()
+	c1.End()
+	c2 := root.StartChild("slice-2")
+	c2.End()
+	root.End()
+	return root
+}
+
+func TestFlattenPreservesTree(t *testing.T) {
+	root := buildTrace(t)
+	recs := Flatten(root)
+	if len(recs) != 4 {
+		t.Fatalf("flattened %d spans, want 4", len(recs))
+	}
+	byID := make(map[string]SpanRecord)
+	for _, r := range recs {
+		if r.TraceID != root.TraceID().String() {
+			t.Fatalf("span %s carries trace %s, want %s", r.Name, r.TraceID, root.TraceID())
+		}
+		byID[r.SpanID] = r
+	}
+	if recs[0].Name != "query" || recs[0].ParentSpanID != "" {
+		t.Fatalf("root record wrong: %+v", recs[0])
+	}
+	for _, r := range recs[1:] {
+		parent, ok := byID[r.ParentSpanID]
+		if !ok {
+			t.Fatalf("span %s has dangling parent %s", r.Name, r.ParentSpanID)
+		}
+		switch r.Name {
+		case "slice-1", "slice-2":
+			if parent.Name != "query" {
+				t.Fatalf("%s parent is %s", r.Name, parent.Name)
+			}
+		case "join":
+			if parent.Name != "slice-1" {
+				t.Fatalf("join parent is %s", parent.Name)
+			}
+		}
+	}
+	if recs[1].Attrs["answers"] != float64(3) && recs[1].Attrs["answers"] != 3 {
+		// Attrs round through interface{}; accept the int as stored.
+		if v, ok := recs[1].Attrs["answers"].(int); !ok || v != 3 {
+			t.Fatalf("slice-1 attrs = %v", recs[1].Attrs)
+		}
+	}
+	if Flatten(nil) != nil {
+		t.Fatal("Flatten(nil) != nil")
+	}
+}
+
+func TestWriteSpanNDJSON(t *testing.T) {
+	root := buildTrace(t)
+	var buf bytes.Buffer
+	if err := WriteSpanNDJSON(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if rec.TraceID == "" || rec.SpanID == "" || rec.Name == "" || rec.Start == "" {
+			t.Fatalf("line %d incomplete: %+v", n, rec)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d lines, want 4", n)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r1 := buildTrace(t)
+	r2 := buildTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r1, r2, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("%d events, want 8 (two 4-span trees)", len(doc.TraceEvents))
+	}
+	tids := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || ev.Dur == nil || *ev.Ts < 0 || *ev.Dur < 0 {
+			t.Fatalf("event %s has bad ts/dur", ev.Name)
+		}
+		if ev.Args["trace_id"] == "" || ev.Args["span_id"] == "" {
+			t.Fatalf("event %s missing trace/span args", ev.Name)
+		}
+		tids[ev.Tid] = true
+	}
+	if len(tids) != 2 {
+		t.Fatalf("expected 2 tid tracks (one per root), got %d", len(tids))
+	}
+
+	// Empty input still yields a valid, loadable document.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil || doc.TraceEvents == nil {
+		t.Fatalf("empty chrome trace invalid: %v (%s)", err, buf.String())
+	}
+}

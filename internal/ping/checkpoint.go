@@ -282,7 +282,8 @@ func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Que
 	}
 	qspan.SetAttr("incremental", state.inc != nil)
 	start := time.Now()
-	defer func() { p.met.pqaSeconds.Observe(time.Since(start).Seconds()) }()
+	tid := obs.TraceIDFromContext(ctx)
+	defer func() { p.met.pqaSeconds.ObserveExemplar(time.Since(start).Seconds(), tid) }()
 
 	// Cumulative elapsed time continues across segments.
 	var elapsedBase time.Duration
@@ -428,7 +429,7 @@ func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Que
 		if state.inc != nil {
 			p.met.incSteps.Inc()
 		}
-		p.met.stepSeconds.Observe(el.Seconds())
+		p.met.stepSeconds.ObserveExemplar(el.Seconds(), tid)
 
 		executed++
 		segRows += sr.RowsLoadedStep

@@ -635,7 +635,8 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 
 	p.met.eqaQueries.Inc()
 	start := time.Now()
-	defer func() { p.met.eqaSeconds.Observe(time.Since(start).Seconds()) }()
+	tid := obs.TraceIDFromContext(ctx)
+	defer func() { p.met.eqaSeconds.ObserveExemplar(time.Since(start).Seconds(), tid) }()
 
 	// EQA is a single-shot evaluation: there is no previous step to be
 	// incremental against, so it always uses the from-scratch path (whose

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"io"
+	"time"
+
+	"ping/internal/obs"
+)
+
+// ObservationFromEvent converts one wide query event back into the
+// profiler's per-lineage observation, so a wide-event stream can be
+// replayed into a Profiler offline (pingworkload -events) and produce
+// the same aggregates the live server would have.
+func ObservationFromEvent(ev obs.WideEvent) Observation {
+	return Observation{
+		Latency:               time.Duration(ev.LatencyMs * float64(time.Millisecond)),
+		Steps:                 ev.Steps,
+		Segments:              ev.Segments,
+		StepsToFirstAnswer:    ev.StepsToFirstAnswer,
+		CoverageAtFirstAnswer: ev.CoverageAtFirst,
+		Coverage:              append([]float64(nil), ev.Coverage...),
+		Answers:               ev.Answers,
+		Epoch:                 ev.Epoch,
+		Degraded:              ev.Degraded,
+		Error:                 ev.Error != "",
+	}
+}
+
+// ReplayEvents folds a wide-event NDJSON stream into a fresh profiler
+// and returns it with the number of events replayed.
+func ReplayEvents(r io.Reader, opts Options) (*Profiler, int, error) {
+	events, err := obs.ReadWideEvents(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := NewProfiler(opts)
+	for _, ev := range events {
+		p.ObserveFingerprint(ev.Fingerprint, ev.Canonical, ev.Shape, ObservationFromEvent(ev))
+	}
+	return p, len(events), nil
+}
