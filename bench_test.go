@@ -18,6 +18,7 @@ import (
 	"ping/internal/columnar"
 	"ping/internal/dataflow"
 	"ping/internal/dfs"
+	"ping/internal/engine"
 	"ping/internal/faults"
 	"ping/internal/gmark"
 	"ping/internal/harness"
@@ -452,4 +453,149 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	n := copy(p, r.data[r.pos:])
 	r.pos += n
 	return n, nil
+}
+
+// benchPairs draws sub-partition-shaped pair sets: clustered subjects
+// with a few objects each, pre-sorted the way partition files are.
+func benchPairs(n int) []rdf.SOPair {
+	rng := rand.New(rand.NewSource(77))
+	pairs := make([]rdf.SOPair, n)
+	s := uint32(0)
+	for i := range pairs {
+		if rng.Intn(3) == 0 {
+			s += uint32(1 + rng.Intn(4))
+		}
+		pairs[i] = rdf.SOPair{S: rdf.ID(s), O: rdf.ID(rng.Intn(1 << 20))}
+	}
+	block := rdf.PackPairs(pairs) // sorts a copy
+	return block.Materialize()
+}
+
+// BenchmarkPairBlockPack measures delta-varint packing of a sorted
+// sub-partition into its resident representation.
+func BenchmarkPairBlockPack(b *testing.B) {
+	pairs := benchPairs(100_000)
+	b.SetBytes(int64(len(pairs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := rdf.PackPairs(pairs)
+		if block.Len() != len(pairs) {
+			b.Fatal("pack lost rows")
+		}
+	}
+}
+
+// BenchmarkPairBlockDecode measures streaming a packed block back into
+// (S,O) pairs — the per-query cost the compressed cache adds.
+func BenchmarkPairBlockDecode(b *testing.B) {
+	pairs := benchPairs(100_000)
+	block := rdf.PackPairs(pairs)
+	b.SetBytes(int64(len(pairs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		block.ForEach(func(rdf.SOPair) { n++ })
+		if n != len(pairs) {
+			b.Fatal("decode lost rows")
+		}
+	}
+}
+
+// BenchmarkDictLookup measures string→ID and ID→string through an
+// immutable dictionary snapshot (the query-boundary hot paths).
+func BenchmarkDictLookup(b *testing.B) {
+	d := rdf.NewDict()
+	terms := make([]rdf.Term, 10_000)
+	for i := range terms {
+		terms[i] = rdf.NewIRI(fmt.Sprintf("http://example.org/resource/%d", i))
+		d.Encode(terms[i])
+	}
+	dv := d.Snapshot()
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if dv.Lookup(terms[i%len(terms)]) == rdf.NoID {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if len(dv.TermString(rdf.ID(i%len(terms)))) == 0 {
+				b.Fatal("empty term")
+			}
+		}
+	})
+}
+
+// BenchmarkDictResidentFootprint runs the shop fixture's query workload
+// with compressed and raw resident blocks, reporting the bytes each
+// cached sub-partition occupies (the tentpole's headline metric) next
+// to the wall time.
+func BenchmarkDictResidentFootprint(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		opts ping.Options
+	}{
+		{"dict", ping.Options{}},
+		{"raw", ping.Options{DisableDictEncoding: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			_, lay, q := shopFixture(b)
+			proc := ping.NewProcessor(lay, cfg.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := proc.PQA(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if n, bytes, _ := lay.SubPartCacheStats(); n > 0 {
+				b.ReportMetric(float64(bytes)/float64(n), "B/subpart")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineJoin evaluates a two-pattern join through the engine's
+// packed uint64 join-key path on a skewed graph.
+func BenchmarkEngineJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	g := rdf.NewGraph()
+	for i := 0; i < 30_000; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("s%d", rng.Intn(3000)))
+		g.Add(s, rdf.NewIRI("p0"), rdf.NewIRI(fmt.Sprintf("o%d", rng.Intn(500))))
+		g.Add(s, rdf.NewIRI("p1"), rdf.NewIRI(fmt.Sprintf("o%d", rng.Intn(500))))
+	}
+	g.Dedup()
+	q := sparql.MustParse(`SELECT * WHERE { ?x <p0> ?y . ?x <p1> ?z }`)
+	inputs := engine.InputsFromGraph(g, q)
+	ctx := dataflow.NewContext(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, _, err := engine.Evaluate(q, inputs, g.Dict, engine.Options{Context: ctx})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Card() == 0 {
+			b.Fatal("empty join")
+		}
+	}
+}
+
+// BenchmarkRelationDistinct measures the hashed distinct-key pass on a
+// wide relation with heavy duplication.
+func BenchmarkRelationDistinct(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	rel := &engine.Relation{Vars: []string{"x", "y", "z"}}
+	for i := 0; i < 100_000; i++ {
+		rel.Rows = append(rel.Rows, []rdf.ID{
+			rdf.ID(rng.Intn(300)), rdf.ID(rng.Intn(300)), rdf.ID(rng.Intn(30)),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rel.Distinct().Card() == 0 {
+			b.Fatal("empty distinct")
+		}
+	}
 }

@@ -39,8 +39,12 @@ func main() {
 		out         = flag.String("out", "", "write output to a file instead of stdout")
 		jsonOut     = flag.String("json-out", "", "directory to write machine-readable BENCH_<dataset>.json reports into")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while running (e.g. :9090)")
+		dictMode    = flag.String("dict", "on", "dictionary-encoded resident blocks (on|off); off keeps cached sub-partitions as raw pair slices")
 	)
 	flag.Parse()
+	if *dictMode != "on" && *dictMode != "off" {
+		fatal(fmt.Errorf("-dict must be on or off, got %q", *dictMode))
+	}
 
 	if *metricsAddr != "" {
 		_, lnAddr, err := obs.Serve(*metricsAddr, obs.Default)
@@ -51,6 +55,7 @@ func main() {
 	}
 
 	suite := harness.NewSuite(*workers, *perBucket, *scale, *seed)
+	suite.DictOff = *dictMode == "off"
 	var names []string
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")

@@ -193,6 +193,8 @@ const dashboardHTML = `<!DOCTYPE html>
 <body>
 <h1>pingd <span id="err"></span></h1>
 <div class="cards" id="cards"></div>
+<h2>Dictionary &amp; resident cache</h2>
+<div class="cards" id="dictcards"></div>
 <h2>Service-level objectives</h2>
 <table id="slo"><thead><tr>
   <th class="c">objective</th><th class="c">description</th><th>target</th><th class="c">state</th>
@@ -236,6 +238,7 @@ function burnCell(ws, name) {
   }
   return '';
 }
+function mb(n) { return (n / 1048576).toFixed(2) + ' MB'; }
 function refresh() {
   Promise.all([
     fetch('/stats').then(function (r) { return r.json(); }),
@@ -252,6 +255,15 @@ function refresh() {
       card('inflight', st.inflight_queries) + card('queued', st.queued_queries) +
       card('pinned epochs', st.pinned_epochs) + card('dropped fps', wl.dropped) +
       card('SLOs paging', paging);
+    var dict = st.dict || {};
+    document.getElementById('dictcards').innerHTML =
+      card('dict entries', dict.entries || 0) +
+      card('dict resident', mb(dict.resident_bytes || 0)) +
+      card('dict build ms', ((dict.build_seconds || 0) * 1000).toFixed(2)) +
+      card('cached sub-parts', dict.cache_entries || 0) +
+      card('cache resident', mb(dict.cache_bytes || 0)) +
+      card('cache raw equiv', mb(dict.cache_raw_bytes || 0)) +
+      card('decodes', dict.decodes || 0);
     var sloRows = (sl.objectives || []).map(function (o) {
       var ws = o.windows || [];
       var bad6h = '';

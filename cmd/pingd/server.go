@@ -117,6 +117,7 @@ type server struct {
 	reg      *obs.Registry
 	rejected *obs.Counter
 	updates  *obs.Counter
+	decodes  *obs.Counter
 
 	profiler *workload.Profiler
 	slow     *workload.SlowLog
@@ -162,6 +163,7 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 	}
 	reg.Describe("pingd_rejected_total", "queries rejected by admission control (HTTP 429)")
 	reg.Describe("pingd_updates_total", "update batches applied and published as new epochs")
+	reg.Describe("ping_dict_decodes_total", "integer IDs decoded to terms at NDJSON emission")
 	cursorFS := cfg.CursorFS
 	if cursorFS == nil {
 		cursorFS = cfg.Persist
@@ -180,6 +182,7 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		reg:      reg,
 		rejected: reg.Counter("pingd_rejected_total", nil),
 		updates:  reg.Counter("pingd_updates_total", nil),
+		decodes:  reg.Counter("ping_dict_decodes_total", nil),
 		profiler: workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
 		slow:     cfg.SlowLog,
 		events:   cfg.Events,
@@ -405,7 +408,7 @@ type segment struct {
 	enc          *json.Encoder
 	flusher      http.Flusher
 	id           [16]byte
-	dict         *rdf.Dict
+	dict         *rdf.DictView
 	wantBindings bool
 	restarted    bool
 
@@ -428,9 +431,21 @@ func (s *server) newSegment(w http.ResponseWriter, id [16]byte, wantBindings boo
 		enc:          json.NewEncoder(w),
 		flusher:      flusher,
 		id:           id,
-		dict:         s.store.Current().Dict,
+		dict:         s.store.Current().DictView(),
 		wantBindings: wantBindings,
 	}
+}
+
+// term decodes one binding ID through the segment's dictionary snapshot.
+// The snapshot is taken at segment creation; if the run pinned a newer
+// epoch (published between segment setup and the pin), its answers can
+// carry IDs past the snapshot, so refresh from the current layout —
+// the dictionary is append-only, so the newer view covers every older ID.
+func (g *segment) term(id rdf.ID) string {
+	if int(id) >= g.dict.Len() {
+		g.dict = g.s.store.Current().DictView()
+	}
+	return g.dict.TermString(id)
 }
 
 func (g *segment) emit(v any) {
@@ -473,8 +488,9 @@ func (g *segment) step(ctx context.Context) func(ping.StepResult, *ping.Checkpoi
 				}
 				m := make(map[string]string, len(row))
 				for v, id := range row {
-					m[v] = g.dict.TermString(id)
+					m[v] = g.term(id)
 				}
+				g.s.decodes.Add(int64(len(row)))
 				line.Bindings = append(line.Bindings, m)
 			}
 		}
@@ -1080,11 +1096,27 @@ type statsResponse struct {
 	SLOStates map[string]string `json:"slo_states,omitempty"`
 	// EventsDropped counts wide query events lost to backpressure.
 	EventsDropped int64 `json:"wide_events_dropped,omitempty"`
+	// Dict reports the dictionary-encoded resident layout: the term
+	// dictionary itself plus the compressed sub-partition cache.
+	Dict dictStats `json:"dict"`
+}
+
+// dictStats is the /stats "dict" sub-document.
+type dictStats struct {
+	Entries       int     `json:"entries"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	CacheEntries  int     `json:"cache_entries"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	CacheRawBytes int64   `json:"cache_raw_bytes"`
+	Decodes       int64   `json:"decodes"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Stats()
 	cur := s.store.Current()
+	dv := cur.DictView()
+	cacheN, cacheBytes, cacheRaw := cur.SubPartCacheStats()
 	sloStates := make(map[string]string)
 	for _, o := range s.slo.Snapshot() {
 		sloStates[o.Name] = o.State
@@ -1107,6 +1139,15 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Cursors:       s.cursors.Stats(),
 		SLOStates:     sloStates,
 		EventsDropped: s.events.Dropped(),
+		Dict: dictStats{
+			Entries:       dv.Len(),
+			ResidentBytes: cur.Dict.ResidentBytes(),
+			BuildSeconds:  cur.DictBuildTime().Seconds(),
+			CacheEntries:  cacheN,
+			CacheBytes:    cacheBytes,
+			CacheRawBytes: cacheRaw,
+			Decodes:       s.decodes.Value(),
+		},
 	})
 }
 

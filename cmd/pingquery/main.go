@@ -326,10 +326,11 @@ func printRelation(lay *hpart.Layout, rel *engine.Relation, maxRows int) {
 	if maxRows > 0 && n > maxRows {
 		n = maxRows
 	}
+	dv := lay.DictView()
 	for _, row := range rel.Rows[:n] {
 		parts := make([]string, len(row))
 		for i, id := range row {
-			parts[i] = lay.Dict.TermString(id)
+			parts[i] = dv.TermString(id)
 		}
 		fmt.Printf("  %s\n", strings.Join(parts, "\t"))
 	}

@@ -337,7 +337,7 @@ func (st *Store) Query(q *sparql.Query) (*engine.Relation, *engine.Stats, error)
 				if err != nil {
 					return nil, nil, err
 				}
-				in.Groups = []engine.PropGroup{{Prop: choice.prop, Rows: rows}}
+				in.Groups = []engine.PropGroup{{Prop: choice.prop, Rows: rdf.RawPairs(rows)}}
 			}
 		} else {
 			// Variable predicate: load every VP table.
@@ -346,7 +346,7 @@ func (st *Store) Query(q *sparql.Query) (*engine.Relation, *engine.Stats, error)
 				if err != nil {
 					return nil, nil, err
 				}
-				in.Groups = append(in.Groups, engine.PropGroup{Prop: p, Rows: rows})
+				in.Groups = append(in.Groups, engine.PropGroup{Prop: p, Rows: rdf.RawPairs(rows)})
 			}
 		}
 		inputs[i] = in

@@ -336,7 +336,7 @@ func (st *Store) Query(q *sparql.Query) (*engine.Relation, *engine.Stats, error)
 						return nil, nil, err
 					}
 					extraLoaded += loaded
-					in.Groups = []engine.PropGroup{{Prop: p, Rows: rows}}
+					in.Groups = []engine.PropGroup{{Prop: p, Rows: rdf.RawPairs(rows)}}
 				}
 			}
 		} else {
@@ -345,7 +345,7 @@ func (st *Store) Query(q *sparql.Query) (*engine.Relation, *engine.Stats, error)
 				if err != nil {
 					return nil, nil, err
 				}
-				in.Groups = append(in.Groups, engine.PropGroup{Prop: p, Rows: rows})
+				in.Groups = append(in.Groups, engine.PropGroup{Prop: p, Rows: rdf.RawPairs(rows)})
 			}
 		}
 		inputs[i] = in

@@ -211,8 +211,103 @@ func decodeDictRLE(data []byte, count uint64) ([]uint32, error) {
 	return out, nil
 }
 
-// encode returns the payload for a column under enc; for Auto it tries all
-// three and returns the smallest along with the winning encoding.
+// uvarintLen returns the number of bytes binary.PutUvarint uses for x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// sizePlain, sizeDelta and sizeDictRLE return the exact payload length
+// the corresponding encoder would produce, without materializing it.
+// They let Auto pick a winner with three cheap counting passes and run
+// only the winning encoder, instead of building all three buffers.
+func sizePlain(vals []uint32) int {
+	n := 0
+	for _, v := range vals {
+		n += uvarintLen(uint64(v))
+	}
+	return n
+}
+
+func sizeDelta(vals []uint32) int {
+	n, prev := 0, int64(0)
+	for _, v := range vals {
+		n += uvarintLen(zigzag(int64(v) - prev))
+		prev = int64(v)
+	}
+	return n
+}
+
+func sizeDictRLE(vals []uint32) int {
+	distinct := make(map[uint32]struct{}, 64)
+	for _, v := range vals {
+		distinct[v] = struct{}{}
+	}
+	dict := make([]uint32, 0, len(distinct))
+	for v := range distinct {
+		dict = append(dict, v)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	index := make(map[uint32]uint32, len(dict))
+	for i, v := range dict {
+		index[v] = uint32(i)
+	}
+	n := uvarintLen(uint64(len(dict)))
+	prev := uint32(0)
+	for _, v := range dict {
+		n += uvarintLen(uint64(v - prev))
+		prev = v
+	}
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		n += uvarintLen(uint64(index[vals[i]]))
+		n += uvarintLen(uint64(j - i))
+		i = j
+	}
+	return n
+}
+
+// payloadSize returns the exact payload length for a column under enc;
+// for Auto, the minimum across the three concrete encodings with the
+// same tie-break as chooseAuto.
+func payloadSize(vals []uint32, enc Encoding) int {
+	switch enc {
+	case Plain:
+		return sizePlain(vals)
+	case Delta:
+		return sizeDelta(vals)
+	case DictRLE:
+		return sizeDictRLE(vals)
+	default:
+		_, n := chooseAuto(vals)
+		return n
+	}
+}
+
+// chooseAuto picks the smallest of the three encodings by exact size
+// estimation. Ties break toward the earlier encoding in Plain, Delta,
+// DictRLE order (a later candidate must be strictly smaller to win),
+// matching the historical encode-everything behaviour.
+func chooseAuto(vals []uint32) (Encoding, int) {
+	best, bestEnc := sizePlain(vals), Plain
+	if d := sizeDelta(vals); d < best {
+		best, bestEnc = d, Delta
+	}
+	if d := sizeDictRLE(vals); d < best {
+		best, bestEnc = d, DictRLE
+	}
+	return bestEnc, best
+}
+
+// encode returns the payload for a column under enc; for Auto it sizes all
+// three and encodes only the smallest, returning the winning encoding.
 func encode(vals []uint32, enc Encoding) ([]byte, Encoding) {
 	switch enc {
 	case Plain:
@@ -222,14 +317,9 @@ func encode(vals []uint32, enc Encoding) ([]byte, Encoding) {
 	case DictRLE:
 		return encodeDictRLE(vals), DictRLE
 	default:
-		best, bestEnc := encodePlain(vals), Plain
-		if d := encodeDelta(vals); len(d) < len(best) {
-			best, bestEnc = d, Delta
-		}
-		if d := encodeDictRLE(vals); len(d) < len(best) {
-			best, bestEnc = d, DictRLE
-		}
-		return best, bestEnc
+		winner, _ := chooseAuto(vals)
+		payload, _ := encode(vals, winner)
+		return payload, winner
 	}
 }
 
@@ -340,15 +430,13 @@ func DecodeColumns(data []byte) ([][]uint32, error) {
 }
 
 // EncodedSize returns the byte size the columns would occupy on disk under
-// enc, without writing anywhere. Used by storage-footprint accounting.
+// enc, without writing anywhere — or encoding anything: it runs the exact
+// size estimators only. Used by storage-footprint accounting.
 func EncodedSize(cols [][]uint32, enc Encoding) int64 {
 	total := int64(7)
 	for _, col := range cols {
-		payload, _ := encode(col, enc)
-		meta := make([]byte, 0, 32)
-		meta = putUvarint(meta, uint64(len(col)))
-		meta = putUvarint(meta, uint64(len(payload)))
-		total += int64(1 + len(meta) + 4 + len(payload))
+		plen := payloadSize(col, enc)
+		total += int64(1 + uvarintLen(uint64(len(col))) + uvarintLen(uint64(plen)) + 4 + plen)
 	}
 	return total
 }

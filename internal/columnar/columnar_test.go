@@ -159,3 +159,144 @@ func TestZeroColumns(t *testing.T) {
 		t.Errorf("zero-column file read back %d columns", len(got))
 	}
 }
+
+// TestSizeEstimatorsExact: the counting estimators must report exactly
+// the payload length the encoders produce, across data shapes (sorted,
+// random, low-cardinality, adversarial), so Auto's fast path can never
+// pick a different winner than encoding everything would.
+func TestSizeEstimatorsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	shapes := map[string]func(n int) []uint32{
+		"empty": func(n int) []uint32 { return nil },
+		"sorted": func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(i * 3)
+			}
+			return v
+		},
+		"random": func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = rng.Uint32()
+			}
+			return v
+		},
+		"lowcard": func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(rng.Intn(4)) * 1e6
+			}
+			return v
+		},
+		"runs": func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(i / 100)
+			}
+			return v
+		},
+		"sawtooth": func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(i % 7 * 1 << 20)
+			}
+			return v
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{0, 1, 2, 100, 1000} {
+			vals := gen(n)
+			if got, want := sizePlain(vals), len(encodePlain(vals)); got != want {
+				t.Errorf("%s/%d: sizePlain = %d, encodePlain = %d", name, n, got, want)
+			}
+			if got, want := sizeDelta(vals), len(encodeDelta(vals)); got != want {
+				t.Errorf("%s/%d: sizeDelta = %d, encodeDelta = %d", name, n, got, want)
+			}
+			if got, want := sizeDictRLE(vals), len(encodeDictRLE(vals)); got != want {
+				t.Errorf("%s/%d: sizeDictRLE = %d, encodeDictRLE = %d", name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestAutoChoiceMatchesBruteForce: Auto through the size estimators must
+// choose the same encoding, with the same tie-break (Plain beats Delta
+// beats DictRLE at equal size), as encoding all three and comparing.
+func TestAutoChoiceMatchesBruteForce(t *testing.T) {
+	check := func(vals []uint32) bool {
+		bruteBest, bruteEnc := encodePlain(vals), Plain
+		if d := encodeDelta(vals); len(d) < len(bruteBest) {
+			bruteBest, bruteEnc = d, Delta
+		}
+		if d := encodeDictRLE(vals); len(d) < len(bruteBest) {
+			bruteBest, bruteEnc = d, DictRLE
+		}
+		payload, used := encode(vals, Auto)
+		return used == bruteEnc && bytes.Equal(payload, bruteBest)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Shapes quick.Check is unlikely to hit: ties and long runs.
+	for _, vals := range [][]uint32{
+		nil, {0}, {0, 0, 0}, {1, 2, 3, 4}, {5, 5, 5, 5, 5, 5, 5, 5},
+	} {
+		if !check(vals) {
+			t.Errorf("Auto choice diverged from brute force on %v", vals)
+		}
+	}
+}
+
+// BenchmarkAutoEncode measures the Auto write path (size-estimate three,
+// encode one) against brute-force triple encoding, on a mixed set of
+// columns like the hpart indexes produce.
+func BenchmarkAutoEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	cols := make([][]uint32, 4)
+	for c := range cols {
+		col := make([]uint32, 4096)
+		for i := range col {
+			switch c {
+			case 0:
+				col[i] = uint32(i) // sorted: Delta wins
+			case 1:
+				col[i] = rng.Uint32() // random: Plain wins
+			case 2:
+				col[i] = uint32(i / 512) // runs: DictRLE wins
+			default:
+				col[i] = uint32(rng.Intn(100))
+			}
+		}
+		cols[c] = col
+	}
+	b.Run("estimated", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, col := range cols {
+				encode(col, Auto)
+			}
+		}
+	})
+	b.Run("bruteforce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, col := range cols {
+				best, _ := encodePlain(col), Plain
+				if d := encodeDelta(col); len(d) < len(best) {
+					best = d
+				}
+				if d := encodeDictRLE(col); len(d) < len(best) {
+					best = d
+				}
+				_ = best
+			}
+		}
+	})
+	b.Run("encodedsize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			EncodedSize(cols, Auto)
+		}
+	})
+}

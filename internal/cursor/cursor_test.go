@@ -19,6 +19,8 @@ func sampleCheckpoint() *ping.Checkpoint {
 		FailurePolicy: ping.Degrade,
 		Epoch:         3,
 		LayoutSig:     0xdeadbeefcafe,
+		DictLen:       512,
+		DictSig:       0xfeedface12345678,
 		StepsDone:     2,
 		LoadedKeys:    []hpart.SubPartKey{{Level: 1, Prop: 0}, {Level: 2, Prop: 1}},
 		MissingKeys:   []hpart.SubPartKey{{Level: 3, Prop: 7}},

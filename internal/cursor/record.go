@@ -33,7 +33,7 @@ import (
 // the version on any payload layout change.
 const (
 	recordMagic   = "PQC1"
-	recordVersion = 1
+	recordVersion = 2 // v2 added Checkpoint.DictLen/DictSig after LayoutSig
 )
 
 var (
@@ -197,6 +197,8 @@ func appendCheckpoint(buf []byte, cp *ping.Checkpoint) []byte {
 	buf = binary.AppendUvarint(buf, uint64(cp.FailurePolicy))
 	buf = binary.AppendUvarint(buf, cp.Epoch)
 	buf = binary.AppendUvarint(buf, cp.LayoutSig)
+	buf = binary.AppendUvarint(buf, uint64(cp.DictLen))
+	buf = binary.AppendUvarint(buf, cp.DictSig)
 	buf = binary.AppendUvarint(buf, uint64(cp.StepsDone))
 	buf = appendKeys(buf, cp.LoadedKeys)
 	buf = appendKeys(buf, cp.MissingKeys)
@@ -241,6 +243,16 @@ func decodeCheckpoint(data []byte, cp *ping.Checkpoint) ([]byte, error) {
 		return nil, err
 	}
 	if cp.LayoutSig, data, err = decodeUvarint(data); err != nil {
+		return nil, err
+	}
+	if u, data, err = decodeUvarint(data); err != nil {
+		return nil, err
+	}
+	if u > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: dict length %d", ErrBadRecord, u)
+	}
+	cp.DictLen = int(u)
+	if cp.DictSig, data, err = decodeUvarint(data); err != nil {
 		return nil, err
 	}
 	if u, data, err = decodeUvarint(data); err != nil {

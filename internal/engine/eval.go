@@ -62,7 +62,7 @@ func (o Options) broadcastThreshold() int {
 // start from the smallest relation and repeatedly join with the smallest
 // relation sharing a variable, falling back to a cross product only when
 // the pattern graph is disconnected.
-func Evaluate(q *sparql.Query, inputs []PatternInput, dict *rdf.Dict, opts Options) (*Relation, *Stats, error) {
+func Evaluate(q *sparql.Query, inputs []PatternInput, dict Dict, opts Options) (*Relation, *Stats, error) {
 	return EvaluatePaths(q, inputs, nil, dict, opts)
 }
 
@@ -254,11 +254,11 @@ func InputsFromGraph(g *rdf.Graph, q *sparql.Query) []PatternInput {
 		in := PatternInput{Pattern: pat}
 		if pat.P.IsConcrete() {
 			if p := g.Dict.Lookup(pat.P); p != rdf.NoID {
-				in.Groups = []PropGroup{{Prop: p, Rows: byProp[p]}}
+				in.Groups = []PropGroup{{Prop: p, Rows: rdf.RawPairs(byProp[p])}}
 			}
 		} else {
 			for p, rows := range byProp {
-				in.Groups = append(in.Groups, PropGroup{Prop: p, Rows: rows})
+				in.Groups = append(in.Groups, PropGroup{Prop: p, Rows: rdf.RawPairs(rows)})
 			}
 		}
 		inputs[i] = in

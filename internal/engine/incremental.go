@@ -5,7 +5,6 @@ import (
 
 	"ping/internal/dataflow"
 	"ping/internal/obs"
-	"ping/internal/rdf"
 	"ping/internal/sparql"
 )
 
@@ -37,7 +36,7 @@ import (
 // Lemma 4.3, hence a true delta.
 type Incremental struct {
 	q    *sparql.Query
-	dict *rdf.Dict
+	dict Dict
 	opts Options
 	ctx  *dataflow.Context
 
@@ -62,7 +61,7 @@ type Incremental struct {
 // NewIncremental prepares a semi-naive evaluation of q. Queries with a
 // LIMIT are rejected (the union rewrite cannot reproduce limit
 // semantics); callers should evaluate those from scratch.
-func NewIncremental(q *sparql.Query, dict *rdf.Dict, opts Options) (*Incremental, error) {
+func NewIncremental(q *sparql.Query, dict Dict, opts Options) (*Incremental, error) {
 	if q.Limit > 0 {
 		return nil, fmt.Errorf("engine: incremental evaluation does not support LIMIT")
 	}

@@ -36,7 +36,7 @@ type PathInput struct {
 func (in PathInput) TotalRows() int {
 	n := 0
 	for _, g := range in.Groups {
-		n += len(g.Rows)
+		n += g.Rows.Len()
 	}
 	return n
 }
@@ -55,7 +55,7 @@ func (s pairSet) slice() []rdf.SOPair {
 }
 
 // evalPath computes the pair set of a path over per-property extents.
-func evalPath(path sparql.Path, byProp map[rdf.ID][]rdf.SOPair, universe []rdf.ID, dict *rdf.Dict) pairSet {
+func evalPath(path sparql.Path, byProp map[rdf.ID][]rdf.SOPair, universe []rdf.ID, dict Dict) pairSet {
 	switch p := path.(type) {
 	case sparql.PathIRI:
 		out := make(pairSet)
@@ -142,18 +142,18 @@ func closure(base pairSet) pairSet {
 // BuildPathRelation evaluates a path pattern's input rows into a relation
 // over the pattern's variables, applying endpoint constants and the
 // repeated-variable case (?x path ?x).
-func BuildPathRelation(in PathInput, dict *rdf.Dict) (*Relation, error) {
+func BuildPathRelation(in PathInput, dict Dict) (*Relation, error) {
 	pat := in.Pattern
 	rel := &Relation{Vars: pat.Vars()}
 
 	byProp := make(map[rdf.ID][]rdf.SOPair, len(in.Groups))
 	universeSet := make(map[rdf.ID]struct{})
 	for _, g := range in.Groups {
-		byProp[g.Prop] = append(byProp[g.Prop], g.Rows...)
-		for _, pr := range g.Rows {
+		byProp[g.Prop] = g.Rows.AppendTo(byProp[g.Prop])
+		g.Rows.ForEach(func(pr rdf.SOPair) {
 			universeSet[pr.S] = struct{}{}
 			universeSet[pr.O] = struct{}{}
-		}
+		})
 	}
 	universe := make([]rdf.ID, 0, len(universeSet))
 	for n := range universeSet {
@@ -206,7 +206,7 @@ func BuildPathRelation(in PathInput, dict *rdf.Dict) (*Relation, error) {
 // EvaluatePaths computes a query that mixes plain triple patterns and
 // property-path patterns. inputs aligns with q.Patterns and pathInputs
 // with q.Paths.
-func EvaluatePaths(q *sparql.Query, inputs []PatternInput, pathInputs []PathInput, dict *rdf.Dict, opts Options) (*Relation, *Stats, error) {
+func EvaluatePaths(q *sparql.Query, inputs []PatternInput, pathInputs []PathInput, dict Dict, opts Options) (*Relation, *Stats, error) {
 	if len(inputs) != len(q.Patterns) || len(pathInputs) != len(q.Paths) {
 		return nil, nil, fmt.Errorf("engine: %d/%d inputs for %d patterns + %d paths",
 			len(inputs), len(pathInputs), len(q.Patterns), len(q.Paths))
@@ -273,7 +273,7 @@ func PathInputsFromGraph(g *rdf.Graph, q *sparql.Query) []PathInput {
 				continue
 			}
 			seen[id] = true
-			in.Groups = append(in.Groups, PropGroup{Prop: id, Rows: byProp[id]})
+			in.Groups = append(in.Groups, PropGroup{Prop: id, Rows: rdf.RawPairs(byProp[id])})
 		}
 		out[i] = in
 	}

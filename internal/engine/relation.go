@@ -18,6 +18,16 @@ import (
 	"ping/internal/sparql"
 )
 
+// Dict is the term dictionary surface the engine needs: term→ID for
+// constant filters and path IRIs, ID→term only for FILTER expression
+// evaluation. Both *rdf.Dict and the per-epoch *rdf.DictView satisfy it;
+// layouts hand the engine a DictView so evaluation is pinned to one
+// dictionary epoch.
+type Dict interface {
+	Lookup(t rdf.Term) rdf.ID
+	Term(id rdf.ID) rdf.Term
+}
+
 // Relation is a set of variable bindings in columnar-by-row form: Vars
 // names the columns, each row holds one rdf.ID per column.
 type Relation struct {
@@ -226,7 +236,7 @@ func (r *Relation) String() string {
 // applyFilters keeps the rows satisfying every FILTER expression. A
 // filter referencing a variable the relation does not bind eliminates the
 // row (SPARQL's unbound-is-error semantics).
-func applyFilters(r *Relation, filters []sparql.Expr, dict *rdf.Dict) *Relation {
+func applyFilters(r *Relation, filters []sparql.Expr, dict Dict) *Relation {
 	if len(filters) == 0 {
 		return r
 	}
@@ -271,10 +281,12 @@ func (r *Relation) BindingMaps() []map[string]rdf.ID {
 }
 
 // PropGroup is the slice of a pattern's input rows contributed by one
-// property's vertical partition.
+// property's vertical partition. Rows is a PairBlock: resident groups stay
+// in their compressed form and are only streamed (never re-materialized)
+// when the pattern relation is built.
 type PropGroup struct {
 	Prop rdf.ID
-	Rows []rdf.SOPair
+	Rows rdf.PairBlock
 }
 
 // PatternInput feeds one triple pattern: the pattern itself plus its rows,
@@ -290,7 +302,7 @@ type PatternInput struct {
 func (in PatternInput) TotalRows() int {
 	n := 0
 	for _, g := range in.Groups {
-		n += len(g.Rows)
+		n += g.Rows.Len()
 	}
 	return n
 }
@@ -298,7 +310,7 @@ func (in PatternInput) TotalRows() int {
 // BuildRelation turns a pattern's input rows into a relation over the
 // pattern's variables, applying constant filters (on subject/object) and
 // repeated-variable equality (e.g. ?x :p ?x).
-func BuildRelation(in PatternInput, dict *rdf.Dict) (*Relation, error) {
+func BuildRelation(in PatternInput, dict Dict) (*Relation, error) {
 	pat := in.Pattern
 	vars := pat.Vars()
 	rel := &Relation{Vars: vars}
@@ -327,18 +339,41 @@ func BuildRelation(in PatternInput, dict *rdf.Dict) (*Relation, error) {
 	for i, v := range vars {
 		colOf[v] = i
 	}
+	// Row storage is carved from chunked arenas — one allocation per ~4k
+	// rows instead of one per row — and the row index is sized up front
+	// when no constant filter can shrink it.
+	nv := len(vars)
+	var arena []rdf.ID
+	newRow := func() []rdf.ID {
+		if len(arena) < nv {
+			arena = make([]rdf.ID, 4096*nv)
+		}
+		row := arena[:nv:nv]
+		arena = arena[nv:]
+		return row
+	}
+	if !sIsConst && !oIsConst {
+		total := 0
+		for _, g := range in.Groups {
+			if !pIsConst || g.Prop == pConst {
+				total += g.Rows.Len()
+			}
+		}
+		rel.Rows = make([][]rdf.ID, 0, total)
+	}
 	for _, g := range in.Groups {
 		if pIsConst && g.Prop != pConst {
 			continue
 		}
-		for _, pr := range g.Rows {
+		prop := g.Prop
+		g.Rows.ForEach(func(pr rdf.SOPair) {
 			if sIsConst && pr.S != sConst {
-				continue
+				return
 			}
 			if oIsConst && pr.O != oConst {
-				continue
+				return
 			}
-			row := make([]rdf.ID, len(vars))
+			row := newRow()
 			ok := true
 			// Fill in SPO order; a repeated variable (e.g. ?x :p ?x) must
 			// receive the same value at every occurrence.
@@ -356,12 +391,12 @@ func BuildRelation(in PatternInput, dict *rdf.Dict) (*Relation, error) {
 				seen[c] = true
 			}
 			set(pat.S, pr.S)
-			set(pat.P, g.Prop)
+			set(pat.P, prop)
 			set(pat.O, pr.O)
 			if ok {
 				rel.Rows = append(rel.Rows, row)
 			}
-		}
+		})
 	}
 	return rel, nil
 }

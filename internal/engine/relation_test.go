@@ -71,7 +71,7 @@ func TestBuildRelationConstFilters(t *testing.T) {
 	a, b, c := d.EncodeIRI("a"), d.EncodeIRI("b"), d.EncodeIRI("c")
 	rows := []rdf.SOPair{{S: a, O: b}, {S: a, O: c}, {S: b, O: c}}
 	pat := sparql.TriplePattern{S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewVar("o")}
-	got, err := BuildRelation(PatternInput{Pattern: pat, Groups: []PropGroup{{Prop: p, Rows: rows}}}, d)
+	got, err := BuildRelation(PatternInput{Pattern: pat, Groups: []PropGroup{{Prop: p, Rows: rdf.RawPairs(rows)}}}, d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,8 +93,8 @@ func TestBuildRelationWrongPropGroupSkipped(t *testing.T) {
 	got, err := BuildRelation(PatternInput{
 		Pattern: pat,
 		Groups: []PropGroup{
-			{Prop: p, Rows: []rdf.SOPair{{S: a, O: b}}},
-			{Prop: q, Rows: []rdf.SOPair{{S: b, O: a}}}, // must be ignored
+			{Prop: p, Rows: rdf.RawPairs([]rdf.SOPair{{S: a, O: b}})},
+			{Prop: q, Rows: rdf.RawPairs([]rdf.SOPair{{S: b, O: a}})}, // must be ignored
 		},
 	}, d)
 	if err != nil {
@@ -113,8 +113,8 @@ func TestBuildRelationVariablePredicateBindsP(t *testing.T) {
 	got, err := BuildRelation(PatternInput{
 		Pattern: pat,
 		Groups: []PropGroup{
-			{Prop: p, Rows: []rdf.SOPair{{S: a, O: b}}},
-			{Prop: q, Rows: []rdf.SOPair{{S: b, O: a}}},
+			{Prop: p, Rows: rdf.RawPairs([]rdf.SOPair{{S: a, O: b}})},
+			{Prop: q, Rows: rdf.RawPairs([]rdf.SOPair{{S: b, O: a}})},
 		},
 	}, d)
 	if err != nil {
@@ -135,8 +135,8 @@ func TestBuildRelationVariablePredicateBindsP(t *testing.T) {
 
 func TestPatternInputTotalRows(t *testing.T) {
 	in := PatternInput{Groups: []PropGroup{
-		{Rows: make([]rdf.SOPair, 3)},
-		{Rows: make([]rdf.SOPair, 5)},
+		{Rows: rdf.RawPairs(make([]rdf.SOPair, 3))},
+		{Rows: rdf.RawPairs(make([]rdf.SOPair, 5))},
 	}}
 	if in.TotalRows() != 8 {
 		t.Errorf("TotalRows = %d", in.TotalRows())

@@ -450,6 +450,7 @@ func (s *Suite) Ablation() (*Report, error) {
 		{"largest level first", ping.Options{Strategy: ping.LargestFirst}},
 		{"smallest level first", ping.Options{Strategy: ping.SmallestFirst}},
 		{"product slices (Alg. 2 literal)", ping.Options{Strategy: ping.ProductOrder}},
+		{"dict encoding off (raw resident pairs)", ping.Options{DisableDictEncoding: true}},
 	}
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)

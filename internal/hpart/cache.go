@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"ping/internal/rdf"
 )
 
 // DefaultSubPartCacheSize is the sub-partition cache capacity installed
@@ -45,11 +47,18 @@ type subPartCache struct {
 	// invalidatedAt records, per key, the ticket of its last invalidate.
 	ticket        uint64
 	invalidatedAt map[cacheKey]uint64
+	// raw disables delta-varint packing of resident entries (the -dict=off
+	// ablation): misses are cached as plain pair slices instead.
+	raw bool
+	// bytes / rawBytes track the resident payload across entries and what
+	// the same entries would cost uncompressed.
+	bytes    int64
+	rawBytes int64
 }
 
 type cacheEntry struct {
 	key   cacheKey
-	pairs []Pair
+	block rdf.PairBlock
 }
 
 func newSubPartCache(capacity int) *subPartCache {
@@ -61,15 +70,45 @@ func newSubPartCache(capacity int) *subPartCache {
 	}
 }
 
-func (c *subPartCache) get(key cacheKey) ([]Pair, bool) {
+func (c *subPartCache) get(key cacheKey) (rdf.PairBlock, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		return rdf.PairBlock{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).pairs, true
+	return el.Value.(*cacheEntry).block, true
+}
+
+// rawMode reports whether resident entries should stay unpacked.
+func (c *subPartCache) rawMode() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.raw
+}
+
+// setRaw switches the resident representation. Flipping drops every entry:
+// an ablation run must measure its own representation, not inherit blocks
+// packed under the previous mode.
+func (c *subPartCache) setRaw(raw bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.raw == raw {
+		return
+	}
+	c.raw = raw
+	c.ll.Init()
+	c.entries = make(map[cacheKey]*list.Element, c.cap)
+	c.bytes, c.rawBytes = 0, 0
+}
+
+// stats returns the entry count, resident payload bytes, and the
+// uncompressed size of the same entries.
+func (c *subPartCache) stats() (n int, bytes, rawBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.rawBytes
 }
 
 // beginRead draws the ticket a reader must present to put: any
@@ -81,25 +120,45 @@ func (c *subPartCache) beginRead() uint64 {
 	return c.ticket
 }
 
-// put inserts rows decoded by a read that started at the given ticket.
+// put inserts a block decoded by a read that started at the given ticket.
 // The put is dropped when the key was invalidated after the ticket was
 // drawn: the rows were decoded from the pre-invalidation file contents.
-func (c *subPartCache) put(key cacheKey, pairs []Pair, ticket uint64) {
+func (c *subPartCache) put(key cacheKey, block rdf.PairBlock, ticket uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.invalidatedAt[key] > ticket {
 		return // stale: file rewritten while the read was in flight
 	}
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).pairs = pairs
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(block.Bytes()) - int64(e.block.Bytes())
+		c.rawBytes += int64(block.RawBytes()) - int64(e.block.RawBytes())
+		e.block = block
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, pairs: pairs})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, block: block})
+	c.bytes += int64(block.Bytes())
+	c.rawBytes += int64(block.RawBytes())
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.entries, last.Value.(*cacheEntry).key)
+		e := last.Value.(*cacheEntry)
+		c.bytes -= int64(e.block.Bytes())
+		c.rawBytes -= int64(e.block.RawBytes())
+		delete(c.entries, e.key)
+	}
+}
+
+// remove drops an entry (if present) and settles the byte accounting.
+// Callers must hold c.mu.
+func (c *subPartCache) remove(key cacheKey) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.Remove(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes -= int64(e.block.Bytes())
+		c.rawBytes -= int64(e.block.RawBytes())
+		delete(c.entries, key)
 	}
 }
 
@@ -110,10 +169,7 @@ func (c *subPartCache) invalidate(key cacheKey) {
 	defer c.mu.Unlock()
 	c.ticket++
 	c.invalidatedAt[key] = c.ticket
-	if el, ok := c.entries[key]; ok {
-		c.ll.Remove(el)
-		delete(c.entries, key)
-	}
+	c.remove(key)
 }
 
 // purge forgets a key entirely — entry and invalidation bookkeeping.
@@ -124,10 +180,7 @@ func (c *subPartCache) purge(key cacheKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.invalidatedAt, key)
-	if el, ok := c.entries[key]; ok {
-		c.ll.Remove(el)
-		delete(c.entries, key)
-	}
+	c.remove(key)
 }
 
 func (c *subPartCache) len() int {
@@ -166,6 +219,29 @@ func (l *Layout) SubPartCacheLen() int {
 	return 0
 }
 
+// SubPartCacheStats reports the resident footprint of the decoded
+// sub-partition cache: entry count, resident payload bytes, and what the
+// same entries would occupy as raw 8-byte pairs. bytes/rawBytes is the
+// per-cached-sub-partition compression the dictionary-encoded resident
+// layout buys.
+func (l *Layout) SubPartCacheStats() (entries int, bytes, rawBytes int64) {
+	if c := l.subPartCache(); c != nil {
+		return c.stats()
+	}
+	return 0, 0, 0
+}
+
+// SetResidentRaw selects the resident representation of cached
+// sub-partitions: packed delta-varint blocks (default) or raw pair slices
+// (the -dict=off ablation). Flipping the mode drops the cache so
+// measurements never mix representations. Safe to call on layouts without
+// an installed cache (no-op).
+func (l *Layout) SetResidentRaw(raw bool) {
+	if c := l.subPartCache(); c != nil {
+		c.setRaw(raw)
+	}
+}
+
 func (l *Layout) subPartCache() *subPartCache {
 	l.cacheMu.Lock()
 	c := l.cache
@@ -182,30 +258,39 @@ func (l *Layout) invalidateSubPart(key SubPartKey) {
 }
 
 // ReadSubPartitionCached is ReadSubPartitionCtx through the layout's LRU
-// cache: a hit returns the decoded rows without touching storage (the
-// returned slice is shared — callers must not mutate it). Without an
-// installed cache it degrades to a plain read with hit=false. Failed
-// reads are never cached, and a read that raced a rewrite of the same
-// generation is dropped rather than cached (see subPartCache).
-func (l *Layout) ReadSubPartitionCached(ctx context.Context, key SubPartKey) (pairs []Pair, hit bool, err error) {
+// cache: a hit returns the resident block without touching storage
+// (blocks are immutable and shared between callers). On a miss the
+// decoded rows are packed into a delta-varint block before insertion
+// (unless the cache is in raw mode — the -dict=off ablation) so the
+// cache's resident set holds compressed sorted ID columns, not 8-byte
+// pairs. Without an installed cache it degrades to a plain read with
+// hit=false. Failed reads are never cached, and a read that raced a
+// rewrite of the same generation is dropped rather than cached (see
+// subPartCache).
+func (l *Layout) ReadSubPartitionCached(ctx context.Context, key SubPartKey) (block rdf.PairBlock, hit bool, err error) {
 	c := l.subPartCache()
 	ck := cacheKey{key: key, gen: l.gen[key]}
 	var ticket uint64
 	if c != nil {
-		if pairs, ok := c.get(ck); ok {
-			return pairs, true, nil
+		if b, ok := c.get(ck); ok {
+			return b, true, nil
 		}
 		ticket = c.beginRead()
 	}
-	pairs, err = l.ReadSubPartitionCtx(ctx, key)
+	pairs, err := l.ReadSubPartitionCtx(ctx, key)
 	if err != nil {
-		return nil, false, err
+		return rdf.PairBlock{}, false, err
 	}
 	if l.readHook != nil {
 		l.readHook(key)
 	}
-	if c != nil {
-		c.put(ck, pairs, ticket)
+	if c != nil && !c.rawMode() {
+		block = rdf.PackPairs(pairs)
+	} else {
+		block = rdf.RawPairs(pairs)
 	}
-	return pairs, false, nil
+	if c != nil {
+		c.put(ck, block, ticket)
+	}
+	return block, false, nil
 }

@@ -32,12 +32,13 @@ func TestSubPartCacheHitMiss(t *testing.T) {
 	if !hit {
 		t.Fatal("second read missed the cache")
 	}
-	if len(p1) != len(p2) {
-		t.Fatalf("cached rows differ: %d vs %d", len(p1), len(p2))
+	r1, r2 := p1.Materialize(), p2.Materialize()
+	if len(r1) != len(r2) {
+		t.Fatalf("cached rows differ: %d vs %d", len(r1), len(r2))
 	}
-	for i := range p1 {
-		if p1[i] != p2[i] {
-			t.Fatalf("row %d differs: %v vs %v", i, p1[i], p2[i])
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, r1[i], r2[i])
 		}
 	}
 	if lay.SubPartCacheLen() != 1 {
@@ -143,10 +144,11 @@ func TestSubPartCacheInvalidatedByMaintainer(t *testing.T) {
 
 	// Every sub-partition's cached rows must now agree with storage.
 	for _, k := range lay.SubPartitions() {
-		cached, _, err := lay.ReadSubPartitionCached(ctx, k)
+		block, _, err := lay.ReadSubPartitionCached(ctx, k)
 		if err != nil {
 			t.Fatal(err)
 		}
+		cached := block.Materialize()
 		direct, err := lay.ReadSubPartition(k)
 		if err != nil {
 			t.Fatal(err)

@@ -347,7 +347,7 @@ func TestStaleCachePutDropped(t *testing.T) {
 	}
 	defer func() { lay.readHook = nil }()
 
-	stale, _, err := lay.ReadSubPartitionCached(context.Background(), key)
+	staleBlock, _, err := lay.ReadSubPartitionCached(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,17 +358,19 @@ func TestStaleCachePutDropped(t *testing.T) {
 	// fine (it raced the writer; both row sets are committed states).
 	// What must NOT happen is that row set being served from the cache
 	// afterwards.
+	stale := staleBlock.Materialize()
 	if len(stale) != 2 {
 		t.Fatalf("interleaved read returned %d rows, want 2 pre-rewrite rows", len(stale))
 	}
 
-	fresh, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
+	freshBlock, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hit {
 		t.Fatal("stale put survived: post-rewrite read was served from cache")
 	}
+	fresh := freshBlock.Materialize()
 	want, err := lay.ReadSubPartition(key)
 	if err != nil {
 		t.Fatal(err)
@@ -383,11 +385,11 @@ func TestStaleCachePutDropped(t *testing.T) {
 	}
 
 	// And now the cache serves the fresh rows.
-	again, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
+	againBlock, hit, err := lay.ReadSubPartitionCached(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !hit || !pairsEqual(again, want) {
+	if !hit || !pairsEqual(againBlock.Materialize(), want) {
 		t.Fatal("fresh rows were not cached")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"maps"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,16 @@ func (k SubPartKey) String() string { return fmt.Sprintf("L%d[p%d]", k.Level, k.
 type Layout struct {
 	// Dict is shared with the source graph so IDs remain comparable.
 	Dict *rdf.Dict
+	// dictView pins the dictionary prefix visible to this snapshot: the
+	// (length, signature) captured when the epoch was built. Queries
+	// resolve constants and decode answers through the view, so a
+	// maintainer growing the shared Dict never leaks new terms into an
+	// older epoch. Nil only for hand-assembled layouts (see DictView).
+	dictView *rdf.DictView
+	// dictBuild is the wall-clock cost of capturing and signing the
+	// epoch's dictionary snapshot (for loaded layouts: re-signing the
+	// persisted dictionary).
+	dictBuild time.Duration
 	// Hierarchy is the mined CS hierarchy.
 	Hierarchy *cs.Hierarchy
 	// NumLevels is the hierarchy depth (number of partitions).
@@ -184,6 +195,9 @@ func Partition(g *rdf.Graph, opts Options) (*Layout, error) {
 		lay.blooms = make(map[SubPartKey]SubPartBlooms, len(sub))
 	}
 	for key, pairs := range sub {
+		// Persist in (S, O) order: sorted columns delta-compress better on
+		// disk and let the resident cache pack without re-sorting.
+		sort.Slice(pairs, func(i, j int) bool { return rdf.SOPairLess(pairs[i], pairs[j]) })
 		lay.SubPartRows[key] = len(pairs)
 		if opts.BuildBlooms {
 			b := buildBlooms(pairs)
@@ -215,9 +229,35 @@ func Partition(g *rdf.Graph, opts Options) (*Layout, error) {
 	if err := lay.writeIndexes(); err != nil {
 		return nil, err
 	}
+	lay.refreshDictSnapshot()
 	lay.PreprocessTime = time.Since(start)
 	return lay, nil
 }
+
+// refreshDictSnapshot re-pins the layout to the dictionary's current
+// (length, signature) prefix, timing the capture. Called when a layout is
+// built, loaded, or republished after a maintenance batch that interned
+// new terms.
+func (l *Layout) refreshDictSnapshot() {
+	t0 := time.Now()
+	l.dictView = l.Dict.Snapshot()
+	l.dictBuild = time.Since(t0)
+}
+
+// DictView returns the dictionary prefix pinned to this snapshot. Layouts
+// assembled by hand (tests) without a snapshot fall back to viewing the
+// dictionary's current state; the fallback never mutates the layout, so
+// concurrent callers are safe.
+func (l *Layout) DictView() *rdf.DictView {
+	if l.dictView != nil {
+		return l.dictView
+	}
+	return l.Dict.Snapshot()
+}
+
+// DictBuildTime reports the cost of capturing this epoch's dictionary
+// snapshot.
+func (l *Layout) DictBuildTime() time.Duration { return l.dictBuild }
 
 // subPartPath is the generation-0 path of a sub-partition — the name
 // Partition writes. Rewrites by an epoch maintainer land on successive
@@ -250,6 +290,8 @@ func (l *Layout) Epoch() uint64 { return l.epoch }
 func (l *Layout) Clone() *Layout {
 	cp := &Layout{
 		Dict:           l.Dict,
+		dictView:       l.dictView,
+		dictBuild:      l.dictBuild,
 		Hierarchy:      l.Hierarchy,
 		NumLevels:      l.NumLevels,
 		VP:             maps.Clone(l.VP),
@@ -315,6 +357,13 @@ func (l *Layout) ReadSubPartitionCtx(ctx context.Context, key SubPartKey) ([]Pai
 	pairs := make([]Pair, len(cols[0]))
 	for i := range pairs {
 		pairs[i] = Pair{S: cols[0][i], O: cols[1][i]}
+	}
+	// Sub-partition files are written in (S, O) order (Partition consumes
+	// SPO-sorted deduplicated graphs; the maintainer sorts before every
+	// rewrite), but resident compression depends on it, so restore the
+	// invariant defensively for files from older tools.
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool { return rdf.SOPairLess(pairs[i], pairs[j]) }) {
+		sort.Slice(pairs, func(i, j int) bool { return rdf.SOPairLess(pairs[i], pairs[j]) })
 	}
 	return pairs, nil
 }

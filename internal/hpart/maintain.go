@@ -157,7 +157,11 @@ func (m *Maintainer) apply(add, remove []rdf.Triple) error {
 		return nil
 	}
 	if m.store == nil {
-		return m.applyBatch(add, remove)
+		if err := m.applyBatch(add, remove); err != nil {
+			return err
+		}
+		m.lay.refreshDictSnapshot()
+		return nil
 	}
 	// Snapshot mode: mutate a copy-on-write clone of the latest epoch.
 	// All file writes inside the batch go to fresh generation names, so
@@ -180,6 +184,10 @@ func (m *Maintainer) apply(add, remove []rdf.Triple) error {
 		m.retired, m.created = nil, nil
 		return err
 	}
+	// The batch may have interned new terms; re-pin the clone's dictionary
+	// snapshot before it becomes visible so the new epoch can decode every
+	// ID it stores while older epochs keep their shorter prefix.
+	m.lay.refreshDictSnapshot()
 	m.store.publish(m.lay, m.retired)
 	m.retired, m.created = nil, nil
 	return nil

@@ -218,5 +218,6 @@ func Load(fs *dfs.FS, dict *rdf.Dict) (*Layout, error) {
 	if err := lay.loadBlooms(); err != nil {
 		return nil, err
 	}
+	lay.refreshDictSnapshot()
 	return lay, nil
 }

@@ -115,6 +115,16 @@ type Checkpoint struct {
 	// cross-restart identity resume validates against.
 	Epoch     uint64
 	LayoutSig uint64
+	// DictLen/DictSig identify the dictionary prefix the checkpoint's ID
+	// relations were encoded against. The layout signature only covers the
+	// sub-partition inventory (keys, generations, row counts), so two
+	// different datasets with the same shape can collide on it — the
+	// dictionary signature pins the actual terms. Resume accepts a
+	// dictionary that *extends* the prefix (append-only growth keeps old
+	// IDs valid) and refuses anything else: checkpointed IDs must never be
+	// decoded through a different dictionary.
+	DictLen int
+	DictSig uint64
 	// StepsDone counts completed steps; resume skips that schedule
 	// prefix.
 	StepsDone int
@@ -194,6 +204,18 @@ func (p *Processor) PQAResumeRun(ctx context.Context, lay *hpart.Layout, cp *Che
 	if lay.Signature() != cp.LayoutSig {
 		return nil, ErrSnapshotMismatch
 	}
+	// The checkpoint's ID relations are only meaningful against the
+	// dictionary prefix they were encoded with. A dictionary that merely
+	// grew since (a maintainer interned new terms) still decodes every
+	// checkpointed ID identically; anything else — shorter, or different
+	// content at the same length — is a different dictionary and resuming
+	// would silently bind IDs to the wrong terms.
+	if cp.DictLen > 0 || cp.DictSig != 0 {
+		dv := lay.DictView()
+		if cp.DictLen > dv.Len() || lay.Dict.PrefixSig(cp.DictLen) != cp.DictSig {
+			return nil, fmt.Errorf("ping: dictionary differs from checkpoint prefix: %w", ErrSnapshotMismatch)
+		}
+	}
 	if p.opts.Strategy != cp.Strategy {
 		return nil, fmt.Errorf("ping: resume under strategy %v, checkpoint used %v: %w",
 			p.opts.Strategy, cp.Strategy, ErrSnapshotMismatch)
@@ -214,6 +236,8 @@ func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Que
 		return nil, fmt.Errorf("ping: query has no patterns")
 	}
 	p.met.epoch.Set(float64(lay.Epoch()))
+	p.setDictGauges(lay)
+	defer p.setDictGauges(lay)
 	p.met.inflight.Add(1)
 	defer p.met.inflight.Add(-1)
 
@@ -460,12 +484,15 @@ func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Que
 // this is O(loaded keys), not O(data); the expensive serialization
 // happens only if the cursor actually hibernates to disk.
 func (st *evalState) checkpoint(q *sparql.Query, lay *hpart.Layout, sr StepResult) *Checkpoint {
+	dv := lay.DictView()
 	cp := &Checkpoint{
 		Query:         q.String(),
 		Strategy:      st.p.opts.Strategy,
 		FailurePolicy: st.p.opts.FailurePolicy,
 		Epoch:         lay.Epoch(),
 		LayoutSig:     lay.Signature(),
+		DictLen:       dv.Len(),
+		DictSig:       dv.Sig(),
 		StepsDone:     sr.Step,
 		LoadedKeys:    append([]hpart.SubPartKey(nil), st.loaded...),
 		MissingKeys:   append([]hpart.SubPartKey(nil), st.missing...),
@@ -530,8 +557,8 @@ func (st *evalState) restore(ctx context.Context, cp *Checkpoint) error {
 		results := dataflow.Map(
 			dataflow.Parallelize(st.p.ctx, toRead, 0),
 			func(k hpart.SubPartKey) loadResult {
-				pairs, hit, err := st.lay.ReadSubPartitionCached(ctx, k)
-				return loadResult{pairs: pairs, hit: hit, err: err}
+				block, hit, err := st.lay.ReadSubPartitionCached(ctx, k)
+				return loadResult{block: block, hit: hit, err: err}
 			}).Collect()
 		if err := ctx.Err(); err != nil {
 			return err
@@ -556,15 +583,15 @@ func (st *evalState) restore(ctx context.Context, cp *Checkpoint) error {
 				}
 				return r.err
 			}
-			g := engine.PropGroup{Prop: k.Prop, Rows: r.pairs}
+			g := engine.PropGroup{Prop: k.Prop, Rows: r.block}
 			for pi, set := range st.hlSet {
 				if set[k] {
-					st.patGroups[pi].insert(k, r.pairs)
+					st.patGroups[pi].insert(k, r.block)
 				}
 			}
 			for pi, set := range st.hlPathSet {
 				if set[k] {
-					st.pathGroups[pi].insert(k, r.pairs)
+					st.pathGroups[pi].insert(k, r.block)
 					if pathGroups != nil {
 						pathGroups[pi] = append(pathGroups[pi], g)
 					}

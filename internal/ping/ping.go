@@ -129,6 +129,14 @@ type Options struct {
 	// SubPartCacheSize is the LRU capacity (<=0: hpart default). The first
 	// processor to enable the cache on a layout fixes its capacity.
 	SubPartCacheSize int
+	// DisableDictEncoding keeps cached sub-partitions as raw 8-byte pair
+	// slices instead of packed delta-varint blocks — the `-dict=off`
+	// ablation that isolates the resident-compression win. Query results
+	// are identical either way; only the resident representation (and its
+	// decode cost) changes. The setting applies to the layout's shared
+	// cache, and flipping it drops cached entries so measurements never
+	// mix representations.
+	DisableDictEncoding bool
 	// Metrics is the registry the processor's counters and latency
 	// histograms are recorded into (nil: obs.Default).
 	Metrics *obs.Registry
@@ -168,6 +176,13 @@ type procMetrics struct {
 	eqaSeconds      *obs.Histogram
 	epoch           *obs.Gauge
 	inflight        *obs.Gauge
+	dictHits        *obs.Counter
+	dictMisses      *obs.Counter
+	dictEntries     *obs.Gauge
+	dictBytes       *obs.Gauge
+	dictBuildSecs   *obs.Gauge
+	cacheBytes      *obs.Gauge
+	cacheRawBytes   *obs.Gauge
 }
 
 func newProcMetrics(reg *obs.Registry) *procMetrics {
@@ -189,6 +204,12 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 	reg.Describe("ping_query_seconds", "wall-clock duration of one query run by mode")
 	reg.Describe("ping_epoch", "epoch of the most recently pinned layout snapshot")
 	reg.Describe("ping_inflight_queries", "queries currently executing (PQA and EQA)")
+	reg.Describe("ping_dict_lookups_total", "dictionary term lookups during candidate pruning, by outcome (hit or miss)")
+	reg.Describe("ping_dict_entries", "terms in the pinned epoch's dictionary snapshot")
+	reg.Describe("ping_dict_resident_bytes", "estimated resident bytes of the shared term dictionary")
+	reg.Describe("ping_dict_build_seconds", "time to capture and sign the pinned epoch's dictionary snapshot")
+	reg.Describe("ping_subparts_cache_bytes", "resident payload bytes of the decoded sub-partition cache")
+	reg.Describe("ping_subparts_cache_raw_bytes", "uncompressed size of the same cached sub-partitions (8 bytes per pair)")
 	return &procMetrics{
 		pqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "pqa"}),
 		eqaQueries:      reg.Counter("ping_queries_total", obs.Labels{"mode": "eqa"}),
@@ -207,6 +228,13 @@ func newProcMetrics(reg *obs.Registry) *procMetrics {
 		eqaSeconds:      reg.Histogram("ping_query_seconds", obs.TimeBuckets, obs.Labels{"mode": "eqa"}),
 		epoch:           reg.Gauge("ping_epoch", nil),
 		inflight:        reg.Gauge("ping_inflight_queries", nil),
+		dictHits:        reg.Counter("ping_dict_lookups_total", obs.Labels{"outcome": "hit"}),
+		dictMisses:      reg.Counter("ping_dict_lookups_total", obs.Labels{"outcome": "miss"}),
+		dictEntries:     reg.Gauge("ping_dict_entries", nil),
+		dictBytes:       reg.Gauge("ping_dict_resident_bytes", nil),
+		dictBuildSecs:   reg.Gauge("ping_dict_build_seconds", nil),
+		cacheBytes:      reg.Gauge("ping_subparts_cache_bytes", nil),
+		cacheRawBytes:   reg.Gauge("ping_subparts_cache_raw_bytes", nil),
 	}
 }
 
@@ -221,6 +249,7 @@ func NewProcessor(layout *hpart.Layout, opts Options) *Processor {
 	if !opts.DisableSubPartCache {
 		layout.EnableSubPartCache(opts.SubPartCacheSize)
 	}
+	layout.SetResidentRaw(opts.DisableDictEncoding)
 	return &Processor{layout: layout, opts: opts, ctx: ctx, met: newProcMetrics(opts.Metrics)}
 }
 
@@ -257,6 +286,31 @@ func (p *Processor) pin() (*hpart.Layout, func()) {
 	return p.layout, func() {}
 }
 
+// lookupTerm resolves a pattern constant through the epoch's dictionary
+// view, counting the outcome into the ping_dict_lookups_total metric.
+func (p *Processor) lookupTerm(dv *rdf.DictView, t rdf.Term) rdf.ID {
+	id := dv.Lookup(t)
+	if id == rdf.NoID {
+		p.met.dictMisses.Inc()
+	} else {
+		p.met.dictHits.Inc()
+	}
+	return id
+}
+
+// setDictGauges refreshes the dictionary and resident-cache gauges from
+// the pinned snapshot. Called when a query pins its epoch and again after
+// it finishes loading, so /stats reflects the post-run resident set.
+func (p *Processor) setDictGauges(lay *hpart.Layout) {
+	dv := lay.DictView()
+	p.met.dictEntries.Set(float64(dv.Len()))
+	p.met.dictBytes.Set(float64(lay.Dict.ResidentBytes()))
+	p.met.dictBuildSecs.Set(lay.DictBuildTime().Seconds())
+	_, bytes, rawBytes := lay.SubPartCacheStats()
+	p.met.cacheBytes.Set(float64(bytes))
+	p.met.cacheRawBytes.Set(float64(rawBytes))
+}
+
 // PatternSlices computes HL(t) — the candidate sub-partitions of one
 // triple pattern (Algorithm 2, line 3): the levels are the intersection
 // of the index entries of the pattern's symbols, and the properties are
@@ -268,10 +322,11 @@ func (p *Processor) PatternSlices(pat sparql.TriplePattern) []hpart.SubPartKey {
 
 func (p *Processor) patternSlices(lay *hpart.Layout, pat sparql.TriplePattern) []hpart.SubPartKey {
 	levels := lay.AllLevels()
+	dv := lay.DictView()
 
 	var props []rdf.ID
 	if pat.P.IsConcrete() {
-		id := lay.Dict.Lookup(pat.P)
+		id := p.lookupTerm(dv, pat.P)
 		if id == rdf.NoID {
 			return nil
 		}
@@ -280,14 +335,14 @@ func (p *Processor) patternSlices(lay *hpart.Layout, pat sparql.TriplePattern) [
 	}
 	if !p.opts.DisableIndexPruning {
 		if pat.S.IsConcrete() {
-			id := lay.Dict.Lookup(pat.S)
+			id := p.lookupTerm(dv, pat.S)
 			if id == rdf.NoID {
 				return nil
 			}
 			levels = levels.Intersect(lay.SubjectLevels(id))
 		}
 		if pat.O.IsConcrete() {
-			id := lay.Dict.Lookup(pat.O)
+			id := p.lookupTerm(dv, pat.O)
 			if id == rdf.NoID {
 				return nil
 			}
@@ -334,12 +389,13 @@ func (p *Processor) bloomPrune(lay *hpart.Layout, pat sparql.TriplePattern, keys
 	if !p.opts.UseBloomPruning || !lay.HasBlooms() {
 		return keys
 	}
+	dv := lay.DictView()
 	sConst, oConst := rdf.NoID, rdf.NoID
 	if pat.S.IsConcrete() {
-		sConst = lay.Dict.Lookup(pat.S)
+		sConst = dv.Lookup(pat.S)
 	}
 	if pat.O.IsConcrete() {
-		oConst = lay.Dict.Lookup(pat.O)
+		oConst = dv.Lookup(pat.O)
 	}
 	if sConst == rdf.NoID && oConst == rdf.NoID {
 		return keys
@@ -386,8 +442,9 @@ func (p *Processor) PathPatternSlices(pat sparql.PathPattern) []hpart.SubPartKey
 func (p *Processor) pathPatternSlices(lay *hpart.Layout, pat sparql.PathPattern) []hpart.SubPartKey {
 	var keys []hpart.SubPartKey
 	seen := make(map[hpart.SubPartKey]bool)
+	dv := lay.DictView()
 	for _, iri := range pat.Path.IRIs(nil) {
-		id := lay.Dict.Lookup(iri)
+		id := p.lookupTerm(dv, iri)
 		if id == rdf.NoID {
 			continue
 		}
@@ -604,6 +661,8 @@ func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult,
 	lay, release := p.pin()
 	defer release()
 	p.met.epoch.Set(float64(lay.Epoch()))
+	p.setDictGauges(lay)
+	defer p.setDictGauges(lay)
 	p.met.inflight.Add(1)
 	defer p.met.inflight.Add(-1)
 

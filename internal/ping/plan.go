@@ -196,13 +196,14 @@ func (p *Processor) explain(lay *hpart.Layout, q *sparql.Query) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	dv := lay.DictView()
 	for i, st := range steps {
 		ps := PlanStep{Step: i + 1, MaxLevel: st.maxLevel}
 		for _, k := range st.newKeys {
 			rows := lay.SubPartRows[k]
 			ps.SubParts = append(ps.SubParts, PlanSubPart{
 				Level: k.Level,
-				Prop:  lay.Dict.TermString(k.Prop),
+				Prop:  dv.TermString(k.Prop),
 				Rows:  rows,
 			})
 			ps.PredictedRows += int64(rows)

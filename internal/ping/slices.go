@@ -9,6 +9,7 @@ import (
 	"ping/internal/engine"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/rdf"
 	"ping/internal/sparql"
 )
 
@@ -216,7 +217,7 @@ type groupList struct {
 	groups []engine.PropGroup
 }
 
-func (gl *groupList) insert(k hpart.SubPartKey, rows []hpart.Pair) {
+func (gl *groupList) insert(k hpart.SubPartKey, rows rdf.PairBlock) {
 	i := sort.Search(len(gl.keys), func(i int) bool {
 		ki := gl.keys[i]
 		return ki.Level > k.Level || (ki.Level == k.Level && ki.Prop >= k.Prop)
@@ -308,7 +309,7 @@ func newEvalState(p *Processor, lay *hpart.Layout, q *sparql.Query, hl, hlPaths 
 		st.pathGroups[i] = &groupList{}
 	}
 	if incremental {
-		inc, err := engine.NewIncremental(q, lay.Dict, engine.Options{
+		inc, err := engine.NewIncremental(q, lay.DictView(), engine.Options{
 			Context:    p.ctx,
 			Partitions: p.opts.Partitions,
 			Metrics:    p.opts.Metrics,
@@ -324,7 +325,7 @@ func newEvalState(p *Processor, lay *hpart.Layout, q *sparql.Query, hl, hlPaths 
 
 // loadResult is the outcome of one sub-partition read issued by load.
 type loadResult struct {
-	pairs []hpart.Pair
+	block rdf.PairBlock
 	hit   bool
 	err   error
 }
@@ -366,8 +367,8 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 	results := dataflow.Map(
 		dataflow.Parallelize(st.p.ctx, toLoad, 0),
 		func(k hpart.SubPartKey) loadResult {
-			pairs, hit, err := st.lay.ReadSubPartitionCached(ctx, k)
-			return loadResult{pairs: pairs, hit: hit, err: err}
+			block, hit, err := st.lay.ReadSubPartitionCached(ctx, k)
+			return loadResult{block: block, hit: hit, err: err}
 		}).Collect()
 	// A cancellation mid-stage leaves unprocessed partitions behind;
 	// abort rather than fold in a partial batch.
@@ -395,8 +396,8 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 			st.cacheMissesStep++
 		}
 		st.loaded = append(st.loaded, k)
-		st.rowsLoadedStep += int64(len(r.pairs))
-		st.fold(k, r.pairs)
+		st.rowsLoadedStep += int64(r.block.Len())
+		st.fold(k, r.block)
 	}
 	st.rowsLoadedCum += st.rowsLoadedStep
 	st.p.met.cacheHits.Add(st.cacheHitsStep)
@@ -406,17 +407,17 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 
 // fold routes one loaded sub-partition into the group lists and current
 // deltas of every pattern whose HL(t) contains it.
-func (st *evalState) fold(k hpart.SubPartKey, pairs []hpart.Pair) {
-	g := engine.PropGroup{Prop: k.Prop, Rows: pairs}
+func (st *evalState) fold(k hpart.SubPartKey, block rdf.PairBlock) {
+	g := engine.PropGroup{Prop: k.Prop, Rows: block}
 	for i, set := range st.hlSet {
 		if set[k] {
-			st.patGroups[i].insert(k, pairs)
+			st.patGroups[i].insert(k, block)
 			st.patDelta[i] = append(st.patDelta[i], g)
 		}
 	}
 	for i, set := range st.hlPathSet {
 		if set[k] {
-			st.pathGroups[i].insert(k, pairs)
+			st.pathGroups[i].insert(k, block)
 			st.pathDelta[i] = append(st.pathDelta[i], g)
 		}
 	}
@@ -446,7 +447,7 @@ func (st *evalState) evaluate() (*engine.Relation, error) {
 	for i, pat := range st.q.Paths {
 		pathInputs[i] = engine.PathInput{Pattern: pat, Groups: st.pathGroups[i].groups}
 	}
-	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.lay.Dict, engine.Options{
+	rel, stats, err := engine.EvaluatePaths(st.q, inputs, pathInputs, st.lay.DictView(), engine.Options{
 		Context:    st.p.ctx,
 		Partitions: st.p.opts.Partitions,
 		Metrics:    st.p.opts.Metrics,

@@ -20,15 +20,37 @@ const NoID ID = ^ID(0)
 // surface form) and dense uint32 IDs. It is safe for concurrent readers
 // interleaved with a single writer when guarded by the embedded mutex via
 // Encode; Lookup and Term take read locks only.
+//
+// The dictionary is append-only: IDs are never reassigned or removed, so a
+// (length, signature) pair taken at any point identifies an immutable prefix
+// that later growth only extends. Snapshot captures such a prefix as a
+// DictView.
 type Dict struct {
-	mu    sync.RWMutex
-	byKey map[string]ID
-	terms []Term
+	mu        sync.RWMutex
+	byKey     map[string]ID
+	terms     []Term
+	sig       uint64 // rolling FNV-64a over surface forms, in ID order
+	termBytes int64  // total surface-form bytes interned
+}
+
+const (
+	dictFNVOffset = 14695981039346656037
+	dictFNVPrime  = 1099511628211
+)
+
+func foldSig(h uint64, key string) uint64 {
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= dictFNVPrime
+	}
+	h ^= '\n'
+	h *= dictFNVPrime
+	return h
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{byKey: make(map[string]ID)}
+	return &Dict{byKey: make(map[string]ID), sig: dictFNVOffset}
 }
 
 // Len returns the number of distinct terms interned.
@@ -56,8 +78,100 @@ func (d *Dict) Encode(t Term) ID {
 	id = ID(len(d.terms))
 	d.terms = append(d.terms, t)
 	d.byKey[key] = id
+	d.sig = foldSig(d.sig, key)
+	d.termBytes += int64(len(key))
 	return id
 }
+
+// Sig returns the rolling content signature over all interned surface
+// forms in ID order. Equal signatures at equal lengths mean the two
+// dictionaries assign identical IDs to identical terms.
+func (d *Dict) Sig() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.sig
+}
+
+// PrefixSig recomputes the content signature of the first n terms. It is
+// O(total surface bytes) and intended for resume-time validation, where a
+// checkpoint taken at length n must match the prefix of a possibly larger
+// current dictionary.
+func (d *Dict) PrefixSig(n int) uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if n < 0 || n > len(d.terms) {
+		return 0
+	}
+	if n == len(d.terms) {
+		return d.sig
+	}
+	h := uint64(dictFNVOffset)
+	for _, t := range d.terms[:n] {
+		h = foldSig(h, t.String())
+	}
+	return h
+}
+
+// ResidentBytes estimates the in-memory footprint of the dictionary:
+// surface forms are held twice (map key and term), plus fixed per-entry
+// overhead for the map bucket, term struct, and slice slot.
+func (d *Dict) ResidentBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return 2*d.termBytes + int64(len(d.terms))*48
+}
+
+// Snapshot captures the current (length, signature) prefix as an immutable
+// DictView. The view keeps serving lookups from the live dictionary but
+// caps visible IDs at the snapshot length, so later appends by a maintainer
+// never leak into an older epoch.
+func (d *Dict) Snapshot() *DictView {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return &DictView{d: d, n: len(d.terms), sig: d.sig}
+}
+
+// DictView is an immutable prefix of a Dict, pinned to the (length,
+// signature) observed at Snapshot time. Layout epochs hold a DictView so
+// that ID→term decoding and term→ID lookups are stable for the lifetime of
+// the epoch even while the shared dictionary keeps growing.
+type DictView struct {
+	d   *Dict
+	n   int
+	sig uint64
+}
+
+// Len returns the number of terms visible through the view.
+func (v *DictView) Len() int { return v.n }
+
+// Sig returns the content signature of the snapshotted prefix.
+func (v *DictView) Sig() uint64 { return v.sig }
+
+// Lookup returns the ID of a term, or NoID if the term is absent or was
+// interned after the snapshot.
+func (v *DictView) Lookup(t Term) ID {
+	id := v.d.Lookup(t)
+	if id == NoID || int(id) >= v.n {
+		return NoID
+	}
+	return id
+}
+
+// LookupIRI is shorthand for Lookup(NewIRI(iri)).
+func (v *DictView) LookupIRI(iri string) ID { return v.Lookup(NewIRI(iri)) }
+
+// Term returns the term for an ID within the snapshot. It panics on IDs at
+// or beyond the snapshot length: an epoch can only see IDs it produced.
+func (v *DictView) Term(id ID) Term {
+	if int(id) >= v.n {
+		panic(fmt.Sprintf("rdf: id %d beyond dict snapshot of %d terms", id, v.n))
+	}
+	return v.d.Term(id)
+}
+
+// TermString returns the N-Triples surface form for an ID within the
+// snapshot.
+func (v *DictView) TermString(id ID) string { return v.Term(id).String() }
 
 // Lookup returns the ID of a term, or NoID if it has never been interned.
 func (d *Dict) Lookup(t Term) ID {
@@ -122,6 +236,7 @@ func ReadDict(r io.Reader) (*Dict, error) {
 	d := &Dict{
 		byKey: make(map[string]ID, count),
 		terms: make([]Term, 0, count),
+		sig:   dictFNVOffset,
 	}
 	for i := 0; i < count; i++ {
 		line, err := br.ReadString('\n')
@@ -136,8 +251,11 @@ func ReadDict(r io.Reader) (*Dict, error) {
 		if strings.TrimSpace(rest) != "" {
 			return nil, fmt.Errorf("rdf: dict line %d: trailing data %q", i, rest)
 		}
-		d.byKey[t.String()] = ID(len(d.terms))
+		key := t.String()
+		d.byKey[key] = ID(len(d.terms))
 		d.terms = append(d.terms, t)
+		d.sig = foldSig(d.sig, key)
+		d.termBytes += int64(len(key))
 	}
 	return d, nil
 }
