@@ -3,7 +3,7 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json bench-compare bench-gate cover workload-report fuzz noskip lint
+.PHONY: check build vet fmt test race bench bench-json bench-compare bench-gate cover workload-report advise-report fuzz noskip lint
 
 # check is the full gate: build, vet, formatting, the race-enabled test
 # suite, the coverage floor, the no-skip guard on the SLO and wide-event
@@ -119,6 +119,15 @@ TOP ?= 10
 SNAPSHOT ?= workload.ndjson
 workload-report:
 	$(GO) run ./cmd/pingworkload -in $(SNAPSHOT) -top $(TOP)
+
+# advise-report analyzes a workload snapshot (pingd -workload-out, or
+# /workload?format=ndjson) against a persisted store and prints the
+# layout advisor's plan: cold-level merges, join reductions, and the
+# estimated p95 steps-to-first delta. Dry run — rerun cmd/pingadvise
+# with -apply to restructure the store in place.
+STORE ?= store
+advise-report:
+	$(GO) run ./cmd/pingadvise -store $(STORE) -workload $(SNAPSHOT) -top $(TOP)
 
 # noskip guards the SLO and wide-event suites: they back the
 # observability acceptance criteria, so a skipped test (an overeager

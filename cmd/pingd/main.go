@@ -18,6 +18,7 @@
 //	GET/POST /explain?q=...   query plan; ?analyze=1 runs it, ?format=text
 //	GET      /workload        per-fingerprint aggregates; ?top=N, ?format=ndjson
 //	GET      /slo             objectives, burn rates, alert states
+//	GET/POST /advisor         layout advisor recommendation; POST ?apply=1 installs it
 //	GET      /traces          retained query trace trees (-trace); ?format=chrome
 //	GET      /dashboard       live HTML dashboard polling the endpoints above
 //
@@ -80,6 +81,10 @@ func main() {
 		sloCovPct     = flag.Float64("slo-coverage-target", 0.95, "fraction of budgeted queries that must meet -slo-coverage")
 		sloAvailPct   = flag.Float64("slo-availability-target", 0.999, "fraction of queries that must complete without error or degradation")
 
+		adviseEvery = flag.Duration("advise-interval", 0, "re-run the layout advisor on the live workload this often (0 = off); advice is served at /advisor")
+		adviseTop   = flag.Int("advise-top", 5, "hot fingerprints the advisor optimizes for")
+		adviseApply = flag.Bool("advise-apply", false, "apply advisor recommendations automatically as new epochs (with -advise-interval)")
+
 		grace       = flag.Duration("shutdown-grace", 5*time.Second, "how long in-flight queries may drain (pausing as cursors) after SIGTERM/SIGINT")
 		cursorTTL   = flag.Duration("cursor-ttl", 15*time.Minute, "how long a paused query stays resumable (bounds its snapshot lease)")
 		cursorIdle  = flag.Duration("cursor-idle-evict", time.Minute, "idle time before an in-memory cursor hibernates to disk")
@@ -117,6 +122,7 @@ func main() {
 		Trace:           *trace,
 		TraceSample:     *traceSample,
 		TraceBuffer:     *traceBuffer,
+		AdviseTop:       *adviseTop,
 	}
 	if *slowLog != "" {
 		// The slow-query log rotates at -log-max-bytes so a long-running
@@ -160,6 +166,7 @@ func main() {
 	logger := log.New(os.Stderr, "pingd: ", log.LstdFlags)
 	srv := newServer(hpart.NewStore(lay), cfg)
 	stopSweeper := srv.startSweeper(*cursorSweep)
+	stopAdvisor := srv.startAdvisor(*adviseEvery, *adviseApply, logger.Printf)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler(logger.Printf)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -194,6 +201,7 @@ func main() {
 		fatal(err)
 	}
 	stopSweeper()
+	stopAdvisor()
 	if n, err := srv.cursors.HibernateAll(); err != nil {
 		logger.Printf("cursor checkpoint: %v", err)
 	} else if n > 0 {

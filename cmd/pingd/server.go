@@ -81,6 +81,9 @@ type serverConfig struct {
 	// SLO evaluates the daemon's service-level objectives over the
 	// lineage stream (nil: an engine with the default objectives).
 	SLO *slo.Engine
+	// AdviseTop is how many hot fingerprints the online layout advisor
+	// optimizes for (<=0: the advisor default).
+	AdviseTop int
 }
 
 // defaultObjectives are the SLOs pingd evaluates when the caller does
@@ -126,6 +129,10 @@ type server struct {
 	events   *obs.EventLog
 	spans    *obs.AsyncSink
 	slo      *slo.Engine
+
+	// adviser caches the latest layout recommendation served at
+	// /advisor and refreshed by the -advise-interval loop.
+	adviser adviserState
 
 	cursors *cursor.Manager
 	// draining flips on SIGTERM: in-flight runs pause at their next step
@@ -258,6 +265,7 @@ func (s *server) routes() []route {
 		{"/explain", "application/json", true, s.handleExplain},
 		{"/workload", "application/json", true, s.handleWorkload},
 		{"/slo", "application/json", true, s.handleSLO},
+		{"/advisor", "application/json", true, s.handleAdvisor},
 		{"/traces", "application/json", true, s.handleTraces},
 		{"/dashboard", "text/html; charset=utf-8", false, s.handleDashboard},
 	}

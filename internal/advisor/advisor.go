@@ -1,0 +1,566 @@
+// Package advisor closes the workload loop: it reads the workload
+// profiler's per-fingerprint aggregates, replays the hot queries against
+// the pinned layout to find which hierarchy levels actually produce their
+// answers, and recommends two complementary layout changes:
+//
+//   - Level merges (Hierarchical Characteristic Set Merging): maximal runs
+//     of adjacent occupied CS levels that are cold — they contribute no
+//     answer to any hot fingerprint — collapse into the run's shallowest
+//     level. Hot queries whose slice schedules used to step through every
+//     cold level one slice at a time now cross the whole run in one step,
+//     shortening steps-to-first-answer without changing any answer.
+//
+//   - Join reductions (WORQ-style): for the hot join patterns — two
+//     concrete-predicate patterns sharing a variable — a Bloom filter over
+//     the one side's join values proves some of the other side's
+//     sub-partitions irrelevant to the join; the planner then drops them
+//     from the candidate lists before loading.
+//
+// Recommendations are computed read-only (Analyze) and applied as one
+// copy-on-write epoch through the hpart maintainer (Advice.Apply), so
+// running queries and checkpointed cursors pinned to older epochs are
+// never disturbed.
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"ping/internal/hpart"
+	"ping/internal/obs"
+	"ping/internal/ping"
+	"ping/internal/rdf"
+	"ping/internal/sparql"
+	"ping/internal/workload"
+)
+
+// Config bounds an analysis.
+type Config struct {
+	// TopK is how many hot fingerprints to optimize for (default 5).
+	TopK int
+	// MinMergeRun is the minimum length of a cold level run worth merging
+	// (default 2; a single cold level already costs only one step).
+	MinMergeRun int
+	// MaxReductions caps the number of join reductions built (default 8;
+	// each one scans two properties' sub-partitions at advise time).
+	MaxReductions int
+	// Strategy is the slice order the hot queries are replayed with; it
+	// should match the strategy the serving processor uses (default
+	// LevelCumulative).
+	Strategy ping.SliceStrategy
+}
+
+func (c Config) withDefaults() Config {
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.MinMergeRun <= 0 {
+		c.MinMergeRun = 2
+	}
+	if c.MaxReductions <= 0 {
+		c.MaxReductions = 8
+	}
+	return c
+}
+
+// HotQuery is one optimized fingerprint and what the replay observed.
+type HotQuery struct {
+	Fingerprint string `json:"fingerprint"`
+	Canonical   string `json:"canonical"`
+	Shape       string `json:"shape"`
+	Count       int64  `json:"count"`
+	// StepsToFirst is the observed 1-based step of the first answer on
+	// the current layout (0 when the query has no answers).
+	StepsToFirst int `json:"steps_to_first"`
+	// EstStepsToFirst estimates the same number after the advice is
+	// applied (candidate pruning plus level remapping).
+	EstStepsToFirst int `json:"est_steps_to_first"`
+	Answers         int `json:"answers"`
+}
+
+// JoinAdvice is one selected join reduction.
+type JoinAdvice struct {
+	// Join renders the pattern with decoded property names.
+	Join string `json:"join"`
+	// Key is the reduction's planner key.
+	Key hpart.JoinKey `json:"key"`
+	// Weight is the total run count of the hot queries containing the
+	// join.
+	Weight int64 `json:"weight"`
+	// PrunedSubParts is how many sub-partitions the reduction proved
+	// irrelevant on the analyzed layout.
+	PrunedSubParts int `json:"pruned_subparts"`
+}
+
+// Advice is one complete recommendation.
+type Advice struct {
+	// Epoch and Signature identify the analyzed snapshot.
+	Epoch     uint64     `json:"epoch"`
+	Signature string     `json:"signature"`
+	Hot       []HotQuery `json:"hot"`
+	// ColdLevels lists the occupied levels no hot query draws answers
+	// from.
+	ColdLevels []int `json:"cold_levels,omitempty"`
+	// Merges is the level-merge plan (empty when nothing qualifies).
+	Merges []hpart.LevelMerge `json:"merges,omitempty"`
+	// Joins lists the selected join reductions, heaviest first.
+	Joins []JoinAdvice `json:"joins,omitempty"`
+	// P95StepsToFirstBefore / After are the count-weighted p95 of
+	// steps-to-first-answer over the hot queries that have answers:
+	// observed on the current layout, and estimated after applying.
+	P95StepsToFirstBefore float64 `json:"p95_steps_to_first_before"`
+	P95StepsToFirstAfter  float64 `json:"p95_steps_to_first_after"`
+}
+
+// Empty reports whether the advice recommends no change.
+func (a *Advice) Empty() bool { return len(a.Merges) == 0 && len(a.Joins) == 0 }
+
+// hotReplay is the per-query observation backing the estimates.
+type hotReplay struct {
+	query      *sparql.Query
+	count      int64
+	candidates [][]hpart.SubPartKey // per-pattern candidates on the layout
+	firstLevel int                  // deepest level in the first answering step
+	stepsFirst int                  // observed 1-based first-answer step
+}
+
+// Analyze replays the hot fingerprints of a workload snapshot against the
+// layout and computes a recommendation. It only reads the layout (and its
+// files); nothing is modified.
+func Analyze(lay *hpart.Layout, stats []workload.FingerprintStats, cfg Config) (*Advice, error) {
+	cfg = cfg.withDefaults()
+
+	// Hot set: the snapshot order (total latency desc, count desc,
+	// fingerprint asc), re-sorted here so callers may pass stats from any
+	// source (live profiler, NDJSON file, replayed events) in any order.
+	sorted := append([]workload.FingerprintStats(nil), stats...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TotalMs != sorted[j].TotalMs {
+			return sorted[i].TotalMs > sorted[j].TotalMs
+		}
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return sorted[i].Fingerprint < sorted[j].Fingerprint
+	})
+	if len(sorted) > cfg.TopK {
+		sorted = sorted[:cfg.TopK]
+	}
+
+	adv := &Advice{
+		Epoch:     lay.Epoch(),
+		Signature: fmt.Sprintf("%016x", lay.Signature()),
+	}
+
+	// Replay each hot query with an isolated processor: fresh metrics, no
+	// shared cache installation, the serving strategy.
+	proc := ping.NewProcessor(lay, ping.Options{
+		Strategy:            cfg.Strategy,
+		UseBloomPruning:     true,
+		DisableSubPartCache: true,
+		Metrics:             obs.NewRegistry(),
+	})
+	answering := make(map[int]bool) // level -> produced answers for a hot query
+	var replays []*hotReplay
+	for _, st := range sorted {
+		q, err := sparql.Parse(st.Canonical)
+		if err != nil {
+			// Canonical forms are re-parseable by construction; a stats
+			// file from a foreign source may still carry junk — skip it.
+			continue
+		}
+		res, err := proc.PQA(q)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: replay %s: %w", st.Fingerprint, err)
+		}
+		rep := &hotReplay{query: q, count: st.Count, candidates: proc.QuerySlices(q)}
+		for _, step := range res.Steps {
+			if step.NewAnswers > 0 {
+				for _, k := range step.NewSubParts {
+					answering[k.Level] = true
+				}
+				if rep.stepsFirst == 0 {
+					rep.stepsFirst = step.Step
+					rep.firstLevel = step.MaxLevel
+				}
+			}
+		}
+		replays = append(replays, rep)
+		adv.Hot = append(adv.Hot, HotQuery{
+			Fingerprint:  st.Fingerprint,
+			Canonical:    st.Canonical,
+			Shape:        st.Shape,
+			Count:        st.Count,
+			StepsToFirst: rep.stepsFirst,
+			Answers:      res.Final.Card(),
+		})
+	}
+
+	// Cold levels: occupied, but answering for no hot query. Without any
+	// answering level there is nothing to optimize toward — merging
+	// everything into one level would just rewrite the store — so the
+	// merge plan stays empty.
+	var occupied []int
+	seen := make(map[int]bool)
+	for _, k := range lay.SubPartitions() {
+		if !seen[k.Level] {
+			seen[k.Level] = true
+			occupied = append(occupied, k.Level)
+		}
+	}
+	sort.Ints(occupied)
+	if len(answering) > 0 {
+		for _, l := range occupied {
+			if !answering[l] {
+				adv.ColdLevels = append(adv.ColdLevels, l)
+			}
+		}
+		// Merge maximal runs (>= MinMergeRun) of cold levels adjacent in
+		// occupied-level order into the run's shallowest level.
+		var run []int
+		flush := func() {
+			if len(run) >= cfg.MinMergeRun {
+				for _, l := range run[1:] {
+					adv.Merges = append(adv.Merges, hpart.LevelMerge{From: l, Into: run[0]})
+				}
+			}
+			run = nil
+		}
+		for _, l := range occupied {
+			if !answering[l] {
+				run = append(run, l)
+			} else {
+				flush()
+			}
+		}
+		flush()
+	}
+
+	// Join advice: weight every join pattern of the hot queries by run
+	// count, then build the heaviest MaxReductions reductions for real
+	// and keep the ones that prune anything.
+	weights := make(map[hpart.JoinKey]int64)
+	dv := lay.DictView()
+	for _, rep := range replays {
+		for _, key := range joinKeysOf(rep.query, dv) {
+			weights[key] += rep.count
+		}
+	}
+	wkeys := make([]hpart.JoinKey, 0, len(weights))
+	for k := range weights {
+		wkeys = append(wkeys, k)
+	}
+	sort.Slice(wkeys, func(i, j int) bool {
+		if weights[wkeys[i]] != weights[wkeys[j]] {
+			return weights[wkeys[i]] > weights[wkeys[j]]
+		}
+		return joinKeyLess(wkeys[i], wkeys[j])
+	})
+	if len(wkeys) > cfg.MaxReductions {
+		wkeys = wkeys[:cfg.MaxReductions]
+	}
+	pruned := make(map[hpart.JoinKey]map[hpart.SubPartKey]bool)
+	installed := lay.JoinReductions()
+	for _, key := range wkeys {
+		if installed[key] != nil {
+			// Already precomputed on this layout (and still valid —
+			// rewrites invalidate reductions). Re-advising it would make
+			// an all-applied layout look perpetually improvable, so only
+			// count it toward the estimate, not toward the plan.
+			pruned[key] = installed[key].Pruned
+			continue
+		}
+		red, err := lay.BuildJoinReduction(key)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: reduce %v: %w", key, err)
+		}
+		if len(red.Pruned) == 0 {
+			continue
+		}
+		pruned[key] = red.Pruned
+		adv.Joins = append(adv.Joins, JoinAdvice{
+			Join:           describeJoin(key, dv),
+			Key:            key,
+			Weight:         weights[key],
+			PrunedSubParts: len(red.Pruned),
+		})
+	}
+
+	// Estimate the post-advice steps-to-first per hot query: prune each
+	// pattern's candidates with the selected reductions, remap the merge
+	// sources, and count the distinct schedule levels up to the first
+	// answering level. Answering levels are never merge sources, so the
+	// first answer still appears when its (unmoved) level is reached.
+	remap := make(map[int]int, len(adv.Merges))
+	for _, mg := range adv.Merges {
+		remap[mg.From] = mg.Into
+	}
+	resolve := func(l int) int {
+		for {
+			t, ok := remap[l]
+			if !ok {
+				return l
+			}
+			l = t
+		}
+	}
+	for i, rep := range replays {
+		if rep.stepsFirst == 0 {
+			continue
+		}
+		est := estimateStepsToFirst(rep, pruned, resolve, dv)
+		adv.Hot[i].EstStepsToFirst = est
+	}
+	adv.P95StepsToFirstBefore = weightedP95(adv.Hot, func(h HotQuery) int { return h.StepsToFirst })
+	adv.P95StepsToFirstAfter = weightedP95(adv.Hot, func(h HotQuery) int { return h.EstStepsToFirst })
+	return adv, nil
+}
+
+// joinKeysOf enumerates the join patterns of a query: every ordered pair
+// of concrete-predicate patterns sharing a variable in a subject/object
+// position, keyed for pruning the first pattern's side.
+func joinKeysOf(q *sparql.Query, dv *rdf.DictView) []hpart.JoinKey {
+	props := make([]rdf.ID, len(q.Patterns))
+	for i, pat := range q.Patterns {
+		props[i] = rdf.NoID
+		if pat.P.IsConcrete() {
+			props[i] = dv.Lookup(pat.P)
+		}
+	}
+	roles := func(pat sparql.TriplePattern, v string) []byte {
+		var out []byte
+		if pat.S.IsVar() && pat.S.Value == v {
+			out = append(out, hpart.JoinSubject)
+		}
+		if pat.O.IsVar() && pat.O.Value == v {
+			out = append(out, hpart.JoinObject)
+		}
+		return out
+	}
+	var keys []hpart.JoinKey
+	seen := make(map[hpart.JoinKey]bool)
+	for i, patA := range q.Patterns {
+		if props[i] == rdf.NoID {
+			continue
+		}
+		for j, patB := range q.Patterns {
+			if j == i || props[j] == rdf.NoID {
+				continue
+			}
+			for _, v := range patA.Vars() {
+				for _, ra := range roles(patA, v) {
+					for _, rb := range roles(patB, v) {
+						key := hpart.JoinKey{PropA: props[i], PropB: props[j], RoleA: ra, RoleB: rb}
+						if !seen[key] {
+							seen[key] = true
+							keys = append(keys, key)
+						}
+					}
+				}
+			}
+		}
+	}
+	return keys
+}
+
+func joinKeyLess(a, b hpart.JoinKey) bool {
+	if a.PropA != b.PropA {
+		return a.PropA < b.PropA
+	}
+	if a.PropB != b.PropB {
+		return a.PropB < b.PropB
+	}
+	if a.RoleA != b.RoleA {
+		return a.RoleA < b.RoleA
+	}
+	return a.RoleB < b.RoleB
+}
+
+func describeJoin(key hpart.JoinKey, dv *rdf.DictView) string {
+	return fmt.Sprintf("%s.%c = %s.%c", dv.TermString(key.PropA), key.RoleA, dv.TermString(key.PropB), key.RoleB)
+}
+
+// estimateStepsToFirst predicts the 1-based first-answer step after the
+// advice: candidates surviving the reductions, levels remapped by the
+// merges, distinct levels counted in ascending order up to the first
+// answering level. An estimate only — it mirrors the level-cumulative
+// schedule and ignores cover-step merging, so the measured improvement
+// (bench) is authoritative.
+func estimateStepsToFirst(rep *hotReplay, pruned map[hpart.JoinKey]map[hpart.SubPartKey]bool, resolve func(int) int, dv *rdf.DictView) int {
+	keys := joinKeysOf(rep.query, dv)
+	levels := make(map[int]bool)
+	// cover is the deepest "first candidate level" across patterns: the
+	// scheduler collapses every step before all patterns are covered
+	// into one, so levels at or above cover never add a step of their
+	// own.
+	cover := 0
+	for _, cands := range rep.candidates {
+		patMin := 0
+		for _, sk := range cands {
+			drop := false
+			for _, jk := range keys {
+				if p := pruned[jk]; p != nil && p[sk] && jk.PropA == sk.Prop {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				l := resolve(sk.Level)
+				levels[l] = true
+				if patMin == 0 || l < patMin {
+					patMin = l
+				}
+			}
+		}
+		if patMin > cover {
+			cover = patMin
+		}
+	}
+	first := resolve(rep.firstLevel)
+	if first < cover || !levels[first] {
+		// The answering level vanished from the estimate (should not
+		// happen — reductions never prune answering sub-partitions);
+		// fall back to the observed value.
+		return rep.stepsFirst
+	}
+	// One step reaches the cover level; each distinct remaining
+	// candidate level up to the answering one adds a step.
+	step := 1
+	for l := range levels {
+		if l > cover && l <= first {
+			step++
+		}
+	}
+	// Merges and prunes only ever shrink the schedule, so the estimate
+	// can never honestly exceed what was observed on the current layout.
+	if rep.stepsFirst > 0 && step > rep.stepsFirst {
+		step = rep.stepsFirst
+	}
+	return step
+}
+
+// weightedP95 is the count-weighted 95th percentile of a per-query step
+// count, over the hot queries that produced answers.
+func weightedP95(hot []HotQuery, val func(HotQuery) int) float64 {
+	type wv struct {
+		v int
+		w int64
+	}
+	var items []wv
+	var total int64
+	for _, h := range hot {
+		v := val(h)
+		if v <= 0 {
+			continue
+		}
+		w := h.Count
+		if w <= 0 {
+			w = 1
+		}
+		items = append(items, wv{v, w})
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v < items[j].v })
+	threshold := float64(total) * 0.95
+	var cum int64
+	for _, it := range items {
+		cum += it.w
+		if float64(cum) >= threshold {
+			return float64(it.v)
+		}
+	}
+	return float64(items[len(items)-1].v)
+}
+
+// Apply installs the advice through the maintainer as one batch: the
+// level merges, then join reductions rebuilt on the post-merge layout
+// (the analysis-time reductions are only estimates; sub-partitions moved
+// by the merges need fresh filters). In snapshot mode the batch publishes
+// one new epoch and persists the reductions for reload.
+func (a *Advice) Apply(m *hpart.Maintainer) error {
+	if a.Empty() {
+		return nil
+	}
+	keys := make([]hpart.JoinKey, len(a.Joins))
+	for i, j := range a.Joins {
+		keys[i] = j.Key
+	}
+	return m.Restructure(a.Merges, func(lay *hpart.Layout) (map[hpart.JoinKey]*hpart.JoinReduction, error) {
+		joins := make(map[hpart.JoinKey]*hpart.JoinReduction, len(keys))
+		for _, k := range keys {
+			red, err := lay.BuildJoinReduction(k)
+			if err != nil {
+				return nil, err
+			}
+			if len(red.Pruned) > 0 {
+				joins[k] = red
+			}
+		}
+		if len(joins) == 0 {
+			return nil, nil
+		}
+		return joins, nil
+	})
+}
+
+// WriteJSON writes the advice as indented JSON (the golden-file format).
+func (a *Advice) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteText writes the human-readable dry-run report.
+func (a *Advice) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "advisor report\tepoch %d\tsignature %s\n", a.Epoch, a.Signature)
+	fmt.Fprintf(tw, "\nhot fingerprints (%d):\n", len(a.Hot))
+	fmt.Fprintf(tw, "FP\tSHAPE\tCOUNT\tSTEPS→1st\tEST AFTER\tANSWERS\tQUERY\n")
+	for _, h := range a.Hot {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			h.Fingerprint, h.Shape, h.Count, h.StepsToFirst, h.EstStepsToFirst, h.Answers, oneLine(h.Canonical))
+	}
+	if len(a.ColdLevels) > 0 {
+		fmt.Fprintf(tw, "\ncold levels: %v\n", a.ColdLevels)
+	}
+	if len(a.Merges) > 0 {
+		fmt.Fprintf(tw, "\nlevel merges (%d):\n", len(a.Merges))
+		for _, mg := range a.Merges {
+			fmt.Fprintf(tw, "  L%d -> L%d\n", mg.From, mg.Into)
+		}
+	}
+	if len(a.Joins) > 0 {
+		fmt.Fprintf(tw, "\njoin reductions (%d):\n", len(a.Joins))
+		fmt.Fprintf(tw, "JOIN\tWEIGHT\tPRUNED SUBPARTS\n")
+		for _, j := range a.Joins {
+			fmt.Fprintf(tw, "%s\t%d\t%d\n", j.Join, j.Weight, j.PrunedSubParts)
+		}
+	}
+	fmt.Fprintf(tw, "\np95 steps-to-first-answer: %.0f before, %.0f after (estimated)\n",
+		a.P95StepsToFirstBefore, a.P95StepsToFirstAfter)
+	if a.Empty() {
+		fmt.Fprintf(tw, "no changes recommended\n")
+	}
+	return tw.Flush()
+}
+
+func oneLine(s string) string {
+	const max = 80
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\n' || r == '\t' {
+			r = ' '
+		}
+		out = append(out, r)
+	}
+	if len(out) > max {
+		out = append(out[:max-1], '…')
+	}
+	return string(out)
+}

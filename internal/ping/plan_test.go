@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"ping/internal/engine"
+	"ping/internal/hpart"
 	"ping/internal/obs"
 	"ping/internal/sparql"
 )
@@ -214,5 +216,64 @@ func TestAnalyzeJoinsNestUnderCallerTrace(t *testing.T) {
 	root.End()
 	if root.Find("analyze") == nil || root.Find("pqa") == nil {
 		t.Fatal("analyze/pqa spans not nested under the caller's trace")
+	}
+}
+
+// TestAnalyzePredictedCoversActual audits the plan's per-step
+// PredictedRows against Bloom- and join-reduction-pruned candidate
+// lists: the prediction is the row total of exactly the sub-partitions
+// the run will load, so with every pruning layer on it must stay an
+// upper bound on (and here: equal to) each step's actual rows. A
+// prediction below actuals would mean the plan and the executor disagree
+// about the candidate set.
+func TestAnalyzePredictedCoversActual(t *testing.T) {
+	for seed := int64(50); seed < 53; seed++ {
+		g := nestedGraph(seed, 60, 5)
+		lay := bloomLayout(t, g)
+		// Install a join reduction so querySlices prunes for both layers.
+		p0 := g.Dict.LookupIRI("p0")
+		p1 := g.Dict.LookupIRI("p1")
+		key := hpart.JoinKey{PropA: p0, PropB: p1, RoleA: hpart.JoinSubject, RoleB: hpart.JoinSubject}
+		red, err := lay.BuildJoinReduction(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lay.SetJoinReductions(map[hpart.JoinKey]*hpart.JoinReduction{key: red})
+
+		proc := NewProcessor(lay, Options{UseBloomPruning: true})
+		for _, qs := range testQueries {
+			q := sparql.MustParse(qs)
+			plan, _, err := proc.Analyze(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !plan.Safe {
+				continue
+			}
+			var predicted, actual int64
+			for _, ps := range plan.Steps {
+				if ps.PredictedRows < ps.ActualRows {
+					t.Errorf("seed %d %q step %d: predicted %d < actual %d",
+						seed, qs, ps.Step, ps.PredictedRows, ps.ActualRows)
+				}
+				predicted += ps.PredictedRows
+				actual += ps.ActualRows
+			}
+			if predicted < actual {
+				t.Errorf("seed %d %q: total predicted %d < actual %d", seed, qs, predicted, actual)
+			}
+			// The answers must still match the oracle with both pruning
+			// layers active.
+			oracle := answerSet(engine.Naive(g, q).Distinct())
+			rel, _, err := proc.EQA(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := answerSet(rel)
+			if len(got) != len(oracle) || !subset(got, oracle) {
+				t.Errorf("seed %d %q: pruned run changed answers (%d vs %d)",
+					seed, qs, len(got), len(oracle))
+			}
+		}
 	}
 }

@@ -267,9 +267,17 @@ func (p *Profiler) Snapshot() []FingerprintStats {
 		out = append(out, st)
 	}
 	p.mu.Unlock()
+	// Fully deterministic order: total time desc, then count desc, then
+	// fingerprint asc. The count tie-break matters for replayed NDJSON
+	// workloads whose recorded latencies collide (often all zero), where
+	// the advisor and /workload?top=N must pick the same hot set on every
+	// run.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TotalMs != out[j].TotalMs {
 			return out[i].TotalMs > out[j].TotalMs
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
 		}
 		return out[i].Fingerprint < out[j].Fingerprint
 	})

@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -301,5 +302,48 @@ func TestResumedLineageCountsOnce(t *testing.T) {
 	}
 	if st.MeanSegments != 2 {
 		t.Fatalf("mean segments %v, want 2", st.MeanSegments)
+	}
+}
+
+// TestSnapshotDeterministicOrder is the regression for replayed NDJSON
+// workloads, where every latency is zero and total-latency ordering
+// degenerates: colliding (TotalMs, Count) pairs must still come out in a
+// stable order (count descending, then fingerprint), so the advisor's
+// "top K" hot set does not change between two snapshots of the same
+// profile.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	mk := func() *Profiler {
+		p := NewProfiler(Options{Metrics: obs.NewRegistry()})
+		// Six distinct fingerprints, all with zero latency; q4/q5 also
+		// collide on count with q0..q3 pairwise.
+		for i, n := range []int{2, 2, 1, 1, 2, 1} {
+			q := sparql.MustParse(fmt.Sprintf(`SELECT * WHERE { ?x <p%d> ?y }`, i))
+			for j := 0; j < n; j++ {
+				p.Observe(q, Observation{Steps: 1})
+			}
+		}
+		return p
+	}
+	want := mk().Snapshot()
+	for i := 1; i < len(want); i++ {
+		a, b := want[i-1], want[i]
+		if a.Count < b.Count {
+			t.Fatalf("snapshot not count-ordered at %d: %d before %d", i, a.Count, b.Count)
+		}
+		if a.Count == b.Count && a.Fingerprint >= b.Fingerprint {
+			t.Fatalf("colliding counts not fingerprint-ordered at %d: %s before %s",
+				i, a.Fingerprint, b.Fingerprint)
+		}
+	}
+	// Map iteration order must not leak through: every rebuild of the
+	// same profile snapshots identically.
+	for trial := 0; trial < 20; trial++ {
+		got := mk().Snapshot()
+		for i := range want {
+			if got[i].Fingerprint != want[i].Fingerprint {
+				t.Fatalf("trial %d: position %d is %s, want %s",
+					trial, i, got[i].Fingerprint, want[i].Fingerprint)
+			}
+		}
 	}
 }
