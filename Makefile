@@ -3,7 +3,7 @@ GO ?= go
 # Minimum statement coverage (%) for internal/obs enforced by `make cover`.
 OBS_COVER_MIN ?= 80
 
-.PHONY: check build vet fmt test race bench bench-json bench-compare bench-gate cover workload-report advise-report fuzz noskip lint
+.PHONY: check build vet fmt test race bench bench-json bench-compare bench-gate cover workload-report advise-report prof-report fuzz noskip lint
 
 # check is the full gate: build, vet, formatting, the race-enabled test
 # suite, the coverage floor, the no-skip guard on the SLO and wide-event
@@ -42,9 +42,12 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # bench-json writes machine-readable per-query trajectories (step
-# latencies, coverage curve, exact-answer time) as bench/BENCH_<ds>.json.
+# latencies, coverage curve, exact-answer time) as bench/BENCH_<ds>.json,
+# and captures CPU+heap profiles of the run into bench/profiles (render
+# them with `make prof-report`).
 bench-json:
-	$(GO) run ./cmd/pingbench -exp none -json-out bench -datasets uniprot,shop -scale 0.5
+	$(GO) run ./cmd/pingbench -exp none -json-out bench -datasets uniprot,shop -scale 0.5 \
+		-profile-dir bench/profiles -profile-interval 10s -profile-cpu-window 3s
 
 # bench-compare benchmarks HEAD against the uncommitted working tree:
 # the dirty changes are stashed, the baseline run recorded, the stash
@@ -119,6 +122,13 @@ TOP ?= 10
 SNAPSHOT ?= workload.ndjson
 workload-report:
 	$(GO) run ./cmd/pingworkload -in $(SNAPSHOT) -top $(TOP)
+
+# prof-report renders a continuous-profiling capture directory (written
+# by pingd/pingbench -profile-dir, default the bench-json capture) as
+# the top-N query fingerprints by attributed CPU.
+PROFDIR ?= bench/profiles
+prof-report:
+	$(GO) run ./cmd/pingprof -dir $(PROFDIR) -top $(TOP)
 
 # advise-report analyzes a workload snapshot (pingd -workload-out, or
 # /workload?format=ndjson) against a persisted store and prints the

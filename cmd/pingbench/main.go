@@ -14,6 +14,12 @@
 // BENCH_<dataset>.json per dataset: the per-query step latencies,
 // coverage curve, and exact-answer time. -metrics-addr exposes the
 // run's metrics (/metrics, /debug/vars, pprof) while it executes.
+//
+// -profile-dir DIR captures continuous CPU and heap profiles into DIR
+// while the experiments run (same bounded rotation as pingd). Every
+// query execution is pprof-labeled with its workload fingerprint, so
+// `pingprof -dir DIR` afterwards attributes the run's CPU per query
+// class.
 package main
 
 import (
@@ -22,9 +28,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ping/internal/harness"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 )
 
 func main() {
@@ -40,6 +48,11 @@ func main() {
 		jsonOut     = flag.String("json-out", "", "directory to write machine-readable BENCH_<dataset>.json reports into")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and pprof on this address while running (e.g. :9090)")
 		dictMode    = flag.String("dict", "on", "dictionary-encoded resident blocks (on|off); off keeps cached sub-partitions as raw pair slices")
+
+		profileDir      = flag.String("profile-dir", "", "capture continuous CPU+heap profiles into this directory while running")
+		profileInterval = flag.Duration("profile-interval", 15*time.Second, "continuous profile capture cadence")
+		profileWindow   = flag.Duration("profile-cpu-window", 5*time.Second, "CPU profiling window per capture")
+		profileMax      = flag.Int("profile-max-files", 3, "rotated profile generations kept per kind")
 	)
 	flag.Parse()
 	if *dictMode != "on" && *dictMode != "off" {
@@ -52,6 +65,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", lnAddr)
+	}
+
+	if *profileDir != "" {
+		capt, err := prof.StartCapture(prof.CaptureConfig{
+			Dir:       *profileDir,
+			Interval:  *profileInterval,
+			CPUWindow: *profileWindow,
+			MaxFiles:  *profileMax,
+			Registry:  obs.Default,
+			// A run shorter than the interval still leaves one profile
+			// behind: the window opens now and Close keeps it.
+			CaptureOnStart: true,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		// Close flushes the in-flight capture so the last window of the
+		// run is on disk before the process exits.
+		defer capt.Close()
+		fmt.Fprintf(os.Stderr, "profiling into %s (every %s, %s CPU window)\n",
+			*profileDir, *profileInterval, *profileWindow)
 	}
 
 	suite := harness.NewSuite(*workers, *perBucket, *scale, *seed)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ping/internal/dataflow"
 	"ping/internal/obs"
@@ -123,6 +124,51 @@ func (s *server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(workloadResponse{Fingerprints: stats, Dropped: s.profiler.Dropped()})
 }
 
+// resourcesResponse is the /resources document: per-fingerprint
+// measured cost, sorted most-expensive first.
+type resourcesResponse struct {
+	// Top ranks fingerprints by profile-attributed CPU seconds, then
+	// ledger task seconds, then total latency.
+	Top     []workload.FingerprintStats `json:"top"`
+	Dropped int64                       `json:"dropped"`
+	// InflightCPUSeconds is the cost-admission debt currently reserved;
+	// AdmissionCPUSeconds the configured budget (0 = cost admission off).
+	InflightCPUSeconds  float64 `json:"inflight_cpu_seconds"`
+	AdmissionCPUSeconds float64 `json:"admission_cpu_seconds,omitempty"`
+}
+
+// handleResources serves the per-query resource ledger aggregates: the
+// top resource consumers by measured CPU (profile-attributed seconds
+// when continuous profiling is on, dataflow task seconds otherwise),
+// with the full ledger per fingerprint. ?top=N truncates (default 20);
+// ?format=ndjson emits the workload snapshot persistence format.
+func (s *server) handleResources(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad top=%q", v), http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	stats := s.profiler.TopByCost(top)
+	if r.URL.Query().Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = workload.WriteNDJSON(w, stats)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resourcesResponse{
+		Top:                 stats,
+		Dropped:             s.profiler.Dropped(),
+		InflightCPUSeconds:  time.Duration(s.inflightCost.Load()).Seconds(),
+		AdmissionCPUSeconds: s.cfg.AdmissionCPU.Seconds(),
+	})
+}
+
 // sloResponse is the /slo document.
 type sloResponse struct {
 	Objectives []slo.Status `json:"objectives"`
@@ -216,6 +262,12 @@ const dashboardHTML = `<!DOCTYPE html>
   <th>mean ms</th><th>p95 ms</th><th>errors</th><th>degraded</th>
   <th>steps→1st</th><th>coverage</th>
 </tr></thead><tbody></tbody></table>
+<h2>Top resource consumers</h2>
+<div id="resnote" style="color:#666"></div>
+<table id="res"><thead><tr>
+  <th class="c">fingerprint</th><th>profile CPU s</th><th>task s</th><th>rows loaded</th>
+  <th>decoded</th><th>storage read</th><th>cache pinned</th><th>dict decodes</th><th>peak rel rows</th>
+</tr></thead><tbody></tbody></table>
 <script>
 function card(k, v) {
   return '<div class="card"><div class="v">' + v + '</div><div class="k">' + k + '</div></div>';
@@ -240,7 +292,10 @@ function spark(cov) {
   return '<svg width="' + w + '" height="' + h + '"><polyline points="' + pts.join(' ') + '"/></svg>';
 }
 function esc(s) {
-  return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;');
+  // Escape quotes too: interpolated strings land in attribute values
+  // (title="...") where an unescaped quote breaks out of the attribute.
+  return String(s).replace(/&/g, '&amp;').replace(/</g, '&lt;').replace(/>/g, '&gt;')
+    .replace(/"/g, '&quot;').replace(/'/g, '&#39;');
 }
 function burnCell(ws, name) {
   for (var i = 0; i < ws.length; i++) {
@@ -316,6 +371,27 @@ function refresh() {
   }).catch(function (e) {
     document.getElementById('err').textContent = '(' + e + ')';
   });
+  // /resources may live on the admin listener (-admin-addr); fetch it
+  // separately and tolerate its absence instead of failing the page.
+  fetch('/resources?top=10').then(function (r) { return r.ok ? r.json() : null; }).then(function (rs) {
+    if (!rs) {
+      document.getElementById('resnote').textContent = 'resource ledger unavailable here (served on the admin listener)';
+      return;
+    }
+    document.getElementById('resnote').textContent = '';
+    var rows = (rs.top || []).map(function (f) {
+      return '<tr><td class="c" title="' + esc(f.canonical || '') + '">' + esc(f.fingerprint) + '</td>' +
+        '<td>' + (f.profile_cpu_seconds || 0).toFixed(3) + '</td>' +
+        '<td>' + (f.task_seconds || 0).toFixed(3) + '</td>' +
+        '<td>' + (f.rows_loaded || 0) + '</td>' +
+        '<td>' + mb(f.bytes_decoded || 0) + '</td>' +
+        '<td>' + mb(f.storage_bytes_read || 0) + '</td>' +
+        '<td>' + mb(f.cache_bytes_pinned || 0) + '</td>' +
+        '<td>' + (f.dict_decodes || 0) + '</td>' +
+        '<td>' + (f.peak_relation_rows || 0) + '</td></tr>';
+    });
+    document.querySelector('#res tbody').innerHTML = rows.join('');
+  }).catch(function () {});
 }
 refresh();
 setInterval(refresh, 2000);

@@ -20,7 +20,14 @@
 //	GET      /slo             objectives, burn rates, alert states
 //	GET/POST /advisor         layout advisor recommendation; POST ?apply=1 installs it
 //	GET      /traces          retained query trace trees (-trace); ?format=chrome
+//	GET      /resources       top resource consumers by measured cost; ?top=N, ?format=ndjson
 //	GET      /dashboard       live HTML dashboard polling the endpoints above
+//
+// With -admin-addr the introspection surface (/metrics, /debug/*,
+// /traces, /resources) moves to a second listener; with -profile-dir
+// the daemon captures CPU+heap profiles continuously into bounded
+// rotating files and attributes profiled CPU back to query
+// fingerprints via pprof labels.
 //
 // Usage:
 //
@@ -42,6 +49,7 @@ import (
 	"ping/internal/dfs"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 	"ping/internal/obs/slo"
 	"ping/internal/workload"
 )
@@ -85,6 +93,14 @@ func main() {
 		adviseTop   = flag.Int("advise-top", 5, "hot fingerprints the advisor optimizes for")
 		adviseApply = flag.Bool("advise-apply", false, "apply advisor recommendations automatically as new epochs (with -advise-interval)")
 
+		adminAddr     = flag.String("admin-addr", "", "serve /metrics, /debug/*, /traces and /resources on this separate listener (empty = everything on -addr)")
+		profileDir    = flag.String("profile-dir", "", "capture CPU+heap profiles continuously into this directory (empty = off)")
+		profileEvery  = flag.Duration("profile-interval", time.Minute, "continuous-profiling cadence (with -profile-dir)")
+		profileWindow = flag.Duration("profile-cpu-window", 5*time.Second, "CPU sampling window per capture (with -profile-dir)")
+		profileFiles  = flag.Int("profile-max-files", 3, "rotated profile generations kept per kind (bounds capture disk use)")
+		runtimeEvery  = flag.Duration("runtime-metrics-interval", 10*time.Second, "runtime/metrics polling cadence for the runtime_* gauges (0 = off)")
+		admissionCPU  = flag.Duration("admission-cpu", 0, "cost-based admission: shed queries once the measured CPU cost of inflight queries exceeds this budget (0 = off)")
+
 		grace       = flag.Duration("shutdown-grace", 5*time.Second, "how long in-flight queries may drain (pausing as cursors) after SIGTERM/SIGINT")
 		cursorTTL   = flag.Duration("cursor-ttl", 15*time.Minute, "how long a paused query stays resumable (bounds its snapshot lease)")
 		cursorIdle  = flag.Duration("cursor-idle-evict", time.Minute, "idle time before an in-memory cursor hibernates to disk")
@@ -123,6 +139,7 @@ func main() {
 		TraceSample:     *traceSample,
 		TraceBuffer:     *traceBuffer,
 		AdviseTop:       *adviseTop,
+		AdmissionCPU:    *admissionCPU,
 	}
 	if *slowLog != "" {
 		// The slow-query log rotates at -log-max-bytes so a long-running
@@ -167,13 +184,65 @@ func main() {
 	srv := newServer(hpart.NewStore(lay), cfg)
 	stopSweeper := srv.startSweeper(*cursorSweep)
 	stopAdvisor := srv.startAdvisor(*adviseEvery, *adviseApply, logger.Printf)
+
+	// Continuous profiling & runtime metrics: the poller exports
+	// runtime_* gauges; the capturer writes CPU+heap profiles on a
+	// cadence into bounded rotating files and feeds label-attributed CPU
+	// back into the workload profiler (served at /resources, consulted
+	// by -admission-cpu).
+	if *runtimeEvery > 0 {
+		poller := prof.NewPoller(nil, *runtimeEvery).Start()
+		defer poller.Stop()
+	}
+	if *profileDir != "" {
+		capt, err := prof.StartCapture(prof.CaptureConfig{
+			Dir:       *profileDir,
+			Interval:  *profileEvery,
+			CPUWindow: *profileWindow,
+			MaxFiles:  *profileFiles,
+			OnCPUProfile: func(data []byte) {
+				p, err := prof.ParseProfile(data)
+				if err != nil {
+					return
+				}
+				byFP, _ := p.CPUByLabel(prof.LabelQueryFP)
+				for fp, ns := range byFP {
+					srv.profiler.AddProfileCPU(fp, time.Duration(ns))
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer capt.Close()
+		logger.Printf("continuous profiling into %s (every %v, %v CPU window, %d generations)",
+			*profileDir, *profileEvery, *profileWindow, *profileFiles)
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler(logger.Printf)}
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		// Production posture: the query surface stays on -addr; metrics,
+		// pprof, traces and the resource ledger move behind -admin-addr
+		// (typically loopback or an internal interface).
+		public, admin := srv.splitHandlers(logger.Printf)
+		httpSrv.Handler = public
+		adminSrv = &http.Server{Addr: *adminAddr, Handler: admin}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if adminSrv != nil {
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("admin listener: %v", err)
+			}
+		}()
+		logger.Printf("admin surface (metrics, pprof, traces, resources) on %s", *adminAddr)
+	}
 
 	fmt.Printf("serving %d triples (%d levels, epoch %d) on %s\n",
 		lay.TotalTriples(), lay.NumLevels, srv.store.Epoch(), *addr)
@@ -196,6 +265,11 @@ func main() {
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		logger.Printf("forced shutdown: %v", err)
 		httpSrv.Close()
+	}
+	if adminSrv != nil {
+		if err := adminSrv.Shutdown(shCtx); err != nil {
+			adminSrv.Close()
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)

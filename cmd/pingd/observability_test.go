@@ -104,6 +104,7 @@ func TestEndpointContentTypes(t *testing.T) {
 		"/slo":       func() (*http.Response, error) { return http.Get(ts.URL + "/slo") },
 		"/advisor":   func() (*http.Response, error) { return http.Get(ts.URL + "/advisor") },
 		"/traces":    func() (*http.Response, error) { return http.Get(ts.URL + "/traces") },
+		"/resources": func() (*http.Response, error) { return http.Get(ts.URL + "/resources") },
 		"/dashboard": func() (*http.Response, error) { return http.Get(ts.URL + "/dashboard") },
 	}
 

@@ -17,6 +17,7 @@ import (
 	"ping/internal/dfs"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 	"ping/internal/obs/slo"
 	"ping/internal/ping"
 	"ping/internal/rdf"
@@ -84,6 +85,12 @@ type serverConfig struct {
 	// AdviseTop is how many hot fingerprints the online layout advisor
 	// optimizes for (<=0: the advisor default).
 	AdviseTop int
+	// AdmissionCPU, when positive, turns on cost-based admission: the
+	// estimated CPU cost of all inflight queries (per-fingerprint
+	// measurement from the resource ledger and captured profiles) may
+	// not exceed this many CPU-seconds; excess queries get 429. Unknown
+	// fingerprints always admit — shedding is by *measured* cost.
+	AdmissionCPU time.Duration
 }
 
 // defaultObjectives are the SLOs pingd evaluates when the caller does
@@ -121,6 +128,11 @@ type server struct {
 	rejected *obs.Counter
 	updates  *obs.Counter
 	decodes  *obs.Counter
+
+	// inflightCost tracks the summed estimated CPU nanoseconds of
+	// admitted queries when cost-based admission (AdmissionCPU) is on.
+	inflightCost atomic.Int64
+	costRejected *obs.Counter
 
 	profiler *workload.Profiler
 	slow     *workload.SlowLog
@@ -169,6 +181,7 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		reg = obs.Default
 	}
 	reg.Describe("pingd_rejected_total", "queries rejected by admission control (HTTP 429)")
+	reg.Describe("pingd_cost_rejected_total", "queries shed by cost-based admission (measured CPU over budget)")
 	reg.Describe("pingd_updates_total", "update batches applied and published as new epochs")
 	reg.Describe("ping_dict_decodes_total", "integer IDs decoded to terms at NDJSON emission")
 	cursorFS := cfg.CursorFS
@@ -182,19 +195,20 @@ func newServer(store *hpart.Store, cfg serverConfig) *server {
 		persist = cursorFS.SaveManifest
 	}
 	s := &server{
-		store:    store,
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInflight),
-		queue:    make(chan struct{}, cfg.MaxQueue),
-		reg:      reg,
-		rejected: reg.Counter("pingd_rejected_total", nil),
-		updates:  reg.Counter("pingd_updates_total", nil),
-		decodes:  reg.Counter("ping_dict_decodes_total", nil),
-		profiler: workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
-		slow:     cfg.SlowLog,
-		events:   cfg.Events,
-		spans:    cfg.SpanSink,
-		slo:      cfg.SLO,
+		store:        store,
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.MaxInflight),
+		queue:        make(chan struct{}, cfg.MaxQueue),
+		reg:          reg,
+		rejected:     reg.Counter("pingd_rejected_total", nil),
+		costRejected: reg.Counter("pingd_cost_rejected_total", nil),
+		updates:      reg.Counter("pingd_updates_total", nil),
+		decodes:      reg.Counter("ping_dict_decodes_total", nil),
+		profiler:     workload.NewProfiler(workload.Options{Metrics: reg, MaxFingerprints: cfg.MaxFingerprints}),
+		slow:         cfg.SlowLog,
+		events:       cfg.Events,
+		spans:        cfg.SpanSink,
+		slo:          cfg.SLO,
 		cursors: cursor.New(cursor.Config{
 			FS:         cursorFS,
 			TTL:        cfg.CursorTTL,
@@ -252,27 +266,33 @@ type route struct {
 	// jsonBody marks routes whose plain-GET 200 body is one JSON
 	// document (the walk test decodes it).
 	jsonBody bool
-	h        http.HandlerFunc
+	// admin marks introspection routes that move to the -admin-addr
+	// listener when the operator splits the surface (splitHandlers).
+	// On the default single listener they serve alongside everything
+	// else, so admin routes change nothing unless the split is on.
+	admin bool
+	h     http.HandlerFunc
 }
 
 // routes lists every endpoint pingd serves (beyond the obs fallback).
 func (s *server) routes() []route {
 	return []route{
-		{"/query", "application/x-ndjson", false, s.handleQuery},
-		{"/resume", "application/x-ndjson", false, s.handleResume},
-		{"/update", "application/json", true, s.handleUpdate},
-		{"/stats", "application/json", true, s.handleStats},
-		{"/explain", "application/json", true, s.handleExplain},
-		{"/workload", "application/json", true, s.handleWorkload},
-		{"/slo", "application/json", true, s.handleSLO},
-		{"/advisor", "application/json", true, s.handleAdvisor},
-		{"/traces", "application/json", true, s.handleTraces},
-		{"/dashboard", "text/html; charset=utf-8", false, s.handleDashboard},
+		{"/query", "application/x-ndjson", false, false, s.handleQuery},
+		{"/resume", "application/x-ndjson", false, false, s.handleResume},
+		{"/update", "application/json", true, false, s.handleUpdate},
+		{"/stats", "application/json", true, false, s.handleStats},
+		{"/explain", "application/json", true, false, s.handleExplain},
+		{"/workload", "application/json", true, false, s.handleWorkload},
+		{"/slo", "application/json", true, false, s.handleSLO},
+		{"/advisor", "application/json", true, false, s.handleAdvisor},
+		{"/traces", "application/json", true, true, s.handleTraces},
+		{"/resources", "application/json", true, true, s.handleResources},
+		{"/dashboard", "text/html; charset=utf-8", false, false, s.handleDashboard},
 	}
 }
 
-// handler mounts the daemon's routes. The obs introspection mux
-// (/metrics, /debug/vars, pprof) serves everything not claimed here.
+// handler mounts the daemon's routes on one mux. The obs introspection
+// mux (/metrics, /debug/vars, pprof) serves everything not claimed here.
 func (s *server) handler(logf func(format string, args ...any)) http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range s.routes() {
@@ -280,6 +300,26 @@ func (s *server) handler(logf func(format string, args ...any)) http.Handler {
 	}
 	mux.Handle("/", obs.Handler(s.reg))
 	return mux
+}
+
+// splitHandlers mounts the query surface and the admin surface on two
+// muxes for the -admin-addr production posture: the main listener keeps
+// serving queries but stops exposing metrics, pprof, traces and the
+// resource ledger; those move (with the obs fallback) behind the admin
+// listener, which is typically bound to loopback or an internal
+// interface.
+func (s *server) splitHandlers(logf func(format string, args ...any)) (public, admin http.Handler) {
+	mainMux := http.NewServeMux()
+	adminMux := http.NewServeMux()
+	for _, rt := range s.routes() {
+		target := mainMux
+		if rt.admin {
+			target = adminMux
+		}
+		target.Handle(rt.path, obs.Instrument(s.reg, rt.path, logf, rt.h))
+	}
+	adminMux.Handle("/", obs.Handler(s.reg))
+	return mainMux, adminMux
 }
 
 // admit applies the admission policy: run now if an execution slot is
@@ -304,6 +344,52 @@ func (s *server) admit(ctx context.Context) (func(), int) {
 		// Deadline or disconnect while queued.
 		return nil, http.StatusServiceUnavailable
 	}
+}
+
+// admitCost reserves fp's estimated CPU cost against the configured
+// inflight CPU budget (cost-based admission, AdmissionCPU). The
+// estimate is measurement, not planning: profile-attributed CPU per
+// run when captured profiles have seen the fingerprint, ledger task
+// seconds otherwise. Unknown fingerprints (estimate 0) always admit —
+// something must run for cost to be measured. The returned release
+// gives the reservation back; ok=false means the query should be shed.
+func (s *server) admitCost(fp string) (release func(), ok bool) {
+	budget := int64(s.cfg.AdmissionCPU)
+	if budget <= 0 {
+		return func() {}, true
+	}
+	est := int64(s.profiler.EstimateCost(fp))
+	if est <= 0 {
+		return func() {}, true
+	}
+	for {
+		cur := s.inflightCost.Load()
+		// A lone over-budget query still admits (cur==0): the budget sheds
+		// concurrency, it is not a per-query veto.
+		if cur > 0 && cur+est > budget {
+			return nil, false
+		}
+		if s.inflightCost.CompareAndSwap(cur, cur+est) {
+			return func() { s.inflightCost.Add(-est) }, true
+		}
+	}
+}
+
+// rejectCost answers a cost-admission shed: 429 with a machine-readable
+// reason so clients can distinguish "too many queries" from "this
+// fingerprint is measured too expensive right now".
+func (s *server) rejectCost(w http.ResponseWriter, fp string) {
+	s.rejected.Inc()
+	s.costRejected.Inc()
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":           "overloaded",
+		"reason":          "cost",
+		"fingerprint":     fp,
+		"estimated_cpu_s": s.profiler.EstimateCost(fp).Seconds(),
+	})
 }
 
 // reject answers an admission failure. Overload (429) carries a
@@ -428,6 +514,11 @@ type segment struct {
 	subParts    int
 	cacheHits   int64
 	cacheMisses int64
+
+	// led is the segment's resource ledger; the handler attaches it to
+	// the run context so every layer below (ping, engine, dataflow, dfs)
+	// accounts into it. Nil-safe: all Ledger methods accept nil.
+	led *prof.Ledger
 }
 
 func (s *server) newSegment(w http.ResponseWriter, id [16]byte, wantBindings bool) *segment {
@@ -499,6 +590,7 @@ func (g *segment) step(ctx context.Context) func(ping.StepResult, *ping.Checkpoi
 					m[v] = g.term(id)
 				}
 				g.s.decodes.Add(int64(len(row)))
+				g.led.AddDictDecodes(int64(len(row)))
 				line.Bindings = append(line.Bindings, m)
 			}
 		}
@@ -624,6 +716,22 @@ func (s *server) lineageObservation(fp, canonical, shape, text string, latency t
 			Incremental: g.last.Incremental,
 		}
 	}
+	// Stamp the measured cost of the run. The ledger covers the final
+	// segment's execution (earlier segments of a resumed lineage already
+	// accounted their work when they parked); RowsLoaded stays the
+	// lineage-cumulative count the checkpoint carries.
+	snap := g.led.Snapshot()
+	obsv.TaskSeconds = float64(snap.TaskNanos) / 1e9
+	obsv.BytesDecoded = snap.BytesDecoded
+	obsv.StorageBytesRead = snap.StorageBytesRead
+	obsv.CacheBytesPinned = snap.CacheBytesPinned
+	obsv.DictDecodes = snap.DictDecodes
+	obsv.PeakRelationRows = snap.PeakRelationRows
+	if g.steps > 0 {
+		obsv.RowsLoaded = g.last.RowsLoadedCum
+	} else {
+		obsv.RowsLoaded = snap.RowsLoaded
+	}
 	s.profiler.ObserveFingerprint(fp, canonical, shape, obsv)
 	sq.Fingerprint = fp
 	sq.Canonical = canonical
@@ -659,8 +767,14 @@ func (s *server) lineageObservation(fp, canonical, shape, text string, latency t
 		Answers:            obsv.Answers,
 		LatencyMs:          float64(latency.Microseconds()) / 1e3,
 	}
+	ev.RowsLoaded = obsv.RowsLoaded
+	ev.TaskMs = obsv.TaskSeconds * 1e3
+	ev.BytesDecoded = snap.BytesDecoded
+	ev.StorageBytesRead = snap.StorageBytesRead
+	ev.CacheBytesPinned = snap.CacheBytesPinned
+	ev.DictDecodes = snap.DictDecodes
+	ev.PeakRelationRows = snap.PeakRelationRows
 	if g.steps > 0 {
-		ev.RowsLoaded = g.last.RowsLoadedCum
 		ev.CacheHits = g.cacheHits
 		ev.CacheMisses = g.cacheMisses
 		ev.Incremental = g.last.Incremental
@@ -724,6 +838,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	// Cost-based admission first (it is cheap and does not queue), then
+	// the slot/queue gate.
+	costRelease, ok := s.admitCost(fp)
+	if !ok {
+		s.rejectCost(w, fp)
+		return
+	}
+	defer costRelease()
 	release, code := s.admit(ctx)
 	if release == nil {
 		s.reject(w, code)
@@ -737,6 +859,13 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, traceID, finishTrace := s.maybeTrace(ctx, "query", fp, text)
 	defer finishTrace()
 
+	// Resource attribution: the ledger collects the run's measured cost
+	// through every layer, and the fingerprint becomes a pprof label on
+	// all of the run's goroutines so captured CPU profiles attribute
+	// samples back to this query class.
+	led := prof.NewLedger()
+	ctx = prof.WithLedger(prof.WithQueryFP(ctx, fp), led)
+
 	proc := s.newProcessor(s.cfg.Strategy, s.cfg.FailurePolicy)
 	id, err := cursor.NewID()
 	if err != nil {
@@ -749,6 +878,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	lease, lay := s.cursors.Lease()
 
 	g := s.newSegment(w, id, wantBindings)
+	g.led = led
 	meta := lineageMeta{traceID: traceID, layoutSig: lay.Signature(), budget: budget}
 	start := time.Now()
 	st, err := proc.PQARunOn(ctx, lay, q, budget, g.step(ctx))
@@ -901,6 +1031,12 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 	ctx, traceID, finishTrace := s.maybeTrace(ctx, "resume", rec.Fingerprint, cp.Query)
 	defer finishTrace()
 
+	// Resume segments account and label like first segments: the ledger
+	// measures this segment's work, the fingerprint labels its CPU
+	// samples (the prof layer stamps stage=resume).
+	led := prof.NewLedger()
+	ctx = prof.WithLedger(prof.WithQueryFP(ctx, rec.Fingerprint), led)
+
 	// Prefer the snapshot the lineage is pinned to; fall back to the
 	// current one (a fresh lease) when the lease died or never survived
 	// a restart.
@@ -919,6 +1055,7 @@ func (s *server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 
 	g := s.newSegment(w, rec.ID, wantBindings)
+	g.led = led
 	g.restarted = rec.Restarted
 	start := time.Now()
 	st, err := proc.PQAResumeRun(ctx, lay, cp, budget, g.step(ctx))

@@ -40,6 +40,11 @@ func testGraph(seed int64, subjects, depth int) *rdf.Graph {
 
 func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server, *rdf.Graph) {
 	t.Helper()
+	// Every integration test doubles as a goroutine-leak check: the
+	// verification cleanup registers first, so it runs last — after the
+	// httptest server (and everything the test itself cleans up) shut
+	// down.
+	obs.VerifyNoLeaks(t)
 	g := testGraph(1, 60, 5)
 	lay, err := hpart.Partition(g, hpart.Options{FS: dfs.New(dfs.Config{})})
 	if err != nil {

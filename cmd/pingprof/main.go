@@ -1,0 +1,102 @@
+// Command pingprof renders a continuous-profiling capture directory
+// (written by pingd -profile-dir or pingbench -profile-dir) as a
+// per-fingerprint CPU report: which query classes the process actually
+// spent its CPU on, straight from pprof label aggregation.
+//
+// Usage:
+//
+//	pingprof -dir /var/lib/pingd/profiles
+//	pingprof -dir bench/profiles -top 10 -by stage
+//	pingprof -dir bench/profiles -json
+//
+// -by selects the pprof label to aggregate on: query_fp (default),
+// stage, or trace_id. The unlabeled row is CPU outside any labeled
+// region (GC, capture itself, request plumbing before labeling).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"ping/internal/obs/prof"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "profile capture directory (required)")
+		top     = flag.Int("top", 20, "rows to print (0 = all)")
+		by      = flag.String("by", prof.LabelQueryFP, "pprof label key to aggregate CPU by (query_fp, stage, trace_id)")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON instead of a table")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "pingprof: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rows, unlabeled, err := prof.AggregateCPUDir(*dir, *by)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pingprof: %v\n", err)
+		os.Exit(1)
+	}
+	var labeled int64
+	for _, r := range rows {
+		labeled += r.CPUNanos
+	}
+	total := labeled + unlabeled
+	if *top > 0 && len(rows) > *top {
+		rows = rows[:*top]
+	}
+
+	if *jsonOut {
+		type row struct {
+			Value      string  `json:"value"`
+			CPUSeconds float64 `json:"cpu_seconds"`
+			Share      float64 `json:"share"`
+		}
+		out := struct {
+			Label            string  `json:"label"`
+			Rows             []row   `json:"rows"`
+			UnlabeledSeconds float64 `json:"unlabeled_seconds"`
+			TotalSeconds     float64 `json:"total_seconds"`
+			LabeledShare     float64 `json:"labeled_share"`
+		}{Label: *by, Rows: []row{}}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, row{r.Value, secs(r.CPUNanos), share(r.CPUNanos, total)})
+		}
+		out.UnlabeledSeconds = secs(unlabeled)
+		out.TotalSeconds = secs(total)
+		out.LabeledShare = share(labeled, total)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "pingprof: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\tcpu\tshare\n", *by)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%.1f%%\n", r.Value, time.Duration(r.CPUNanos).Round(time.Millisecond), 100*share(r.CPUNanos, total))
+	}
+	fmt.Fprintf(w, "(unlabeled)\t%v\t%.1f%%\n", time.Duration(unlabeled).Round(time.Millisecond), 100*share(unlabeled, total))
+	w.Flush()
+	fmt.Printf("total %v across %s, %.1f%% labeled\n",
+		time.Duration(total).Round(time.Millisecond), *dir, 100*share(labeled, total))
+}
+
+func secs(ns int64) float64 { return float64(ns) / 1e9 }
+
+func share(part, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(part) / float64(total)
+}

@@ -8,6 +8,7 @@ import (
 	"ping/internal/dfs"
 	"ping/internal/engine"
 	"ping/internal/hpart"
+	"ping/internal/obs"
 	"ping/internal/ping"
 	"ping/internal/rdf"
 )
@@ -176,6 +177,7 @@ func managerAt(fs *dfs.FS, now *time.Time) *Manager {
 }
 
 func TestManagerLifecycle(t *testing.T) {
+	obs.VerifyNoLeaks(t)
 	now := time.Unix(1000, 0)
 	fs := dfs.New(dfs.Config{})
 	m := managerAt(fs, &now)
@@ -226,6 +228,9 @@ func TestManagerLifecycle(t *testing.T) {
 }
 
 func TestManagerHibernateAndRestart(t *testing.T) {
+	// Hibernation crosses managers and a simulated restart — exactly the
+	// kind of path that can strand a goroutine, so verify none leak.
+	obs.VerifyNoLeaks(t)
 	now := time.Unix(1000, 0)
 	fs := dfs.New(dfs.Config{})
 	m := managerAt(fs, &now)
@@ -270,6 +275,7 @@ func TestManagerHibernateAndRestart(t *testing.T) {
 }
 
 func TestManagerTTLExpiry(t *testing.T) {
+	obs.VerifyNoLeaks(t)
 	now := time.Unix(1000, 0)
 	fs := dfs.New(dfs.Config{})
 	m := managerAt(fs, &now)

@@ -17,8 +17,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 )
 
 // Metrics aggregates execution counters across all stages run on a
@@ -150,11 +152,22 @@ func (c *Context) runTasks(n int, f func(i int)) {
 		m.stages.Inc()
 		m.tasks.Add(int64(n))
 	}
-	// Nest a stage span under the query's span when one is attached.
+	// Nest a stage span under the query's span when one is attached, and
+	// charge task time to the query's resource ledger when one is.
+	var led *prof.Ledger
 	if p := c.cancelCtx.Load(); p != nil {
+		led = prof.LedgerFrom(*p)
 		if _, sp := obs.StartSpan(*p, "dataflow.stage"); sp != nil {
 			sp.SetAttr("tasks", n)
 			defer sp.End()
+		}
+	}
+	if led != nil {
+		inner := f
+		f = func(i int) {
+			t0 := time.Now()
+			inner(i)
+			led.AddTask(time.Since(t0))
 		}
 	}
 	workers := c.workers

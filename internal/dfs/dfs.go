@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 )
 
 // Typed read-path errors. Failures returned by block reads wrap one of
@@ -349,6 +350,7 @@ func (f *FS) ReadFileCtx(ctx context.Context, path string) ([]byte, error) {
 		buf = append(buf, data...)
 	}
 	f.countBytesRead(int64(len(buf)))
+	prof.LedgerFrom(ctx).AddStorageBytesRead(int64(len(buf)))
 	sp.SetAttr("bytes", len(buf))
 	return buf, nil
 }

@@ -20,6 +20,16 @@ type Stats struct {
 	OutputRows int64
 	// Joins is the number of binary joins executed.
 	Joins int
+	// PeakRows is the largest relation cardinality seen while joining
+	// (inputs or intermediates) — the memory high-water mark of the
+	// evaluation, charged to the query's resource ledger.
+	PeakRows int64
+}
+
+func (s *Stats) observePeak(card int) {
+	if int64(card) > s.PeakRows {
+		s.PeakRows = int64(card)
+	}
 }
 
 // Options configures Evaluate.
@@ -87,8 +97,10 @@ func joinAll(ctx *dataflow.Context, rels []*Relation, opts Options, stats *Stats
 	remaining := append([]*Relation(nil), rels...)
 	// Start with the smallest relation.
 	cur := popSmallest(&remaining, nil)
+	stats.observePeak(cur.Card())
 	for len(remaining) > 0 {
 		next := popSmallest(&remaining, cur)
+		stats.observePeak(next.Card())
 		sp := opts.Span.StartChild("join")
 		sp.SetAttr("left_rows", cur.Card())
 		sp.SetAttr("right_rows", next.Card())
@@ -102,6 +114,7 @@ func joinAll(ctx *dataflow.Context, rels []*Relation, opts Options, stats *Stats
 		interRows.Add(int64(joined.Card()))
 		stats.Joins++
 		stats.IntermediateRows += int64(joined.Card())
+		stats.observePeak(joined.Card())
 		cur = joined
 	}
 	return cur, nil

@@ -1,0 +1,91 @@
+// Goroutine-leak verification for tests. A leaked goroutine in a
+// long-running daemon is a resource bug the test suite should catch at
+// the source: VerifyNoLeaks snapshots the live goroutines when a test
+// starts and fails the test if goroutines born during it are still
+// running when it ends (after a settling grace, because orderly
+// shutdown is asynchronous).
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakIgnores are stack substrings of goroutines that are not leaks:
+// the test harness itself, and net/http's shared keep-alive connection
+// pool (owned by http.DefaultClient, deliberately outliving any one
+// test).
+var leakIgnores = []string{
+	"testing.tRunner(",
+	"testing.(*T).Run(",
+	"testing.runTests(",
+	"runtime.Stack(",
+	"net/http.(*persistConn).readLoop(",
+	"net/http.(*persistConn).writeLoop(",
+}
+
+// leakSnapshot returns the currently live goroutines keyed by goroutine
+// ID, each mapped to its full stack record, with ignorable goroutines
+// already dropped.
+func leakSnapshot() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]string)
+records:
+	for _, rec := range strings.Split(string(buf), "\n\n") {
+		if !strings.HasPrefix(rec, "goroutine ") {
+			continue
+		}
+		for _, ig := range leakIgnores {
+			if strings.Contains(rec, ig) {
+				continue records
+			}
+		}
+		// "goroutine 12 [running]:" — the ID is the stable key.
+		id := strings.Fields(rec)[1]
+		out[id] = rec
+	}
+	return out
+}
+
+// settleLeaks polls until every goroutine not present in before has
+// exited, or the grace expires; it returns the stacks of the survivors.
+func settleLeaks(before map[string]string, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		var extra []string
+		for id, stack := range leakSnapshot() {
+			if _, ok := before[id]; !ok {
+				extra = append(extra, stack)
+			}
+		}
+		if len(extra) == 0 || time.Now().After(deadline) {
+			return extra
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// VerifyNoLeaks makes t fail if goroutines started during the test are
+// still running when it finishes. Call it first in the test: it
+// snapshots the goroutines alive now and registers a cleanup comparing
+// against that snapshot, granting a short settling grace so orderly
+// async shutdown (sink drains, server closes) can complete.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := leakSnapshot()
+	t.Cleanup(func() {
+		if extra := settleLeaks(before, 2*time.Second); len(extra) > 0 {
+			t.Errorf("leaked %d goroutine(s):\n\n%s", len(extra), strings.Join(extra, "\n\n"))
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestVerifyNoLeaksClean runs the checker over a test that starts and
+// cleanly finishes a goroutine: nothing to report.
+func TestVerifyNoLeaksClean(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestSettleLeaksDetects drives the comparison core directly: a
+// goroutine born after the snapshot is reported while it lives and
+// forgiven once it exits (settling).
+func TestSettleLeaksDetects(t *testing.T) {
+	before := leakSnapshot()
+
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+
+	extra := settleLeaks(before, 50*time.Millisecond)
+	if len(extra) == 0 {
+		t.Fatal("live goroutine born after the snapshot was not reported")
+	}
+	found := false
+	for _, stack := range extra {
+		if strings.Contains(stack, "TestSettleLeaksDetects") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the leaking test:\n%s", strings.Join(extra, "\n\n"))
+	}
+
+	// Once released, the goroutine exits within the settling grace and
+	// the report comes back empty.
+	close(stop)
+	if extra := settleLeaks(before, 2*time.Second); len(extra) > 0 {
+		t.Errorf("settled goroutine still reported:\n%s", strings.Join(extra, "\n\n"))
+	}
+}
+
+// TestLeakSnapshotIgnoresHarness checks the snapshot drops the test
+// harness's own goroutines, so a bare checker never false-positives on
+// the runner.
+func TestLeakSnapshotIgnoresHarness(t *testing.T) {
+	for _, stack := range leakSnapshot() {
+		for _, ig := range leakIgnores {
+			if strings.Contains(stack, ig) {
+				t.Errorf("snapshot kept an ignorable goroutine:\n%s", stack)
+			}
+		}
+	}
+}

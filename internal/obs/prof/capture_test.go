@@ -1,0 +1,211 @@
+package prof
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ping/internal/obs"
+)
+
+// burn spins without allocating so its CPU samples land in this frame
+// under whatever pprof labels the goroutine carries.
+//
+//go:noinline
+func burn(stop <-chan struct{}) uint64 {
+	var acc uint64 = 1
+	for i := 0; ; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+		if i%4096 == 0 {
+			select {
+			case <-stop:
+				return acc
+			default:
+			}
+		}
+	}
+}
+
+// captureLabeledProfile burns CPU on two goroutines labeled with fp
+// while one capture window runs, and returns the captured profile.
+func captureLabeledProfile(t *testing.T, dir, fp string, window time.Duration) []byte {
+	t.Helper()
+	var (
+		mu  sync.Mutex
+		got []byte
+	)
+	c, err := StartCapture(CaptureConfig{
+		Dir:       dir,
+		Interval:  time.Hour, // the loop must not fire on its own mid-test
+		CPUWindow: window,
+		MaxFiles:  2,
+		Registry:  obs.NewRegistry(),
+		OnCPUProfile: func(data []byte) {
+			mu.Lock()
+			got = append([]byte(nil), data...)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := WithQueryFP(context.Background(), fp)
+			Do(ctx, "pqa", func(context.Context) { burn(stop) })
+		}()
+	}
+	c.CaptureOnce()
+	close(stop)
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return got
+}
+
+// TestCaptureAttributesCPUToFingerprint is the attribution acceptance
+// path: CPU burned inside prof.Do under a query fingerprint shows up in
+// the captured profile as samples labeled with that fingerprint, and
+// the labeled share dominates — the only busy goroutines are labeled,
+// so losing attribution would mean label propagation is broken.
+func TestCaptureAttributesCPUToFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU profiling window in -short")
+	}
+	const fp = "fp-capture-test"
+	// Profile sampling is statistical; allow a retry before declaring
+	// attribution broken.
+	for attempt := 0; ; attempt++ {
+		data := captureLabeledProfile(t, t.TempDir(), fp, 400*time.Millisecond)
+		if len(data) == 0 {
+			t.Fatal("no profile captured")
+		}
+		p, err := ParseProfile(data)
+		if err != nil {
+			t.Fatalf("captured profile does not parse: %v", err)
+		}
+		byFP, unlabeled := p.CPUByLabel(LabelQueryFP)
+		var labeled int64
+		for _, ns := range byFP {
+			labeled += ns
+		}
+		total := labeled + unlabeled
+		if total > 0 && byFP[fp] > 0 && float64(labeled)/float64(total) >= 0.9 {
+			// Also check the stage label rode along.
+			byStage, _ := p.CPUByLabel(LabelStage)
+			if byStage["pqa"] == 0 {
+				t.Fatalf("stage label missing: %v", byStage)
+			}
+			return
+		}
+		if attempt >= 2 {
+			t.Fatalf("labeled CPU %d of %d ns (fp share %d) after %d attempts — query execution samples are not carrying %s",
+				labeled, total, byFP[fp], attempt+1, LabelQueryFP)
+		}
+	}
+}
+
+// TestCaptureBoundsDiskAndKeepsParseableGenerations proves the disk
+// budget: repeated captures never hold more than MaxFiles rotated
+// generations plus the active file per kind, and every generation file
+// is one complete, independently parseable profile.
+func TestCaptureBoundsDiskAndKeepsParseableGenerations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU profiling windows in -short")
+	}
+	dir := t.TempDir()
+	c, err := StartCapture(CaptureConfig{
+		Dir:       dir,
+		Interval:  time.Hour,
+		CPUWindow: 30 * time.Millisecond,
+		MaxFiles:  2,
+		Registry:  obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.CaptureOnce()
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dropped() != 0 {
+		t.Errorf("capturer dropped %d profiles", c.Dropped())
+	}
+
+	for _, kind := range []string{"cpu.pprof", "heap.pprof"} {
+		files, err := filepath.Glob(filepath.Join(dir, kind+"*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Active file + at most MaxFiles generations.
+		if len(files) == 0 || len(files) > 3 {
+			t.Errorf("%s: %d files on disk, want 1..3: %v", kind, len(files), files)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				// The active file is empty right after a rotation boundary.
+				continue
+			}
+			if _, err := ParseProfile(data); err != nil {
+				t.Errorf("%s is not one parseable profile: %v", f, err)
+			}
+		}
+	}
+
+	// The report layer reads the same directory.
+	files, err := CPUProfileFiles(dir)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("CPUProfileFiles: %v (%d files)", err, len(files))
+	}
+	if _, _, err := AggregateCPUDir(dir, LabelQueryFP); err != nil {
+		t.Errorf("AggregateCPUDir: %v", err)
+	}
+}
+
+// TestAggregateCPUDirSumsAcrossGenerations captures labeled CPU twice
+// (forcing a rotation) and checks the directory aggregation still
+// attributes the fingerprint across generation files.
+func TestAggregateCPUDirSumsAcrossGenerations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU profiling windows in -short")
+	}
+	dir := t.TempDir()
+	const fp = "fp-aggregate-test"
+	for i := 0; i < 2; i++ {
+		if data := captureLabeledProfile(t, dir, fp, 150*time.Millisecond); len(data) == 0 {
+			t.Fatal("no profile captured")
+		}
+	}
+	rows, _, err := AggregateCPUDir(dir, LabelQueryFP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Value == fp && r.CPUNanos > 0 {
+			return
+		}
+	}
+	t.Fatalf("fingerprint %s missing from directory aggregation: %+v", fp, rows)
+}
+
+func TestAggregateCPUDirEmptyErrors(t *testing.T) {
+	if _, _, err := AggregateCPUDir(t.TempDir(), LabelQueryFP); err == nil {
+		t.Fatal("empty directory did not error")
+	}
+}

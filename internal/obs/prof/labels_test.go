@@ -1,0 +1,58 @@
+package prof
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestQueryFPRoundTrip(t *testing.T) {
+	if fp := QueryFP(context.Background()); fp != "" {
+		t.Fatalf("empty context has fp %q", fp)
+	}
+	ctx := WithQueryFP(context.Background(), "abc123")
+	if fp := QueryFP(ctx); fp != "abc123" {
+		t.Fatalf("fp round-trip = %q", fp)
+	}
+}
+
+// TestDoStampsLabels checks Do attaches the fingerprint and stage as
+// pprof labels on the context it hands the body — which is what makes
+// CPU samples of the body (and goroutines it spawns) attributable.
+func TestDoStampsLabels(t *testing.T) {
+	ctx := WithQueryFP(context.Background(), "fp-42")
+	ran := false
+	Do(ctx, "pqa", func(inner context.Context) {
+		ran = true
+		got := map[string]string{}
+		pprof.ForLabels(inner, func(k, v string) bool {
+			got[k] = v
+			return true
+		})
+		if got[LabelQueryFP] != "fp-42" {
+			t.Errorf("%s label = %q, want fp-42", LabelQueryFP, got[LabelQueryFP])
+		}
+		if got[LabelStage] != "pqa" {
+			t.Errorf("%s label = %q, want pqa", LabelStage, got[LabelStage])
+		}
+	})
+	if !ran {
+		t.Fatal("Do did not run the body")
+	}
+}
+
+// TestDoWithoutIdentityRunsPlain: no fingerprint, no trace, no stage —
+// the body still runs (on the same context, unlabeled).
+func TestDoWithoutIdentityRunsPlain(t *testing.T) {
+	ran := false
+	Do(context.Background(), "", func(inner context.Context) {
+		ran = true
+		pprof.ForLabels(inner, func(k, v string) bool {
+			t.Errorf("unexpected label %s=%s", k, v)
+			return true
+		})
+	})
+	if !ran {
+		t.Fatal("Do did not run the body")
+	}
+}

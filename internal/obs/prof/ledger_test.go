@@ -1,0 +1,104 @@
+package prof
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerAccumulatesAndSnapshots(t *testing.T) {
+	l := NewLedger()
+	l.AddTask(3 * time.Millisecond)
+	l.AddTask(2 * time.Millisecond)
+	l.AddRowsLoaded(10)
+	l.AddRowsLoaded(5)
+	l.AddBytesDecoded(100)
+	l.AddStorageBytesRead(200)
+	l.AddDictDecodes(7)
+	l.ObserveCacheBytesPinned(50)
+	l.ObserveCacheBytesPinned(30) // lower: peak must stay
+	l.ObservePeakRelationRows(9)
+	l.ObservePeakRelationRows(11)
+
+	s := l.Snapshot()
+	if s.TaskNanos != int64(5*time.Millisecond) {
+		t.Errorf("TaskNanos = %d", s.TaskNanos)
+	}
+	if s.RowsLoaded != 15 || s.BytesDecoded != 100 || s.StorageBytesRead != 200 || s.DictDecodes != 7 {
+		t.Errorf("sums wrong: %+v", s)
+	}
+	if s.CacheBytesPinned != 50 {
+		t.Errorf("CacheBytesPinned = %d, want peak 50", s.CacheBytesPinned)
+	}
+	if s.PeakRelationRows != 11 {
+		t.Errorf("PeakRelationRows = %d, want peak 11", s.PeakRelationRows)
+	}
+}
+
+// TestLedgerNilSafe: every accounting call site runs with or without an
+// attached ledger, so a nil receiver must be a no-op, not a panic.
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.AddTask(time.Second)
+	l.AddRowsLoaded(1)
+	l.AddBytesDecoded(1)
+	l.AddStorageBytesRead(1)
+	l.AddDictDecodes(1)
+	l.ObserveCacheBytesPinned(1)
+	l.ObservePeakRelationRows(1)
+	if s := l.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil ledger snapshot = %+v, want zero", s)
+	}
+}
+
+func TestLedgerContextRoundTrip(t *testing.T) {
+	if LedgerFrom(context.Background()) != nil {
+		t.Fatal("empty context yielded a ledger")
+	}
+	if LedgerFrom(nil) != nil { //nolint:staticcheck // nil ctx is an explicit case
+		t.Fatal("nil context yielded a ledger")
+	}
+	l := NewLedger()
+	ctx := WithLedger(context.Background(), l)
+	if LedgerFrom(ctx) != l {
+		t.Fatal("ledger did not round-trip through the context")
+	}
+	if got := WithLedger(context.Background(), nil); LedgerFrom(got) != nil {
+		t.Fatal("WithLedger(nil) attached something")
+	}
+}
+
+// TestLedgerConcurrent drives all counters from parallel goroutines the
+// way dataflow workers do; run with -race this proves the ledger is
+// safely shared.
+func TestLedgerConcurrent(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int64) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.AddTask(time.Microsecond)
+				l.AddRowsLoaded(1)
+				l.ObserveCacheBytesPinned(n*1000 + int64(j))
+				l.ObservePeakRelationRows(n)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.RowsLoaded != 8000 {
+		t.Errorf("RowsLoaded = %d, want 8000", s.RowsLoaded)
+	}
+	if s.TaskNanos != int64(8000*time.Microsecond) {
+		t.Errorf("TaskNanos = %d", s.TaskNanos)
+	}
+	if s.CacheBytesPinned != 7999 {
+		t.Errorf("CacheBytesPinned peak = %d, want 7999", s.CacheBytesPinned)
+	}
+	if s.PeakRelationRows != 7 {
+		t.Errorf("PeakRelationRows = %d, want 7", s.PeakRelationRows)
+	}
+}

@@ -1,0 +1,421 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The pprof wire format is a gzipped protobuf (profile.proto). We need
+// only a sliver of it — sample types, sample values, and string
+// labels — so a hand-rolled varint walker keeps this stdlib-only.
+//
+// Field numbers used (from profile.proto):
+//
+//	Profile:   1 sample_type, 2 sample, 6 string_table,
+//	           9 time_nanos, 10 duration_nanos, 11 period_type, 12 period
+//	ValueType: 1 type (string index), 2 unit (string index)
+//	Sample:    2 value (repeated int64), 3 label
+//	Label:     1 key (string index), 2 str (string index), 3 num
+
+// ValueType names one sample value dimension, e.g. {cpu, nanoseconds}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one profile sample: one value per sample type, plus its
+// pprof labels.
+type Sample struct {
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is the parsed subset of a pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+}
+
+// ParseProfile decodes a pprof profile (gzipped or raw protobuf).
+// Only the first gzip member is read, so profiles written through
+// sinks that append a trailing byte still parse.
+func ParseProfile(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		gz, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		gz.Multistream(false)
+		raw, err := io.ReadAll(gz)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	return parseProfileProto(data)
+}
+
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str, num int64 }
+
+func parseProfileProto(data []byte) (*Profile, error) {
+	var (
+		strtab  []string
+		types   []rawValueType
+		period  rawValueType
+		samples []struct {
+			values []int64
+			labels []rawLabel
+		}
+		prof Profile
+	)
+	d := protoDecoder{buf: data}
+	for !d.done() {
+		field, wire, err := d.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // sample_type
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return nil, err
+			}
+			types = append(types, vt)
+		case 2: // sample
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			var s struct {
+				values []int64
+				labels []rawLabel
+			}
+			sd := protoDecoder{buf: msg}
+			for !sd.done() {
+				f, w, err := sd.tag()
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 2: // value
+					if err := sd.int64s(w, &s.values); err != nil {
+						return nil, err
+					}
+				case 3: // label
+					lmsg, err := sd.bytes(w)
+					if err != nil {
+						return nil, err
+					}
+					lb, err := parseLabel(lmsg)
+					if err != nil {
+						return nil, err
+					}
+					s.labels = append(s.labels, lb)
+				default:
+					if err := sd.skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			samples = append(samples, s)
+		case 6: // string_table
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			strtab = append(strtab, string(msg))
+		case 9:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			prof.TimeNanos = int64(v)
+		case 10:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			prof.DurationNanos = int64(v)
+		case 11:
+			msg, err := d.bytes(wire)
+			if err != nil {
+				return nil, err
+			}
+			if period, err = parseValueType(msg); err != nil {
+				return nil, err
+			}
+		case 12:
+			v, err := d.varintField(wire)
+			if err != nil {
+				return nil, err
+			}
+			prof.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i int64) string {
+		if i <= 0 || int(i) >= len(strtab) {
+			return ""
+		}
+		return strtab[i]
+	}
+	for _, t := range types {
+		prof.SampleTypes = append(prof.SampleTypes, ValueType{Type: str(t.typ), Unit: str(t.unit)})
+	}
+	prof.PeriodType = ValueType{Type: str(period.typ), Unit: str(period.unit)}
+	for _, s := range samples {
+		sm := Sample{Values: s.values}
+		for _, lb := range s.labels {
+			k := str(lb.key)
+			if k == "" {
+				continue
+			}
+			if lb.str != 0 {
+				if sm.Labels == nil {
+					sm.Labels = make(map[string]string)
+				}
+				sm.Labels[k] = str(lb.str)
+			} else {
+				if sm.NumLabels == nil {
+					sm.NumLabels = make(map[string]int64)
+				}
+				sm.NumLabels[k] = lb.num
+			}
+		}
+		prof.Samples = append(prof.Samples, sm)
+	}
+	return &prof, nil
+}
+
+func parseValueType(msg []byte) (rawValueType, error) {
+	var vt rawValueType
+	d := protoDecoder{buf: msg}
+	for !d.done() {
+		f, w, err := d.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch f {
+		case 1:
+			v, err := d.varintField(w)
+			if err != nil {
+				return vt, err
+			}
+			vt.typ = int64(v)
+		case 2:
+			v, err := d.varintField(w)
+			if err != nil {
+				return vt, err
+			}
+			vt.unit = int64(v)
+		default:
+			if err := d.skip(w); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseLabel(msg []byte) (rawLabel, error) {
+	var lb rawLabel
+	d := protoDecoder{buf: msg}
+	for !d.done() {
+		f, w, err := d.tag()
+		if err != nil {
+			return lb, err
+		}
+		switch f {
+		case 1:
+			v, err := d.varintField(w)
+			if err != nil {
+				return lb, err
+			}
+			lb.key = int64(v)
+		case 2:
+			v, err := d.varintField(w)
+			if err != nil {
+				return lb, err
+			}
+			lb.str = int64(v)
+		case 3:
+			v, err := d.varintField(w)
+			if err != nil {
+				return lb, err
+			}
+			lb.num = int64(v)
+		default:
+			if err := d.skip(w); err != nil {
+				return lb, err
+			}
+		}
+	}
+	return lb, nil
+}
+
+// ValueIndex returns the index of the named sample type (-1 if absent).
+func (p *Profile) ValueIndex(typ string) int {
+	for i, t := range p.SampleTypes {
+		if t.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// CPUByLabel sums the profile's CPU nanoseconds per value of the given
+// label key. Samples without the label accumulate under unlabeled. For
+// CPU profiles the "cpu" value (nanoseconds) is used; when absent (e.g.
+// a synthetic profile) the last sample value is used.
+func (p *Profile) CPUByLabel(key string) (byValue map[string]int64, unlabeled int64) {
+	idx := p.ValueIndex("cpu")
+	byValue = make(map[string]int64)
+	for _, s := range p.Samples {
+		i := idx
+		if i < 0 {
+			i = len(s.Values) - 1
+		}
+		if i < 0 || i >= len(s.Values) {
+			continue
+		}
+		v := s.Values[i]
+		if lv, ok := s.Labels[key]; ok && lv != "" {
+			byValue[lv] += v
+		} else {
+			unlabeled += v
+		}
+	}
+	return byValue, unlabeled
+}
+
+// protoDecoder is a minimal protobuf wire-format walker.
+type protoDecoder struct {
+	buf []byte
+	pos int
+}
+
+var errTruncated = errors.New("prof: truncated profile")
+
+func (d *protoDecoder) done() bool { return d.pos >= len(d.buf) }
+
+func (d *protoDecoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.buf) {
+			return 0, errTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errors.New("prof: varint overflow")
+}
+
+func (d *protoDecoder) tag() (field int, wire int, err error) {
+	v, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes returns a length-delimited field's payload.
+func (d *protoDecoder) bytes(wire int) ([]byte, error) {
+	if wire != 2 {
+		return nil, fmt.Errorf("prof: wire type %d for bytes field", wire)
+	}
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, errTruncated
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
+}
+
+// varintField reads a varint scalar (wire type 0).
+func (d *protoDecoder) varintField(wire int) (uint64, error) {
+	if wire != 0 {
+		return 0, fmt.Errorf("prof: wire type %d for varint field", wire)
+	}
+	return d.varint()
+}
+
+// int64s appends a repeated int64 field, handling both packed
+// (length-delimited) and unpacked encodings.
+func (d *protoDecoder) int64s(wire int, out *[]int64) error {
+	switch wire {
+	case 0:
+		v, err := d.varint()
+		if err != nil {
+			return err
+		}
+		*out = append(*out, int64(v))
+		return nil
+	case 2:
+		b, err := d.bytes(wire)
+		if err != nil {
+			return err
+		}
+		pd := protoDecoder{buf: b}
+		for !pd.done() {
+			v, err := pd.varint()
+			if err != nil {
+				return err
+			}
+			*out = append(*out, int64(v))
+		}
+		return nil
+	default:
+		return fmt.Errorf("prof: wire type %d for repeated int64", wire)
+	}
+}
+
+func (d *protoDecoder) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := d.varint()
+		return err
+	case 1:
+		if len(d.buf)-d.pos < 8 {
+			return errTruncated
+		}
+		d.pos += 8
+		return nil
+	case 2:
+		_, err := d.bytes(wire)
+		return err
+	case 5:
+		if len(d.buf)-d.pos < 4 {
+			return errTruncated
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("prof: unsupported wire type %d", wire)
+	}
+}

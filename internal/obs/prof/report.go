@@ -1,0 +1,76 @@
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CPUProfileFiles lists the CPU profiles under a capture directory:
+// the active cpu.pprof plus rotated cpu.pprof.<gen> generations,
+// oldest first.
+func CPUProfileFiles(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "cpu.pprof*"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	// Generations sort lexically after the active file; order by
+	// modification time so "oldest first" holds across gen boundaries.
+	sort.Slice(files, func(i, j int) bool {
+		fi, ei := os.Stat(files[i])
+		fj, ej := os.Stat(files[j])
+		if ei != nil || ej != nil {
+			return files[i] < files[j]
+		}
+		return fi.ModTime().Before(fj.ModTime())
+	})
+	return files, nil
+}
+
+// LabelCPU is one row of a per-label CPU report.
+type LabelCPU struct {
+	Value    string
+	CPUNanos int64
+}
+
+// AggregateCPUDir parses every CPU profile in dir and sums CPU
+// nanoseconds per value of labelKey, descending. Unparseable files are
+// skipped (a capture may be mid-write); unlabeled is CPU outside any
+// labeled region.
+func AggregateCPUDir(dir, labelKey string) (rows []LabelCPU, unlabeled int64, err error) {
+	files, err := CPUProfileFiles(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(files) == 0 {
+		return nil, 0, fmt.Errorf("prof: no cpu.pprof* files in %s", dir)
+	}
+	total := make(map[string]int64)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		p, err := ParseProfile(data)
+		if err != nil {
+			continue
+		}
+		by, un := p.CPUByLabel(labelKey)
+		for k, v := range by {
+			total[k] += v
+		}
+		unlabeled += un
+	}
+	for k, v := range total {
+		rows = append(rows, LabelCPU{Value: k, CPUNanos: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CPUNanos != rows[j].CPUNanos {
+			return rows[i].CPUNanos > rows[j].CPUNanos
+		}
+		return rows[i].Value < rows[j].Value
+	})
+	return rows, unlabeled, nil
+}

@@ -1,0 +1,179 @@
+package prof
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+
+	"ping/internal/obs"
+)
+
+// Poller periodically samples runtime/metrics into an obs registry as
+// runtime_* gauges: GC pause and cycle totals, heap and live bytes,
+// goroutine count, and scheduling-latency quantiles. One poller per
+// process is enough; Poll is also exported for one-shot use in tests.
+type Poller struct {
+	reg      *obs.Registry
+	interval time.Duration
+	samples  []metrics.Sample
+
+	goroutines *obs.Gauge
+	heapBytes  *obs.Gauge
+	liveBytes  *obs.Gauge
+	pauseTotal *obs.Gauge
+	gcCycles   *obs.Gauge
+	gcFraction *obs.Gauge
+	schedLat   map[string]*obs.Gauge
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Names polled from runtime/metrics. Missing names (older runtimes)
+// are skipped gracefully.
+const (
+	mGoroutines = "/sched/goroutines:goroutines"
+	mHeapBytes  = "/memory/classes/heap/objects:bytes"
+	mLiveBytes  = "/gc/heap/live:bytes"
+	mSchedLat   = "/sched/latencies:seconds"
+)
+
+var schedQuantiles = []float64{0.5, 0.95, 0.99}
+
+// NewPoller builds a poller publishing into reg (nil: obs.Default)
+// every interval (<=0: 10s). Call Start to begin polling.
+func NewPoller(reg *obs.Registry, interval time.Duration) *Poller {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	reg.Describe("runtime_goroutines", "live goroutines")
+	reg.Describe("runtime_heap_bytes", "bytes of allocated heap objects")
+	reg.Describe("runtime_heap_live_bytes", "heap bytes live after the last GC")
+	reg.Describe("runtime_gc_pause_seconds_total", "cumulative GC stop-the-world pause seconds")
+	reg.Describe("runtime_gc_cycles_total", "completed GC cycles")
+	reg.Describe("runtime_gc_cpu_fraction", "fraction of CPU spent in GC since process start")
+	reg.Describe("runtime_sched_latency_seconds", "goroutine scheduling latency quantiles since process start")
+	p := &Poller{
+		reg:      reg,
+		interval: interval,
+		samples: []metrics.Sample{
+			{Name: mGoroutines},
+			{Name: mHeapBytes},
+			{Name: mLiveBytes},
+			{Name: mSchedLat},
+		},
+		goroutines: reg.Gauge("runtime_goroutines", nil),
+		heapBytes:  reg.Gauge("runtime_heap_bytes", nil),
+		liveBytes:  reg.Gauge("runtime_heap_live_bytes", nil),
+		pauseTotal: reg.Gauge("runtime_gc_pause_seconds_total", nil),
+		gcCycles:   reg.Gauge("runtime_gc_cycles_total", nil),
+		gcFraction: reg.Gauge("runtime_gc_cpu_fraction", nil),
+		schedLat:   make(map[string]*obs.Gauge, len(schedQuantiles)),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, q := range schedQuantiles {
+		qs := fmt.Sprintf("%g", q)
+		p.schedLat[qs] = reg.Gauge("runtime_sched_latency_seconds", obs.Labels{"quantile": qs})
+	}
+	return p
+}
+
+// Poll takes one sample sweep and publishes it.
+func (p *Poller) Poll() {
+	metrics.Read(p.samples)
+	for _, s := range p.samples {
+		switch s.Name {
+		case mGoroutines:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.goroutines.Set(float64(s.Value.Uint64()))
+			}
+		case mHeapBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.heapBytes.Set(float64(s.Value.Uint64()))
+			}
+		case mLiveBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				p.liveBytes.Set(float64(s.Value.Uint64()))
+			}
+		case mSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				for qs, g := range p.schedLat {
+					var q float64
+					fmt.Sscanf(qs, "%g", &q)
+					g.Set(histQuantile(h, q))
+				}
+			}
+		}
+	}
+	// GC pause totals come from MemStats: runtime/metrics exposes pause
+	// time only as a distribution, while PauseTotalNs is the exact
+	// cumulative number dashboards want to rate().
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.pauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	p.gcCycles.Set(float64(ms.NumGC))
+	p.gcFraction.Set(ms.GCCPUFraction)
+}
+
+// histQuantile estimates quantile q from a runtime/metrics histogram
+// snapshot, returning the upper bound of the bucket where the
+// cumulative count crosses q (the last finite bound for the +Inf tail).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Counts[i] covers Buckets[i] .. Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// Start launches the polling loop and returns the poller for chaining.
+func (p *Poller) Start() *Poller {
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		p.Poll()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Poll()
+			}
+		}
+	}()
+	return p
+}
+
+// Stop halts the polling loop and waits for it to exit.
+func (p *Poller) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"runtime/metrics"
+	"testing"
+	"time"
+
+	"ping/internal/obs"
+)
+
+func TestPollerPublishesRuntimeGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPoller(reg, time.Hour)
+	p.Poll()
+
+	if v := reg.Gauge("runtime_goroutines", nil).Value(); v < 1 {
+		t.Errorf("runtime_goroutines = %v, want >= 1", v)
+	}
+	if v := reg.Gauge("runtime_heap_bytes", nil).Value(); v <= 0 {
+		t.Errorf("runtime_heap_bytes = %v, want > 0", v)
+	}
+	// GC counters exist (possibly zero in a fresh process); quantile
+	// gauges must be registered for all three quantiles.
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		if g := reg.Gauge("runtime_sched_latency_seconds", obs.Labels{"quantile": q}); g == nil {
+			t.Errorf("missing sched latency quantile %s", q)
+		}
+	}
+}
+
+func TestPollerStartStop(t *testing.T) {
+	obs.VerifyNoLeaks(t)
+	reg := obs.NewRegistry()
+	p := NewPoller(reg, time.Millisecond).Start()
+	defer p.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Gauge("runtime_goroutines", nil).Value() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := reg.Gauge("runtime_goroutines", nil).Value(); v < 1 {
+		t.Errorf("poller loop never published: runtime_goroutines = %v", v)
+	}
+	p.Stop() // double Stop is safe
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (upper bound of the median bucket)", got)
+	}
+	if got := histQuantile(h, 0.99); got != 3 {
+		t.Errorf("p99 = %v, want 3", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -73,6 +73,17 @@ type WideEvent struct {
 	// unreadable (the answers remain a sound subset).
 	Degraded        bool `json:"degraded,omitempty"`
 	MissingSubParts int  `json:"missing_subparts,omitempty"`
+	// Resource-ledger fields (prof.Ledger): what the lineage measurably
+	// cost. TaskMs sums dataflow task wall time (parallel tasks sum, so
+	// it can exceed LatencyMs); the byte fields separate storage reads
+	// from cache-miss decodes; CacheBytesPinned and PeakRelationRows are
+	// peaks, not sums.
+	TaskMs           float64 `json:"task_ms,omitempty"`
+	BytesDecoded     int64   `json:"bytes_decoded,omitempty"`
+	StorageBytesRead int64   `json:"storage_bytes_read,omitempty"`
+	CacheBytesPinned int64   `json:"cache_bytes_pinned,omitempty"`
+	DictDecodes      int64   `json:"dict_decodes,omitempty"`
+	PeakRelationRows int64   `json:"peak_relation_rows,omitempty"`
 	// LatencyMs is the lineage's total wall time, summed across
 	// segments; Error carries the failure of runs that errored.
 	LatencyMs float64 `json:"latency_ms"`

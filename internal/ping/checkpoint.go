@@ -33,6 +33,7 @@ import (
 	"ping/internal/engine"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 	"ping/internal/sparql"
 )
 
@@ -227,11 +228,27 @@ func (p *Processor) PQAResumeRun(ctx context.Context, lay *hpart.Layout, cp *Che
 	return p.runPQA(ctx, lay, q, runConfig{cp: cp, budget: budget, checkpoints: true}, fn)
 }
 
-// runPQA is the core progressive loop shared by PQAStepsCtx, PQARun and
-// PQAResumeRun: schedule (or re-derive) the slice steps on the pinned
+// runPQA stamps the query's pprof labels (query_fp from the context,
+// trace_id, stage pqa/resume) onto the executing goroutine — dataflow
+// workers spawned under it inherit them, so CPU profile samples
+// attribute to the fingerprint — then runs the progressive loop.
+func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Query, rc runConfig, fn func(StepResult, *Checkpoint) bool) (status *RunStatus, err error) {
+	ctx = ensureQueryFP(ctx, q)
+	stage := "pqa"
+	if rc.cp != nil {
+		stage = "resume"
+	}
+	prof.Do(ctx, stage, func(ctx context.Context) {
+		status, err = p.runPQASteps(ctx, lay, q, rc, fn)
+	})
+	return status, err
+}
+
+// runPQASteps is the core progressive loop shared by PQAStepsCtx, PQARun
+// and PQAResumeRun: schedule (or re-derive) the slice steps on the pinned
 // snapshot, restore the accumulator if resuming, then execute steps
 // until the schedule, the budget, or the callback says stop.
-func (p *Processor) runPQA(ctx context.Context, lay *hpart.Layout, q *sparql.Query, rc runConfig, fn func(StepResult, *Checkpoint) bool) (*RunStatus, error) {
+func (p *Processor) runPQASteps(ctx context.Context, lay *hpart.Layout, q *sparql.Query, rc runConfig, fn func(StepResult, *Checkpoint) bool) (*RunStatus, error) {
 	if len(q.Patterns)+len(q.Paths) == 0 {
 		return nil, fmt.Errorf("ping: query has no patterns")
 	}

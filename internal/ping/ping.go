@@ -32,8 +32,10 @@ import (
 	"ping/internal/engine"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
+	"ping/internal/workload"
 )
 
 // SliceStrategy selects the order in which PQA visits hierarchy levels.
@@ -642,6 +644,17 @@ func (r *Result) Coverage(step int) float64 {
 	return float64(r.Steps[step].Answers.Card()) / float64(r.Final.Card())
 }
 
+// ensureQueryFP attaches the query's workload fingerprint to ctx when
+// the caller did not supply one, so CPU profile samples of every
+// execution path — servers, benchmarks, embedders — attribute to the
+// query class without each call site having to fingerprint explicitly.
+func ensureQueryFP(ctx context.Context, q *sparql.Query) context.Context {
+	if prof.QueryFP(ctx) != "" {
+		return ctx
+	}
+	return prof.WithQueryFP(ctx, workload.Fingerprint(q))
+}
+
 // PQA runs progressive query answering to completion and returns every
 // step. It is equivalent to PQASteps with a callback that always
 // continues.
@@ -720,8 +733,18 @@ func (p *Processor) EQA(q *sparql.Query) (*engine.Relation, *engine.Stats, error
 	return r.Answers, r.Stats, nil
 }
 
-// EQAFull is EQA honouring ctx and reporting degradation metadata.
-func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (*ExactResult, error) {
+// EQAFull is EQA honouring ctx and reporting degradation metadata. The
+// evaluation runs under the query's pprof labels (query_fp, trace_id,
+// stage=eqa) so profile samples attribute to the fingerprint.
+func (p *Processor) EQAFull(ctx context.Context, q *sparql.Query) (res *ExactResult, err error) {
+	ctx = ensureQueryFP(ctx, q)
+	prof.Do(ctx, "eqa", func(ctx context.Context) {
+		res, err = p.eqaFull(ctx, q)
+	})
+	return res, err
+}
+
+func (p *Processor) eqaFull(ctx context.Context, q *sparql.Query) (*ExactResult, error) {
 	if len(q.Patterns)+len(q.Paths) == 0 {
 		return nil, fmt.Errorf("ping: query has no patterns")
 	}

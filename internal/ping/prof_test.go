@@ -1,0 +1,31 @@
+package ping
+
+import (
+	"context"
+	"testing"
+
+	"ping/internal/obs/prof"
+	"ping/internal/sparql"
+	"ping/internal/workload"
+)
+
+// TestEnsureQueryFP: every execution entry point funnels through
+// ensureQueryFP, so benchmarks and embedders that never heard of
+// fingerprints still get their CPU samples attributed per query class.
+func TestEnsureQueryFP(t *testing.T) {
+	q, err := sparql.Parse(`SELECT * WHERE { ?s <p0> ?o }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ensureQueryFP(context.Background(), q)
+	if got, want := prof.QueryFP(ctx), workload.Fingerprint(q); got != want {
+		t.Errorf("attached fp %q, want workload fingerprint %q", got, want)
+	}
+
+	// A caller-supplied fingerprint (e.g. pingd's, which must match its
+	// ledger key) wins over the derived one.
+	pre := prof.WithQueryFP(context.Background(), "caller-fp")
+	if got := prof.QueryFP(ensureQueryFP(pre, q)); got != "caller-fp" {
+		t.Errorf("caller fingerprint overwritten with %q", got)
+	}
+}

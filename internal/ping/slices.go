@@ -9,6 +9,7 @@ import (
 	"ping/internal/engine"
 	"ping/internal/hpart"
 	"ping/internal/obs"
+	"ping/internal/obs/prof"
 	"ping/internal/rdf"
 	"ping/internal/sparql"
 )
@@ -273,6 +274,13 @@ type evalState struct {
 	prevAnswers     int
 	lastStats       *engine.Stats
 
+	// led is the query's resource ledger (nil-safe), refreshed from the
+	// load context; pinnedBytes tracks the resident bytes of every
+	// PairBlock the accumulator references, whose running total is the
+	// ledger's cache-pinned peak.
+	led         *prof.Ledger
+	pinnedBytes int64
+
 	// span, when non-nil, is the trace span of the step being evaluated;
 	// the engine nests its per-join child spans under it.
 	span *obs.Span
@@ -341,6 +349,7 @@ type loadResult struct {
 // evaluation then runs on a subset of the slice, which stays sound by
 // Lemma 4.4. Context cancellation always aborts, regardless of policy.
 func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
+	st.led = prof.LedgerFrom(ctx)
 	st.rowsLoadedStep = 0
 	st.cacheHitsStep, st.cacheMissesStep = 0, 0
 	for i := range st.patDelta {
@@ -394,12 +403,16 @@ func (st *evalState) load(ctx context.Context, keys []hpart.SubPartKey) error {
 			st.cacheHitsStep++
 		} else {
 			st.cacheMissesStep++
+			st.led.AddBytesDecoded(int64(r.block.Bytes()))
 		}
 		st.loaded = append(st.loaded, k)
 		st.rowsLoadedStep += int64(r.block.Len())
+		st.pinnedBytes += int64(r.block.Bytes())
 		st.fold(k, r.block)
 	}
 	st.rowsLoadedCum += st.rowsLoadedStep
+	st.led.AddRowsLoaded(st.rowsLoadedStep)
+	st.led.ObserveCacheBytesPinned(st.pinnedBytes)
 	st.p.met.cacheHits.Add(st.cacheHitsStep)
 	st.p.met.cacheMisses.Add(st.cacheMissesStep)
 	return nil
@@ -437,6 +450,7 @@ func (st *evalState) evaluate() (*engine.Relation, error) {
 			return nil, err
 		}
 		st.lastStats = stats
+		st.led.ObservePeakRelationRows(stats.PeakRows)
 		return rel, nil
 	}
 	inputs := make([]engine.PatternInput, len(st.q.Patterns))
@@ -457,5 +471,6 @@ func (st *evalState) evaluate() (*engine.Relation, error) {
 		return nil, err
 	}
 	st.lastStats = stats
+	st.led.ObservePeakRelationRows(stats.PeakRows)
 	return rel.Distinct(), nil
 }

@@ -23,6 +23,14 @@ func ObservationFromEvent(ev obs.WideEvent) Observation {
 		Epoch:                 ev.Epoch,
 		Degraded:              ev.Degraded,
 		Error:                 ev.Error != "",
+
+		TaskSeconds:      ev.TaskMs / 1000,
+		RowsLoaded:       ev.RowsLoaded,
+		BytesDecoded:     ev.BytesDecoded,
+		StorageBytesRead: ev.StorageBytesRead,
+		CacheBytesPinned: ev.CacheBytesPinned,
+		DictDecodes:      ev.DictDecodes,
+		PeakRelationRows: ev.PeakRelationRows,
 	}
 }
 

@@ -53,6 +53,20 @@ type Observation struct {
 	Degraded bool
 	// Error marks runs that failed outright.
 	Error bool
+
+	// Resource-ledger fields (prof.Snapshot), zero when unmeasured.
+	// TaskSeconds sums dataflow task wall time; RowsLoaded counts
+	// materialized sub-partition rows; BytesDecoded counts cache-miss
+	// decode output and StorageBytesRead raw dfs reads; CacheBytesPinned
+	// and PeakRelationRows are the run's peaks; DictDecodes counts
+	// ID→string decodes at result emission.
+	TaskSeconds      float64
+	RowsLoaded       int64
+	BytesDecoded     int64
+	StorageBytesRead int64
+	CacheBytesPinned int64
+	DictDecodes      int64
+	PeakRelationRows int64
 }
 
 // aggregate is the mutable per-fingerprint state; the profiler's mutex
@@ -75,6 +89,16 @@ type aggregate struct {
 	lastEpoch   uint64
 	lastAnswers int
 
+	// Resource totals (sums over observations; the two peak fields are
+	// maxima).
+	taskSeconds      float64
+	rowsLoaded       int64
+	bytesDecoded     int64
+	storageBytes     int64
+	cachePinnedPeak  int64
+	dictDecodes      int64
+	peakRelationRows int64
+
 	queries *obs.Counter
 	seconds *obs.Histogram
 	errC    *obs.Counter
@@ -87,6 +111,12 @@ type Profiler struct {
 	mu   sync.Mutex
 	byFp map[string]*aggregate
 	max  int
+
+	// profCPU holds profile-attributed CPU per fingerprint, fed by
+	// AddProfileCPU from parsed capture files. It is keyed independently
+	// of byFp because profile samples can land before the query's first
+	// observation; Snapshot joins the two at read time.
+	profCPU map[string]time.Duration
 
 	reg     *obs.Registry
 	fpGauge *obs.Gauge
@@ -111,6 +141,7 @@ func NewProfiler(opts Options) *Profiler {
 	reg.Describe("workload_dropped_total", "observations dropped because the fingerprint store was full")
 	return &Profiler{
 		byFp:    make(map[string]*aggregate),
+		profCPU: make(map[string]time.Duration),
 		max:     max,
 		reg:     reg,
 		fpGauge: reg.Gauge("workload_fingerprints", nil),
@@ -173,6 +204,17 @@ func (p *Profiler) ObserveFingerprint(fp, canonical, shape string, o Observation
 	if len(o.Coverage) > 0 {
 		agg.lastCov = append([]float64(nil), o.Coverage...)
 	}
+	agg.taskSeconds += o.TaskSeconds
+	agg.rowsLoaded += o.RowsLoaded
+	agg.bytesDecoded += o.BytesDecoded
+	agg.storageBytes += o.StorageBytesRead
+	if o.CacheBytesPinned > agg.cachePinnedPeak {
+		agg.cachePinnedPeak = o.CacheBytesPinned
+	}
+	agg.dictDecodes += o.DictDecodes
+	if o.PeakRelationRows > agg.peakRelationRows {
+		agg.peakRelationRows = o.PeakRelationRows
+	}
 	agg.lastEpoch = o.Epoch
 	agg.lastAnswers = o.Answers
 	if o.Error {
@@ -197,6 +239,43 @@ func (p *Profiler) ObserveFingerprint(fp, canonical, shape string, o Observation
 // Dropped returns how many observations were discarded because the
 // fingerprint store was full.
 func (p *Profiler) Dropped() int64 { return p.dropped.Value() }
+
+// AddProfileCPU credits profile-attributed CPU time to a fingerprint.
+// The capturer calls this with each captured CPU profile's
+// label-aggregated samples; /resources then reports exactly what a
+// consumer re-parsing the profile files would compute. Fingerprints
+// beyond 4x the store bound are dropped to keep hostile label
+// cardinality from growing the map.
+func (p *Profiler) AddProfileCPU(fp string, d time.Duration) {
+	if fp == "" || d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.profCPU[fp]; !ok && len(p.profCPU) >= 4*p.max {
+		p.mu.Unlock()
+		p.dropped.Inc()
+		return
+	}
+	p.profCPU[fp] += d
+	p.mu.Unlock()
+}
+
+// EstimateCost predicts one more run of this fingerprint's CPU cost,
+// preferring profile-attributed CPU (actual on-CPU time) and falling
+// back to the ledger's task seconds. Zero means "no measurement yet" —
+// cost-based admission must admit unknown fingerprints.
+func (p *Profiler) EstimateCost(fp string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg := p.byFp[fp]
+	if agg == nil || agg.count == 0 {
+		return 0
+	}
+	if cpu := p.profCPU[fp]; cpu > 0 {
+		return cpu / time.Duration(agg.count)
+	}
+	return time.Duration(agg.taskSeconds / float64(agg.count) * float64(time.Second))
+}
 
 // FingerprintStats is one fingerprint's aggregate, frozen for export.
 type FingerprintStats struct {
@@ -228,6 +307,19 @@ type FingerprintStats struct {
 	// LastEpoch and LastAnswers describe the latest run.
 	LastEpoch   uint64 `json:"last_epoch"`
 	LastAnswers int    `json:"last_answers"`
+	// Resource attribution (/resources). ProfileCPUSeconds is CPU from
+	// label-aggregated capture profiles; TaskSeconds is summed dataflow
+	// task wall time from the per-query ledger. The byte/row counters
+	// are lineage sums; CacheBytesPinned and PeakRelationRows are the
+	// worst single run observed.
+	ProfileCPUSeconds float64 `json:"profile_cpu_seconds,omitempty"`
+	TaskSeconds       float64 `json:"task_seconds,omitempty"`
+	RowsLoaded        int64   `json:"rows_loaded,omitempty"`
+	BytesDecoded      int64   `json:"bytes_decoded,omitempty"`
+	StorageBytesRead  int64   `json:"storage_bytes_read,omitempty"`
+	CacheBytesPinned  int64   `json:"cache_bytes_pinned,omitempty"`
+	DictDecodes       int64   `json:"dict_decodes,omitempty"`
+	PeakRelationRows  int64   `json:"peak_relation_rows,omitempty"`
 }
 
 // Snapshot freezes every fingerprint's aggregate, sorted by total
@@ -254,6 +346,15 @@ func (p *Profiler) Snapshot() []FingerprintStats {
 			Coverage:    append([]float64(nil), agg.lastCov...),
 			LastEpoch:   agg.lastEpoch,
 			LastAnswers: agg.lastAnswers,
+
+			ProfileCPUSeconds: p.profCPU[fp].Seconds(),
+			TaskSeconds:       agg.taskSeconds,
+			RowsLoaded:        agg.rowsLoaded,
+			BytesDecoded:      agg.bytesDecoded,
+			StorageBytesRead:  agg.storageBytes,
+			CacheBytesPinned:  agg.cachePinnedPeak,
+			DictDecodes:       agg.dictDecodes,
+			PeakRelationRows:  agg.peakRelationRows,
 		}
 		if agg.count > 0 {
 			st.MeanMs = st.TotalMs / float64(agg.count)
@@ -287,6 +388,31 @@ func (p *Profiler) Snapshot() []FingerprintStats {
 // Top returns the first n snapshot entries (all of them when n <= 0).
 func (p *Profiler) Top(n int) []FingerprintStats {
 	snap := p.Snapshot()
+	if n > 0 && n < len(snap) {
+		snap = snap[:n]
+	}
+	return snap
+}
+
+// TopByCost returns up to n snapshot entries ordered by measured CPU
+// cost: profile-attributed CPU seconds first, task seconds as the
+// tie-break for fingerprints no profile sample hit, then total latency
+// and fingerprint for determinism — the /resources "top consumers"
+// ordering.
+func (p *Profiler) TopByCost(n int) []FingerprintStats {
+	snap := p.Snapshot()
+	sort.Slice(snap, func(i, j int) bool {
+		if snap[i].ProfileCPUSeconds != snap[j].ProfileCPUSeconds {
+			return snap[i].ProfileCPUSeconds > snap[j].ProfileCPUSeconds
+		}
+		if snap[i].TaskSeconds != snap[j].TaskSeconds {
+			return snap[i].TaskSeconds > snap[j].TaskSeconds
+		}
+		if snap[i].TotalMs != snap[j].TotalMs {
+			return snap[i].TotalMs > snap[j].TotalMs
+		}
+		return snap[i].Fingerprint < snap[j].Fingerprint
+	})
 	if n > 0 && n < len(snap) {
 		snap = snap[:n]
 	}
